@@ -1,0 +1,90 @@
+//! F14: governor decision overhead.
+//!
+//! The paper argues the scheme's runtime cost is negligible; this bench
+//! measures one EAVS decision (snapshot → demand → OPP) against one
+//! `ondemand` sample, in nanoseconds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eavs_core::governor::{EavsConfig, EavsGovernor, InFlightMeta, PipelineSnapshot};
+use eavs_core::predictor::{FrameMeta, Hybrid};
+use eavs_cpu::cluster::PolicyLimits;
+use eavs_cpu::freq::{Cycles, Frequency};
+use eavs_cpu::load::LoadSample;
+use eavs_cpu::soc::SocModel;
+use eavs_governors::{CpufreqGovernor, Ondemand};
+use eavs_sim::time::{SimDuration, SimTime};
+use eavs_video::display::PlaybackPhase;
+use eavs_video::frame::FrameType;
+
+fn snapshot() -> PipelineSnapshot {
+    let meta = FrameMeta {
+        index: 0,
+        frame_type: FrameType::P,
+        size_bytes: 25_000,
+    };
+    PipelineSnapshot {
+        now: SimTime::from_millis(1000),
+        phase: PlaybackPhase::Playing,
+        next_vsync: SimTime::from_millis(1010),
+        frame_period: SimDuration::from_millis(33),
+        decoded_len: 2,
+        in_flight: Some(InFlightMeta {
+            meta,
+            executed: Cycles::from_mega(5.0),
+        }),
+        upcoming: vec![meta; 8],
+    }
+}
+
+fn bench_governors(c: &mut Criterion) {
+    let table = SocModel::Flagship2016.opp_table();
+    let limits = PolicyLimits::full(&table);
+
+    let mut eavs = EavsGovernor::new(Box::new(Hybrid::default()), EavsConfig::default());
+    for i in 0..100u32 {
+        eavs.observe_decode(
+            FrameMeta {
+                index: 0,
+                frame_type: FrameType::P,
+                size_bytes: 20_000 + i * 100,
+            },
+            Cycles::from_mega(18.0 + (i % 7) as f64),
+        );
+    }
+    let snap = snapshot();
+    c.bench_function("eavs_decide", |b| {
+        b.iter(|| {
+            let idx = eavs.decide(black_box(&snap), &table, limits, 4);
+            black_box(idx)
+        })
+    });
+
+    let mut ondemand = Ondemand::new();
+    let sample = LoadSample {
+        now: SimTime::from_millis(1000),
+        window: SimDuration::from_millis(10),
+        busy_fraction: 0.63,
+        cur_freq: Frequency::from_mhz(1076),
+        cur_index: 5,
+    };
+    c.bench_function("ondemand_on_sample", |b| {
+        b.iter(|| {
+            let idx = ondemand.on_sample(black_box(&sample), &table, limits);
+            black_box(idx)
+        })
+    });
+
+    c.bench_function("eavs_observe_decode", |b| {
+        let meta = FrameMeta {
+            index: 0,
+            frame_type: FrameType::B,
+            size_bytes: 9_000,
+        };
+        b.iter(|| {
+            eavs.observe_decode(black_box(meta), Cycles::from_mega(8.0));
+        })
+    });
+}
+
+criterion_group!(benches, bench_governors);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Predictor throughput: predict+observe cycles per frame for each
+//! predictor implementation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use eavs_core::predictor::{predictor_by_name, FrameMeta, PREDICTOR_NAMES};
+use eavs_cpu::freq::Cycles;
+use eavs_video::frame::FrameType;
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor");
+    // A deterministic pseudo-random frame stream.
+    let frames: Vec<(FrameMeta, Cycles)> = (0..1000u64)
+        .map(|i| {
+            let t = match i % 12 {
+                0 => FrameType::I,
+                k if k % 3 == 1 => FrameType::P,
+                _ => FrameType::B,
+            };
+            let size = 5_000 + ((i * 2_654_435_761) % 60_000) as u32;
+            let cycles = Cycles::new(2e6 + 400.0 * f64::from(size));
+            (
+                FrameMeta {
+                    index: 0,
+                    frame_type: t,
+                    size_bytes: size,
+                },
+                cycles,
+            )
+        })
+        .collect();
+
+    for name in PREDICTOR_NAMES {
+        group.throughput(Throughput::Elements(frames.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = predictor_by_name(name).expect("known");
+                let mut acc = 0.0;
+                for &(meta, actual) in &frames {
+                    acc += p.predict(meta).get();
+                    p.observe(meta, actual);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

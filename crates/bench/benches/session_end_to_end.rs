@@ -1,0 +1,29 @@
+//! End-to-end session throughput: how fast the whole simulator streams
+//! 10 seconds of video under each governor class (simulated seconds per
+//! wall second is the interesting ratio for sweep sizing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eavs_bench::harness::{governor, single_manifest, SEED};
+use eavs_core::session::StreamingSession;
+use eavs_trace::content::ContentProfile;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_10s_720p30");
+    group.sample_size(20);
+    for name in ["performance", "ondemand", "interactive", "schedutil", "eavs"] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = StreamingSession::builder(governor(name))
+                    .manifest(single_manifest(3_000, 1280, 720, 10, 30))
+                    .content(ContentProfile::Film)
+                    .seed(SEED)
+                    .run();
+                black_box(report.cpu_joules())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

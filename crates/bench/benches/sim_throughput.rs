@@ -1,0 +1,52 @@
+//! Simulator kernel throughput: events per second through the engine and
+//! raw queue operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use eavs_sim::prelude::*;
+
+struct PingPong {
+    remaining: u64,
+}
+
+impl World for PingPong {
+    type Event = ();
+    fn handle(&mut self, sched: &mut Scheduler<()>, _: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(SimDuration::from_micros(10), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("event_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(PingPong { remaining: N });
+            sim.scheduler().schedule_at(SimTime::ZERO, ());
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

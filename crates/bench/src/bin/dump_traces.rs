@@ -1,0 +1,36 @@
+//! Writes sample workload traces (`.vtrace` / `.btrace`) under `results/`
+//! so external tools can consume the exact workloads the experiments use.
+
+use eavs_bench::harness::{manifest_1080p30, results_dir, SEED};
+use eavs_sim::time::SimDuration;
+use eavs_trace::content::ContentProfile;
+use eavs_trace::format::{write_bandwidth_trace, write_video_trace};
+use eavs_trace::net_gen::NetworkProfile;
+use eavs_trace::video_gen::VideoGenerator;
+use eavs_video::segment::Segment;
+
+fn main() -> std::io::Result<()> {
+    let dir = results_dir().join("traces");
+    std::fs::create_dir_all(&dir)?;
+
+    for content in ContentProfile::ALL {
+        let manifest = manifest_1080p30(60);
+        let gen = VideoGenerator::new(manifest.clone(), content, SEED);
+        let frames = vec![gen
+            .all_segments(0)
+            .into_iter()
+            .flat_map(Segment::into_frames)
+            .collect::<Vec<_>>()];
+        let path = dir.join(format!("{}_1080p30.vtrace", content.name()));
+        std::fs::write(&path, write_video_trace(&manifest, &frames))?;
+        println!("wrote {}", path.display());
+    }
+
+    for profile in NetworkProfile::ALL {
+        let trace = profile.generate(SimDuration::from_secs(300), SEED);
+        let path = dir.join(format!("{}.btrace", profile.name()));
+        std::fs::write(&path, write_bandwidth_trace(&trace))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

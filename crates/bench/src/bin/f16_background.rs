@@ -1,0 +1,9 @@
+//! Regenerates experiment `f16_background` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f16_background")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment `f20_auto_placement` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f20_auto_placement")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment `f23_baseline_tuning` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f23_baseline_tuning")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

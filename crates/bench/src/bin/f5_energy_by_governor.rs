@@ -1,0 +1,9 @@
+//! Regenerates experiment `f5_energy_by_governor` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f5_energy_by_governor")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

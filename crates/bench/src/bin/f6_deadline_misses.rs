@@ -1,0 +1,9 @@
+//! Regenerates experiment `f6_deadline_misses` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f6_deadline_misses")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment `f8_framerate_sweep` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f8_framerate_sweep")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment `f9_network_abr` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f9_network_abr")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

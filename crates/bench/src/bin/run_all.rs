@@ -1,0 +1,11 @@
+//! Regenerates every table and figure of the evaluation (DESIGN.md §4),
+//! printing each and writing CSVs under `results/`.
+
+fn main() {
+    let started = std::time::Instant::now();
+    for (id, f) in eavs_bench::all_experiments() {
+        eprintln!("== running {id} ==");
+        eavs_bench::harness::emit(id, &f());
+    }
+    eprintln!("all experiments regenerated in {:.1} s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment `t2_summary` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "t2_summary")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

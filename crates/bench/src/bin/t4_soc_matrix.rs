@@ -1,0 +1,9 @@
+//! Regenerates experiment `t4_soc_matrix` (see DESIGN.md §4).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "t4_soc_matrix")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

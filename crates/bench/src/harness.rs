@@ -1,0 +1,144 @@
+//! Shared infrastructure for the experiment binaries.
+
+use eavs_core::governor::{EavsConfig, EavsGovernor};
+use eavs_core::predictor::Hybrid;
+use eavs_core::session::GovernorChoice;
+use eavs_governors::by_name;
+use eavs_metrics::table::Table;
+use eavs_sim::time::SimDuration;
+use eavs_video::manifest::Manifest;
+use std::fs;
+use std::path::PathBuf;
+
+/// The seed every experiment uses unless it is explicitly sweeping seeds.
+pub const SEED: u64 = 42;
+
+/// Governors compared in the headline figures, in presentation order.
+pub const COMPARISON_GOVERNORS: [&str; 8] = [
+    "performance",
+    "powersave",
+    "userspace",
+    "ondemand",
+    "conservative",
+    "interactive",
+    "schedutil",
+    "eavs",
+];
+
+/// Constructs a governor (baseline or EAVS-with-hybrid) by name.
+///
+/// # Panics
+///
+/// Panics on unknown names.
+pub fn governor(name: &str) -> GovernorChoice {
+    if name == "eavs" {
+        eavs_default()
+    } else {
+        GovernorChoice::Baseline(by_name(name).unwrap_or_else(|| panic!("unknown governor {name}")))
+    }
+}
+
+/// The paper-default EAVS configuration (hybrid predictor).
+pub fn eavs_default() -> GovernorChoice {
+    GovernorChoice::Eavs(EavsGovernor::new(
+        Box::new(Hybrid::default()),
+        EavsConfig::default(),
+    ))
+}
+
+/// An EAVS variant with an explicit config and predictor name.
+pub fn eavs_with(config: EavsConfig, predictor: &str) -> GovernorChoice {
+    GovernorChoice::Eavs(EavsGovernor::new(
+        eavs_core::predictor::predictor_by_name(predictor)
+            .unwrap_or_else(|| panic!("unknown predictor {predictor}")),
+        config,
+    ))
+}
+
+/// The fixed-quality manifests used across figures.
+pub fn single_manifest(bitrate_kbps: u32, width: u32, height: u32, secs: u64, fps: u32) -> Manifest {
+    Manifest::single(bitrate_kbps, width, height, SimDuration::from_secs(secs), fps)
+}
+
+/// 1080p30 at 6 Mbps — the headline workload.
+pub fn manifest_1080p30(secs: u64) -> Manifest {
+    single_manifest(6_000, 1920, 1080, secs, 30)
+}
+
+/// Where experiment CSVs land.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("EAVS_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    PathBuf::from(dir)
+}
+
+/// Prints a table and writes its CSV under `results/<id>.csv`.
+pub fn emit(id: &str, table: &Table) {
+    println!("{}", table.render());
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{id}.csv"));
+    if let Err(e) = fs::write(&path, table.to_csv()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[csv written to {}]\n", path.display());
+    }
+}
+
+/// Runs independent jobs on worker threads and returns their results in
+/// input order (each simulation is single-threaded and deterministic; the
+/// sweep parallelism never changes results).
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move |_| job()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment job panicked"))
+            .collect()
+    })
+    .expect("thread scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn governor_constructor_covers_comparison_set() {
+        for name in COMPARISON_GOVERNORS {
+            let g = governor(name);
+            drop(g);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown governor")]
+    fn unknown_governor_panics() {
+        governor("warp-speed");
+    }
+
+    #[test]
+    fn parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn manifest_helpers() {
+        let m = manifest_1080p30(10);
+        assert_eq!(m.fps, 30);
+        assert_eq!(m.representation(0).height, 1080);
+    }
+}

@@ -1,0 +1,85 @@
+//! # eavs-bench — the experiment harness
+//!
+//! One module per experiment family; one binary per table/figure (see
+//! `src/bin/`), each printing the paper-style rows and writing CSV under
+//! `results/`. `run_all` regenerates everything. Criterion microbenches
+//! (`benches/`) cover the governor-overhead figure (F14) and simulator
+//! performance.
+//!
+//! | experiment | function |
+//! |---|---|
+//! | T1 | [`motivation::t1_opp_table`] |
+//! | F1 | [`motivation::f1_power_curve`] |
+//! | F2 | [`motivation::f2_freq_timeline`] |
+//! | F3 | [`motivation::f3_workload_variability`] |
+//! | F4 | [`prediction::f4_prediction`] |
+//! | F5 | [`comparison::f5_energy_by_governor`] |
+//! | F6 | [`comparison::f6_deadline_misses`] |
+//! | F7 | [`sweeps::f7_bitrate_sweep`] |
+//! | F8 | [`sweeps::f8_framerate_sweep`] |
+//! | F9 | [`network::f9_network_abr`] |
+//! | F10 | [`sweeps::f10_margin_sweep`] |
+//! | F11 | [`timeline::f11_buffer_timeline`] |
+//! | F12 | [`timeline::f12_residency`] |
+//! | F13 | [`sweeps::f13_ablations`] |
+//! | F15 | [`extensions::f15_thermal`] |
+//! | F16 | [`extensions::f16_background`] |
+//! | F17 | [`extensions::f17_cluster_placement`] |
+//! | F18 | [`extensions::f18_queue_depth`] |
+//! | F19 | [`extensions::f19_energy_breakdown`] |
+//! | F20 | [`extensions::f20_auto_placement`] |
+//! | F21 | [`extensions::f21_late_policy`] |
+//! | F22 | [`extensions::f22_static_pinning`] |
+//! | F23 | [`extensions::f23_baseline_tuning`] |
+//! | T2 | [`comparison::t2_summary`] |
+//! | T3 | [`extensions::t3_confidence`] |
+//! | T4 | [`extensions::t4_soc_matrix`] |
+//! | F14 | `benches/governor_overhead.rs` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod extensions;
+pub mod harness;
+pub mod motivation;
+pub mod network;
+pub mod prediction;
+pub mod sweeps;
+pub mod timeline;
+
+/// A registered experiment: its id and the function regenerating its table.
+pub type Experiment = (&'static str, fn() -> eavs_metrics::table::Table);
+
+/// Every table-producing experiment, as `(id, function)` pairs in
+/// presentation order — the backing list for `run_all`.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("t1_opp_table", motivation::t1_opp_table),
+        ("f1_power_curve", motivation::f1_power_curve),
+        ("f2_freq_timeline", motivation::f2_freq_timeline),
+        ("f3_workload_variability", motivation::f3_workload_variability),
+        ("f4_prediction", prediction::f4_prediction),
+        ("f5_energy_by_governor", comparison::f5_energy_by_governor),
+        ("f6_deadline_misses", comparison::f6_deadline_misses),
+        ("f7_bitrate_sweep", sweeps::f7_bitrate_sweep),
+        ("f8_framerate_sweep", sweeps::f8_framerate_sweep),
+        ("f9_network_abr", network::f9_network_abr),
+        ("f10_margin_sweep", sweeps::f10_margin_sweep),
+        ("f11_buffer_timeline", timeline::f11_buffer_timeline),
+        ("f12_residency", timeline::f12_residency),
+        ("f13_ablations", sweeps::f13_ablations),
+        ("f15_thermal", extensions::f15_thermal),
+        ("f16_background", extensions::f16_background),
+        ("f17_cluster_placement", extensions::f17_cluster_placement),
+        ("f18_queue_depth", extensions::f18_queue_depth),
+        ("f19_energy_breakdown", extensions::f19_energy_breakdown),
+        ("f20_auto_placement", extensions::f20_auto_placement),
+        ("f21_late_policy", extensions::f21_late_policy),
+        ("f22_static_pinning", extensions::f22_static_pinning),
+        ("f23_baseline_tuning", extensions::f23_baseline_tuning),
+        ("t2_summary", comparison::t2_summary),
+        ("t3_confidence", extensions::t3_confidence),
+        ("t4_soc_matrix", extensions::t4_soc_matrix),
+    ]
+}

@@ -1,0 +1,42 @@
+//! Regression net over the whole experiment suite: every registered
+//! experiment regenerates, produces rows, and round-trips through CSV.
+
+use eavs_bench::all_experiments;
+
+#[test]
+fn every_experiment_produces_rows() {
+    for (id, f) in all_experiments() {
+        let table = f();
+        assert!(table.num_rows() > 0, "{id}: empty table");
+        let csv = table.to_csv();
+        assert!(csv.lines().count() == table.num_rows() + 1, "{id}: csv mismatch");
+        let rendered = table.render();
+        assert!(rendered.contains("=="), "{id}: missing title");
+    }
+}
+
+#[test]
+fn experiment_ids_are_unique_and_well_formed() {
+    let mut ids: Vec<&str> = all_experiments().into_iter().map(|(id, _)| id).collect();
+    assert!(ids.iter().all(|id| id
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')));
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "duplicate experiment ids");
+    assert_eq!(before, 26, "experiment count drifted; update docs");
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    // Representative fast experiments rerun bit-identically.
+    for id in ["f5_energy_by_governor", "f13_ablations", "t4_soc_matrix"] {
+        let f = all_experiments()
+            .into_iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, f)| f)
+            .expect("registered");
+        assert_eq!(f().to_csv(), f().to_csv(), "{id} not deterministic");
+    }
+}

@@ -1,0 +1,504 @@
+//! The EAVS governor — the paper's contribution.
+//!
+//! A video-aware CPU frequency governor. Where stock governors infer
+//! demand from utilization history, EAVS computes it from the player
+//! pipeline directly:
+//!
+//! 1. **Predict** each pending frame's decode cycles from its container
+//!    metadata and per-type feedback ([`WorkloadPredictor`]).
+//! 2. **Derive deadlines** from the vsync schedule and the decoded-queue
+//!    depth: with `d` frames already decoded, the in-flight frame is due
+//!    at `next_vsync + d·τ`, the `j`-th waiting frame at
+//!    `next_vsync + (d+1+j)·τ`.
+//! 3. **Select** the slowest OPP whose clock rate covers the worst prefix
+//!    demand with a safety margin, holding down-switches through a short
+//!    hysteresis ([`OppSelector`]).
+//! 4. **Phase policy**: while the buffer is filling (startup/rebuffer)
+//!    race at the maximum frequency — the deadline there is "now"; while
+//!    paused with a full pipeline, drop to the floor.
+//!
+//! The governor sees nothing a real implementation could not: container
+//! frame sizes/types, the decoded-queue depth, vsync timing, and per-frame
+//! cycle counts *after* decoding (perf counters).
+
+use crate::predictor::{FrameMeta, WorkloadPredictor};
+use crate::selector::{required_hz, DemandItem, OppSelector};
+use eavs_cpu::cluster::PolicyLimits;
+use eavs_cpu::freq::Cycles;
+use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::time::{SimDuration, SimTime};
+use eavs_video::display::PlaybackPhase;
+
+/// Configuration of the EAVS governor.
+#[derive(Clone, Copy, Debug)]
+pub struct EavsConfig {
+    /// Fractional frequency headroom over the computed requirement.
+    pub margin: f64,
+    /// Consecutive decisions before a down-switch is applied.
+    pub down_hysteresis: u32,
+    /// How many waiting frames are considered when computing demand.
+    pub lookahead: usize,
+    /// Race at max frequency while the pipeline is filling
+    /// (startup/rebuffering). Disabling this is the F13 ablation.
+    pub race_on_fill: bool,
+    /// Never select below the platform's critical speed while work is
+    /// pending (see [`critical_speed_index`](crate::selector::critical_speed_index)):
+    /// below it, slower costs *more* energy. The session computes the
+    /// floor from the SoC's power model; disabling this is the F13
+    /// ablation `no-energy-floor`.
+    pub energy_floor: bool,
+    /// Fallback decision period (decisions also happen on pipeline
+    /// events).
+    pub decision_interval: SimDuration,
+}
+
+impl Default for EavsConfig {
+    fn default() -> Self {
+        EavsConfig {
+            margin: 0.15,
+            down_hysteresis: 3,
+            lookahead: 8,
+            race_on_fill: true,
+            energy_floor: true,
+            decision_interval: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// The in-flight decode as the governor sees it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct InFlightMeta {
+    /// Container metadata of the frame being decoded.
+    pub meta: FrameMeta,
+    /// Cycles already spent on it (observable via perf counters).
+    pub executed: Cycles,
+}
+
+/// A snapshot of the player pipeline at decision time.
+#[derive(Clone, Debug)]
+pub struct PipelineSnapshot {
+    /// Decision instant.
+    pub now: SimTime,
+    /// Playback phase.
+    pub phase: PlaybackPhase,
+    /// The next vsync tick (meaningful while playing).
+    pub next_vsync: SimTime,
+    /// Vsync period (= frame duration).
+    pub frame_period: SimDuration,
+    /// Frames sitting decoded, ready for display.
+    pub decoded_len: usize,
+    /// The decode in flight, if any.
+    pub in_flight: Option<InFlightMeta>,
+    /// Container metadata of waiting (undecoded) frames, in decode order.
+    pub upcoming: Vec<FrameMeta>,
+}
+
+/// The EAVS governor.
+#[derive(Debug)]
+pub struct EavsGovernor {
+    predictor: Box<dyn WorkloadPredictor>,
+    selector: OppSelector,
+    config: EavsConfig,
+    floor_index: OppIndex,
+    decisions: u64,
+}
+
+impl EavsGovernor {
+    /// Creates the governor with the given predictor and configuration.
+    pub fn new(predictor: Box<dyn WorkloadPredictor>, config: EavsConfig) -> Self {
+        EavsGovernor {
+            predictor,
+            selector: OppSelector::new(config.margin, config.down_hysteresis),
+            config,
+            floor_index: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Sets the platform's critical-speed floor (an OPP index). The
+    /// session computes it from the SoC's power model at startup; a
+    /// standalone deployment would derive it from the device power table
+    /// once. Only takes effect while `config.energy_floor` is set.
+    pub fn set_energy_floor(&mut self, index: OppIndex) {
+        self.floor_index = index;
+    }
+
+    /// The configured critical-speed floor.
+    pub fn energy_floor(&self) -> OppIndex {
+        self.floor_index
+    }
+
+    /// Clamps a pacing decision up to the critical-speed floor when work
+    /// is pending.
+    fn apply_floor(&self, idx: OppIndex, has_work: bool, limits: PolicyLimits) -> OppIndex {
+        if self.config.energy_floor && has_work {
+            limits.clamp(idx.max(self.floor_index))
+        } else {
+            idx
+        }
+    }
+
+    /// The governor's sysfs-style name.
+    pub fn name(&self) -> &'static str {
+        "eavs"
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EavsConfig {
+        &self.config
+    }
+
+    /// The predictor's name (for reports).
+    pub fn predictor_name(&self) -> &'static str {
+        self.predictor.name()
+    }
+
+    /// Number of decisions taken.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Feedback after a frame finished decoding.
+    pub fn observe_decode(&mut self, meta: FrameMeta, actual: Cycles) {
+        self.predictor.observe(meta, actual);
+    }
+
+    /// Forwards ground-truth costs to the predictor (only the [`Oracle`]
+    /// bound uses them; see
+    /// [`WorkloadPredictor::preload`]).
+    ///
+    /// [`Oracle`]: crate::predictor::Oracle
+    pub fn preload(&mut self, frames: &[(FrameMeta, Cycles)]) {
+        self.predictor.preload(frames);
+    }
+
+    /// Predicts a frame's decode cost (exposed for the prediction-accuracy
+    /// experiment F4).
+    pub fn predict(&self, meta: FrameMeta) -> Cycles {
+        self.predictor.predict(meta)
+    }
+
+    /// Computes the demand list for a snapshot (visible for tests and the
+    /// ablation harness).
+    pub fn demand(&self, snap: &PipelineSnapshot) -> Vec<DemandItem> {
+        let mut items = Vec::with_capacity(1 + self.config.lookahead);
+        let tau = snap.frame_period;
+        let d = snap.decoded_len as u64;
+        if let Some(inflight) = snap.in_flight {
+            let predicted = self.predictor.predict(inflight.meta);
+            // If the frame already overran its prediction, assume a
+            // residual 10% remains rather than zero.
+            let remaining = if inflight.executed.get() >= predicted.get() {
+                predicted.scale(0.1)
+            } else {
+                predicted.saturating_sub(inflight.executed)
+            };
+            items.push(DemandItem {
+                cycles: remaining,
+                deadline: snap.next_vsync.saturating_add(tau * d),
+            });
+        }
+        let base = d + u64::from(snap.in_flight.is_some());
+        for (j, meta) in snap.upcoming.iter().take(self.config.lookahead).enumerate() {
+            items.push(DemandItem {
+                cycles: self.predictor.predict(*meta),
+                deadline: snap.next_vsync.saturating_add(tau * (base + j as u64)),
+            });
+        }
+        items
+    }
+
+    /// The raw clock-rate requirement (Hz) of a snapshot's demand, before
+    /// margin/OPP quantization — the quantity an automatic big.LITTLE
+    /// placement policy compares against each cluster's ceiling.
+    pub fn required_hz_for(&self, snap: &PipelineSnapshot) -> f64 {
+        required_hz(snap.now, &self.demand(snap))
+    }
+
+    /// The *sustained* clock rate the stream needs: mean predicted cycles
+    /// per upcoming frame divided by the frame period. Queue slack can
+    /// make the momentary [`required_hz_for`](Self::required_hz_for) dip
+    /// far below this, but a cluster whose ceiling is under the sustained
+    /// rate will eventually fall behind — placement decisions must honor
+    /// it.
+    pub fn sustained_hz_for(&self, snap: &PipelineSnapshot) -> f64 {
+        if snap.upcoming.is_empty() || snap.frame_period.is_zero() {
+            return 0.0;
+        }
+        let mean_cycles: f64 = snap
+            .upcoming
+            .iter()
+            .map(|m| self.predictor.predict(*m).get())
+            .sum::<f64>()
+            / snap.upcoming.len() as f64;
+        mean_cycles / snap.frame_period.as_secs_f64()
+    }
+
+    /// Takes a frequency decision for the snapshot.
+    pub fn decide(
+        &mut self,
+        snap: &PipelineSnapshot,
+        table: &OppTable,
+        limits: PolicyLimits,
+        cur: OppIndex,
+    ) -> OppIndex {
+        self.decisions += 1;
+        match snap.phase {
+            PlaybackPhase::Startup | PlaybackPhase::Rebuffering => {
+                if self.config.race_on_fill {
+                    limits.max_index
+                } else {
+                    // Ablation: treat filling like steady state with a
+                    // synthetic near-term deadline one frame period out.
+                    let demand: f64 = snap
+                        .upcoming
+                        .iter()
+                        .take(self.config.lookahead)
+                        .map(|m| self.predictor.predict(*m).get())
+                        .sum();
+                    let window = snap.frame_period * (self.config.lookahead as u64).max(1);
+                    let required = demand / window.as_secs_f64();
+                    let idx = self.selector.select(table, limits, cur, required);
+                    self.apply_floor(idx, !snap.upcoming.is_empty(), limits)
+                }
+            }
+            PlaybackPhase::Ended => limits.min_index,
+            PlaybackPhase::Playing => {
+                let items = self.demand(snap);
+                if items.is_empty() {
+                    // Pipeline drained of work (decoded queue full or end
+                    // of stream): any frequency idles equally well.
+                    return self.selector.select(table, limits, cur, 0.0);
+                }
+                let required = required_hz(snap.now, &items);
+                let idx = self.selector.select(table, limits, cur, required);
+                self.apply_floor(idx, true, limits)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{Ewma, LastValue};
+    use eavs_video::frame::FrameType;
+
+    fn table() -> OppTable {
+        OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap()
+    }
+
+    fn meta(size: u32) -> FrameMeta {
+        FrameMeta {
+            index: 0,
+            frame_type: FrameType::P,
+            size_bytes: size,
+        }
+    }
+
+    /// A governor whose predictor has been trained to a constant value.
+    fn trained(mcycles: f64, config: EavsConfig) -> EavsGovernor {
+        let mut g = EavsGovernor::new(Box::new(LastValue::new()), config);
+        g.observe_decode(meta(1000), Cycles::from_mega(mcycles));
+        g
+    }
+
+    fn snapshot(
+        decoded: usize,
+        in_flight: Option<InFlightMeta>,
+        upcoming: usize,
+    ) -> PipelineSnapshot {
+        PipelineSnapshot {
+            now: SimTime::from_millis(100),
+            phase: PlaybackPhase::Playing,
+            next_vsync: SimTime::from_millis(110),
+            frame_period: SimDuration::from_millis(33),
+            decoded_len: decoded,
+            in_flight,
+            upcoming: vec![meta(1000); upcoming],
+        }
+    }
+
+    #[test]
+    fn races_while_filling() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = trained(10.0, EavsConfig::default());
+        let mut snap = snapshot(0, None, 4);
+        snap.phase = PlaybackPhase::Startup;
+        assert_eq!(g.decide(&snap, &tbl, limits, 0), 3);
+        snap.phase = PlaybackPhase::Rebuffering;
+        assert_eq!(g.decide(&snap, &tbl, limits, 0), 3);
+    }
+
+    #[test]
+    fn ablation_no_race_paces_fill() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = trained(
+            10.0,
+            EavsConfig {
+                race_on_fill: false,
+                margin: 0.0,
+                down_hysteresis: 1,
+                ..EavsConfig::default()
+            },
+        );
+        let mut snap = snapshot(0, None, 8);
+        snap.phase = PlaybackPhase::Startup;
+        let idx = g.decide(&snap, &tbl, limits, 0);
+        // 8 × 10 Mcycles over 8 × 33 ms ≈ 303 MHz -> lowest OPP.
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn deep_decoded_queue_lets_cpu_slow_down() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let cfg = EavsConfig {
+            margin: 0.0,
+            down_hysteresis: 1,
+            ..EavsConfig::default()
+        };
+        // 20 Mcycles per frame.
+        let mut g_shallow = trained(20.0, cfg);
+        let mut g_deep = trained(20.0, cfg);
+        let inflight = Some(InFlightMeta {
+            meta: meta(1000),
+            executed: Cycles::ZERO,
+        });
+        // Shallow queue: in-flight due at next vsync (10 ms away).
+        let shallow = snapshot(0, inflight, 4);
+        // Deep queue: 4 decoded frames of slack.
+        let deep = snapshot(4, inflight, 4);
+        let idx_shallow = g_shallow.decide(&shallow, &tbl, limits, 3);
+        let idx_deep = g_deep.decide(&deep, &tbl, limits, 3);
+        assert!(
+            idx_deep < idx_shallow,
+            "slack must lower the chosen OPP ({idx_deep} !< {idx_shallow})"
+        );
+    }
+
+    #[test]
+    fn overdue_deadline_forces_max() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = trained(20.0, EavsConfig::default());
+        let mut snap = snapshot(
+            0,
+            Some(InFlightMeta {
+                meta: meta(1000),
+                executed: Cycles::ZERO,
+            }),
+            2,
+        );
+        snap.next_vsync = snap.now; // due right now
+        assert_eq!(g.decide(&snap, &tbl, limits, 0), 3);
+    }
+
+    #[test]
+    fn executed_cycles_reduce_demand() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let cfg = EavsConfig {
+            margin: 0.0,
+            down_hysteresis: 1,
+            lookahead: 0,
+            ..EavsConfig::default()
+        };
+        let mut fresh = trained(40.0, cfg);
+        let mut nearly_done = trained(40.0, cfg);
+        let snap_fresh = snapshot(
+            1,
+            Some(InFlightMeta {
+                meta: meta(1000),
+                executed: Cycles::ZERO,
+            }),
+            0,
+        );
+        let snap_done = snapshot(
+            1,
+            Some(InFlightMeta {
+                meta: meta(1000),
+                executed: Cycles::from_mega(38.0),
+            }),
+            0,
+        );
+        let a = fresh.decide(&snap_fresh, &tbl, limits, 3);
+        let b = nearly_done.decide(&snap_done, &tbl, limits, 3);
+        assert!(b <= a, "{b} <= {a}");
+        assert_eq!(b, 0, "2 Mcycles in 43 ms needs only the floor");
+    }
+
+    #[test]
+    fn overrun_assumes_residual_work() {
+        let g = trained(10.0, EavsConfig::default());
+        let snap = snapshot(
+            0,
+            Some(InFlightMeta {
+                meta: meta(1000),
+                executed: Cycles::from_mega(15.0), // beyond the prediction
+            }),
+            0,
+        );
+        let items = g.demand(&snap);
+        assert_eq!(items.len(), 1);
+        assert!((items[0].cycles.mega() - 1.0).abs() < 1e-9, "10% residual");
+    }
+
+    #[test]
+    fn demand_deadlines_are_vsync_spaced() {
+        let g = trained(10.0, EavsConfig::default());
+        let snap = snapshot(
+            2,
+            Some(InFlightMeta {
+                meta: meta(1000),
+                executed: Cycles::ZERO,
+            }),
+            3,
+        );
+        let items = g.demand(&snap);
+        assert_eq!(items.len(), 4);
+        // In-flight covers vsync + 2 periods; then consecutive periods.
+        let base = SimTime::from_millis(110);
+        assert_eq!(items[0].deadline, base + SimDuration::from_millis(66));
+        assert_eq!(items[1].deadline, base + SimDuration::from_millis(99));
+        assert_eq!(items[3].deadline, base + SimDuration::from_millis(165));
+    }
+
+    #[test]
+    fn lookahead_truncates_demand() {
+        let g = trained(
+            10.0,
+            EavsConfig {
+                lookahead: 2,
+                ..EavsConfig::default()
+            },
+        );
+        let snap = snapshot(0, None, 10);
+        assert_eq!(g.demand(&snap).len(), 2);
+    }
+
+    #[test]
+    fn ended_drops_to_floor() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = trained(10.0, EavsConfig::default());
+        let mut snap = snapshot(0, None, 0);
+        snap.phase = PlaybackPhase::Ended;
+        assert_eq!(g.decide(&snap, &tbl, limits, 3), 0);
+    }
+
+    #[test]
+    fn works_with_any_predictor() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = EavsGovernor::new(Box::new(Ewma::default()), EavsConfig::default());
+        g.observe_decode(meta(1000), Cycles::from_mega(15.0));
+        let snap = snapshot(1, None, 4);
+        let idx = g.decide(&snap, &tbl, limits, 0);
+        assert!(idx <= 3);
+        assert_eq!(g.predictor_name(), "ewma");
+        assert_eq!(g.decisions(), 1);
+    }
+}

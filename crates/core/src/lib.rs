@@ -1,0 +1,52 @@
+//! # eavs-core — Energy-Aware Video Scaling
+//!
+//! The primary contribution of the reproduced paper (*Energy-Aware CPU
+//! Frequency Scaling for Mobile Video Streaming*, ICDCS 2017): a
+//! video-aware cpufreq governor that predicts per-frame decode workload,
+//! derives deadlines from the display pipeline, and runs the CPU at the
+//! slowest operating point that keeps every frame on time — plus the
+//! [`session`] harness that wires it (and the baselines) into a full
+//! streaming system for evaluation.
+//!
+//! * [`predictor`] — per-frame-type decode-cost predictors (F4).
+//! * [`selector`] — prefix-demand → minimal-OPP selection with margin and
+//!   hysteresis (F10).
+//! * [`governor`] — the [`EavsGovernor`] decision logic (F5–F13).
+//! * [`session`] — the [`session::StreamingSession`]
+//!   builder: CPU + video + network + governor in one deterministic run.
+//! * [`report`] — the per-session measurement record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eavs_core::governor::{EavsConfig, EavsGovernor};
+//! use eavs_core::predictor::Hybrid;
+//! use eavs_core::session::{GovernorChoice, StreamingSession};
+//! use eavs_sim::time::SimDuration;
+//! use eavs_video::manifest::Manifest;
+//!
+//! let gov = GovernorChoice::Eavs(EavsGovernor::new(
+//!     Box::new(Hybrid::default()),
+//!     EavsConfig::default(),
+//! ));
+//! let report = StreamingSession::builder(gov)
+//!     .manifest(Manifest::single(3_000, 1280, 720, SimDuration::from_secs(4), 30))
+//!     .seed(7)
+//!     .run();
+//! assert_eq!(report.qoe.frames_displayed, report.qoe.total_frames);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod governor;
+pub mod predictor;
+pub mod report;
+pub mod selector;
+pub mod session;
+
+pub use governor::{EavsConfig, EavsGovernor, PipelineSnapshot};
+pub use predictor::{FrameMeta, Hybrid, WorkloadPredictor};
+pub use report::SessionReport;
+pub use selector::{required_hz, DemandItem, OppSelector};
+pub use session::{ClusterSelect, GovernorChoice, SessionBuilder, StreamingSession};

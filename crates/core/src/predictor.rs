@@ -1,0 +1,592 @@
+//! Decode-workload prediction.
+//!
+//! The EAVS governor must know how many cycles upcoming frames will take
+//! *before* decoding them. Predictors observe `(frame metadata, actual
+//! cycles)` pairs after each decode — frame metadata (type and coded size)
+//! is container information available before decode; actual cycles are
+//! what a per-thread cycle counter reports afterwards.
+//!
+//! Implemented predictors, in increasing sophistication (F4 compares
+//! them, F13 ablates the governor across them):
+//!
+//! * [`LastValue`] — per-type last observation.
+//! * [`Ewma`] — per-type exponentially weighted moving average.
+//! * [`WindowMax`] — per-type max over a sliding window (conservative).
+//! * [`SizeRegression`] — per-type online linear regression on coded size.
+//! * [`Hybrid`] — size regression blended with an EWMA correction ratio
+//!   plus a variance-based safety term; the paper-grade default.
+
+use eavs_cpu::freq::Cycles;
+use eavs_video::frame::{Frame, FrameType};
+use std::collections::VecDeque;
+
+/// Container-visible frame metadata (what a predictor may look at).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FrameMeta {
+    /// Global decode-order index (container timeline position).
+    pub index: u64,
+    /// Coding type.
+    pub frame_type: FrameType,
+    /// Coded size in bytes.
+    pub size_bytes: u32,
+}
+
+impl From<&Frame> for FrameMeta {
+    fn from(f: &Frame) -> Self {
+        FrameMeta {
+            index: f.index,
+            frame_type: f.frame_type,
+            size_bytes: f.size_bytes,
+        }
+    }
+}
+
+/// A decode-cost predictor.
+pub trait WorkloadPredictor: std::fmt::Debug + Send {
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Predicted decode cost of a frame with the given metadata.
+    fn predict(&self, meta: FrameMeta) -> Cycles;
+
+    /// Feeds back the measured cost after the frame was decoded.
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles);
+
+    /// Offers ground-truth costs for frames about to enter the pipeline.
+    /// Real predictors ignore this; the [`Oracle`] stores it. Exists so
+    /// the evaluation can bound how much better a perfect predictor could
+    /// do (F13's `predictor=oracle` row).
+    fn preload(&mut self, frames: &[(FrameMeta, Cycles)]) {
+        let _ = frames;
+    }
+}
+
+/// Cold-start estimate before any observation of a type: scale from coded
+/// size with a generous cycles/byte factor so early frames are not
+/// under-provisioned.
+fn cold_start(meta: FrameMeta) -> Cycles {
+    Cycles::new((f64::from(meta.size_bytes) * 600.0).max(5e6))
+}
+
+/// Per-type last observed value.
+#[derive(Clone, Debug, Default)]
+pub struct LastValue {
+    last: [Option<f64>; 3],
+}
+
+impl LastValue {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WorkloadPredictor for LastValue {
+    fn name(&self) -> &'static str {
+        "last"
+    }
+
+    fn predict(&self, meta: FrameMeta) -> Cycles {
+        match self.last[meta.frame_type.index()] {
+            Some(v) => Cycles::new(v),
+            None => cold_start(meta),
+        }
+    }
+
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
+        self.last[meta.frame_type.index()] = Some(actual.get());
+    }
+}
+
+/// Per-type exponentially weighted moving average.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    mean: [Option<f64>; 3],
+}
+
+impl Ewma {
+    /// Creates the predictor with smoothing factor `alpha` (weight of the
+    /// newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "bad EWMA alpha {alpha}");
+        Ewma {
+            alpha,
+            mean: [None; 3],
+        }
+    }
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Ewma::new(0.25)
+    }
+}
+
+impl WorkloadPredictor for Ewma {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn predict(&self, meta: FrameMeta) -> Cycles {
+        match self.mean[meta.frame_type.index()] {
+            Some(v) => Cycles::new(v),
+            None => cold_start(meta),
+        }
+    }
+
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
+        let slot = &mut self.mean[meta.frame_type.index()];
+        *slot = Some(match *slot {
+            Some(m) => m + self.alpha * (actual.get() - m),
+            None => actual.get(),
+        });
+    }
+}
+
+/// Per-type maximum over a sliding window of observations.
+#[derive(Clone, Debug)]
+pub struct WindowMax {
+    window: usize,
+    history: [VecDeque<f64>; 3],
+}
+
+impl WindowMax {
+    /// Creates the predictor with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "zero window");
+        WindowMax {
+            window,
+            history: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+        }
+    }
+}
+
+impl Default for WindowMax {
+    fn default() -> Self {
+        WindowMax::new(30)
+    }
+}
+
+impl WorkloadPredictor for WindowMax {
+    fn name(&self) -> &'static str {
+        "window-max"
+    }
+
+    fn predict(&self, meta: FrameMeta) -> Cycles {
+        let h = &self.history[meta.frame_type.index()];
+        match h.iter().cloned().fold(f64::NAN, f64::max) {
+            v if v.is_nan() => cold_start(meta),
+            v => Cycles::new(v),
+        }
+    }
+
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
+        let h = &mut self.history[meta.frame_type.index()];
+        if h.len() == self.window {
+            h.pop_front();
+        }
+        h.push_back(actual.get());
+    }
+}
+
+/// Per-type online linear regression `cycles = a + b·size`.
+///
+/// Maintains running first and second moments; falls back to the mean when
+/// size variance is degenerate.
+#[derive(Clone, Debug, Default)]
+pub struct SizeRegression {
+    stats: [RegState; 3],
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RegState {
+    n: f64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_xy: f64,
+}
+
+impl RegState {
+    fn observe(&mut self, x: f64, y: f64) {
+        self.n += 1.0;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_xy += x * y;
+    }
+
+    fn predict(&self, x: f64) -> Option<f64> {
+        if self.n < 1.0 {
+            return None;
+        }
+        let mean = self.sum_y / self.n;
+        // With few observations a fitted line extrapolates wildly; trust
+        // the per-type mean until the fit has support, and always clamp
+        // the line's output to a sane band around the mean.
+        if self.n < 8.0 {
+            return Some(mean);
+        }
+        let var_x = self.sum_xx - self.sum_x * self.sum_x / self.n;
+        if var_x < 1e-9 {
+            return Some(mean);
+        }
+        let cov = self.sum_xy - self.sum_x * self.sum_y / self.n;
+        let b = cov / var_x;
+        let a = (self.sum_y - b * self.sum_x) / self.n;
+        Some((a + b * x).clamp(mean / 4.0, mean * 4.0))
+    }
+}
+
+impl SizeRegression {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WorkloadPredictor for SizeRegression {
+    fn name(&self) -> &'static str {
+        "size-regression"
+    }
+
+    fn predict(&self, meta: FrameMeta) -> Cycles {
+        match self.stats[meta.frame_type.index()].predict(f64::from(meta.size_bytes)) {
+            Some(v) => Cycles::new(v.max(10_000.0)),
+            None => cold_start(meta),
+        }
+    }
+
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
+        self.stats[meta.frame_type.index()].observe(f64::from(meta.size_bytes), actual.get());
+    }
+}
+
+/// The paper-grade predictor: per-type size regression, corrected by an
+/// EWMA of the actual/predicted ratio (absorbs content drift), plus a
+/// safety term proportional to the EWMA of the absolute residual (so
+/// bursty content gets more headroom automatically).
+#[derive(Clone, Debug)]
+pub struct Hybrid {
+    regression: SizeRegression,
+    ratio: [f64; 3],
+    residual: [f64; 3],
+    ratio_alpha: f64,
+    safety_sigmas: f64,
+}
+
+impl Hybrid {
+    /// Creates the predictor with `safety_sigmas` residual headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `safety_sigmas` is negative.
+    pub fn new(safety_sigmas: f64) -> Self {
+        assert!(safety_sigmas >= 0.0, "negative safety");
+        Hybrid {
+            regression: SizeRegression::new(),
+            ratio: [1.0; 3],
+            residual: [0.0; 3],
+            ratio_alpha: 0.2,
+            safety_sigmas,
+        }
+    }
+}
+
+impl Default for Hybrid {
+    fn default() -> Self {
+        Hybrid::new(1.0)
+    }
+}
+
+impl WorkloadPredictor for Hybrid {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn predict(&self, meta: FrameMeta) -> Cycles {
+        let base = self.regression.predict(meta).get();
+        let i = meta.frame_type.index();
+        let corrected = base * self.ratio[i] + self.safety_sigmas * self.residual[i];
+        Cycles::new(corrected.max(10_000.0))
+    }
+
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
+        let i = meta.frame_type.index();
+        let base = self.regression.predict(meta).get();
+        if base > 0.0 {
+            let r = actual.get() / base;
+            self.ratio[i] += self.ratio_alpha * (r - self.ratio[i]);
+            let resid = (actual.get() - base * self.ratio[i]).abs();
+            self.residual[i] += self.ratio_alpha * (resid - self.residual[i]);
+        }
+        self.regression.observe(meta, actual);
+    }
+}
+
+/// The cheating upper bound: returns the exact decode cost of every frame
+/// it has been [`preload`](WorkloadPredictor::preload)ed with (the
+/// streaming session preloads each downloaded segment). Not realizable on
+/// a device — it exists to measure the *regret* of the real predictors:
+/// how much energy/QoE a perfect predictor would buy.
+#[derive(Clone, Debug, Default)]
+pub struct Oracle {
+    truth: std::collections::HashMap<u64, f64>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle (useless until preloaded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frames whose truth is known.
+    pub fn known(&self) -> usize {
+        self.truth.len()
+    }
+}
+
+impl WorkloadPredictor for Oracle {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn predict(&self, meta: FrameMeta) -> Cycles {
+        match self.truth.get(&meta.index) {
+            Some(&cycles) => Cycles::new(cycles),
+            None => cold_start(meta),
+        }
+    }
+
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
+        // Ground truth by definition; keep it anyway for frames that were
+        // never preloaded.
+        self.truth.insert(meta.index, actual.get());
+    }
+
+    fn preload(&mut self, frames: &[(FrameMeta, Cycles)]) {
+        for (meta, cycles) in frames {
+            self.truth.insert(meta.index, cycles.get());
+        }
+    }
+}
+
+/// Constructs a predictor by name (for experiment configs).
+///
+/// Known names: `last`, `ewma`, `window-max`, `size-regression`, `hybrid`,
+/// plus the unrealizable `oracle` bound.
+pub fn predictor_by_name(name: &str) -> Option<Box<dyn WorkloadPredictor>> {
+    Some(match name {
+        "last" => Box::new(LastValue::new()),
+        "ewma" => Box::new(Ewma::default()),
+        "window-max" => Box::new(WindowMax::default()),
+        "size-regression" => Box::new(SizeRegression::new()),
+        "hybrid" => Box::new(Hybrid::default()),
+        "oracle" => Box::new(Oracle::new()),
+        _ => return None,
+    })
+}
+
+/// All predictor names, in F4/F13 presentation order.
+pub const PREDICTOR_NAMES: [&str; 5] =
+    ["last", "ewma", "window-max", "size-regression", "hybrid"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(t: FrameType, size: u32) -> FrameMeta {
+        FrameMeta {
+            index: 0,
+            frame_type: t,
+            size_bytes: size,
+        }
+    }
+
+    fn mc(m: f64) -> Cycles {
+        Cycles::from_mega(m)
+    }
+
+    #[test]
+    fn cold_start_scales_with_size() {
+        let p = LastValue::new();
+        let small = p.predict(meta(FrameType::I, 10_000));
+        let large = p.predict(meta(FrameType::I, 100_000));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn last_value_tracks_per_type() {
+        let mut p = LastValue::new();
+        p.observe(meta(FrameType::I, 1000), mc(30.0));
+        p.observe(meta(FrameType::B, 100), mc(5.0));
+        assert_eq!(p.predict(meta(FrameType::I, 1000)), mc(30.0));
+        assert_eq!(p.predict(meta(FrameType::B, 100)), mc(5.0));
+        p.observe(meta(FrameType::I, 1000), mc(40.0));
+        assert_eq!(p.predict(meta(FrameType::I, 999)), mc(40.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_signal() {
+        let mut p = Ewma::new(0.3);
+        for _ in 0..100 {
+            p.observe(meta(FrameType::P, 500), mc(10.0));
+        }
+        let pred = p.predict(meta(FrameType::P, 500));
+        assert!((pred.mega() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_smooths_oscillation() {
+        let mut p = Ewma::new(0.2);
+        for i in 0..200 {
+            let v = if i % 2 == 0 { 8.0 } else { 12.0 };
+            p.observe(meta(FrameType::P, 500), mc(v));
+        }
+        let pred = p.predict(meta(FrameType::P, 500)).mega();
+        assert!((pred - 10.0).abs() < 1.5, "pred {pred}");
+    }
+
+    #[test]
+    fn window_max_is_conservative() {
+        let mut p = WindowMax::new(5);
+        for v in [5.0, 9.0, 6.0] {
+            p.observe(meta(FrameType::P, 500), mc(v));
+        }
+        assert_eq!(p.predict(meta(FrameType::P, 500)), mc(9.0));
+        // Max slides out of the window.
+        for _ in 0..5 {
+            p.observe(meta(FrameType::P, 500), mc(4.0));
+        }
+        assert_eq!(p.predict(meta(FrameType::P, 500)), mc(4.0));
+    }
+
+    #[test]
+    fn regression_learns_linear_law() {
+        let mut p = SizeRegression::new();
+        // cycles = 1e6 + 100 * size
+        for size in (1000u32..20_000).step_by(1000) {
+            p.observe(
+                meta(FrameType::P, size),
+                Cycles::new(1e6 + 100.0 * f64::from(size)),
+            );
+        }
+        let pred = p.predict(meta(FrameType::P, 10_500)).get();
+        let truth = 1e6 + 100.0 * 10_500.0;
+        assert!(
+            (pred - truth).abs() / truth < 0.01,
+            "pred {pred} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn regression_degenerate_sizes_fall_back_to_mean() {
+        let mut p = SizeRegression::new();
+        p.observe(meta(FrameType::B, 700), mc(3.0));
+        p.observe(meta(FrameType::B, 700), mc(5.0));
+        let pred = p.predict(meta(FrameType::B, 700)).mega();
+        assert!((pred - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_beats_ewma_on_size_correlated_load() {
+        // Workload where cost is strongly size-driven and sizes alternate:
+        // EWMA smears; hybrid keys off size.
+        let mut hybrid = Hybrid::new(0.0);
+        let mut ewma = Ewma::default();
+        let cost = |size: u32| Cycles::new(200.0 * f64::from(size));
+        for i in 0..300 {
+            let size = if i % 2 == 0 { 10_000 } else { 40_000 };
+            let m = meta(FrameType::P, size);
+            hybrid.observe(m, cost(size));
+            ewma.observe(m, cost(size));
+        }
+        let m = meta(FrameType::P, 40_000);
+        let truth = cost(40_000).get();
+        let hybrid_err = (hybrid.predict(m).get() - truth).abs() / truth;
+        let ewma_err = (ewma.predict(m).get() - truth).abs() / truth;
+        assert!(
+            hybrid_err < ewma_err / 2.0,
+            "hybrid {hybrid_err:.3} vs ewma {ewma_err:.3}"
+        );
+    }
+
+    #[test]
+    fn hybrid_safety_adds_headroom_under_noise() {
+        let mut tight = Hybrid::new(0.0);
+        let mut safe = Hybrid::new(2.0);
+        // Noisy-ish deterministic sequence.
+        for i in 0..200u32 {
+            let noise = 1.0 + 0.3 * f64::from(i % 7) / 6.0;
+            let actual = Cycles::new(10e6 * noise);
+            let m = meta(FrameType::P, 20_000);
+            tight.observe(m, actual);
+            safe.observe(m, actual);
+        }
+        let m = meta(FrameType::P, 20_000);
+        assert!(safe.predict(m) > tight.predict(m));
+    }
+
+    #[test]
+    fn by_name_covers_all() {
+        for name in PREDICTOR_NAMES {
+            let p = predictor_by_name(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(p.name(), name);
+        }
+        assert!(predictor_by_name("oracle").is_some());
+        assert!(predictor_by_name("psychic").is_none());
+    }
+
+    #[test]
+    fn oracle_returns_preloaded_truth_exactly() {
+        let mut o = Oracle::new();
+        let m1 = FrameMeta {
+            index: 7,
+            frame_type: FrameType::I,
+            size_bytes: 50_000,
+        };
+        let m2 = FrameMeta {
+            index: 8,
+            frame_type: FrameType::B,
+            size_bytes: 4_000,
+        };
+        o.preload(&[(m1, mc(42.0)), (m2, mc(3.0))]);
+        assert_eq!(o.known(), 2);
+        assert_eq!(o.predict(m1), mc(42.0));
+        assert_eq!(o.predict(m2), mc(3.0));
+        // Unknown frames fall back to the size-scaled cold start.
+        let unknown = FrameMeta {
+            index: 99,
+            frame_type: FrameType::P,
+            size_bytes: 10_000,
+        };
+        assert!(o.predict(unknown).get() > 0.0);
+        // Observation also teaches it.
+        o.observe(unknown, mc(11.0));
+        assert_eq!(o.predict(unknown), mc(11.0));
+    }
+
+    #[test]
+    fn real_predictors_ignore_preload() {
+        let m = meta(FrameType::P, 10_000);
+        for name in ["last", "ewma", "window-max", "size-regression", "hybrid"] {
+            let mut p = predictor_by_name(name).unwrap();
+            let before = p.predict(m).get();
+            p.preload(&[(m, mc(500.0))]);
+            assert_eq!(
+                p.predict(m).get(),
+                before,
+                "{name} must not learn from preload"
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Session result reporting.
+
+use eavs_cpu::cluster::CpuEnergyBreakdown;
+use eavs_cpu::freq::Frequency;
+use eavs_cpu::soc::SocModel;
+use eavs_metrics::timeseries::StepSeries;
+use eavs_net::radio::RadioReport;
+use eavs_sim::time::SimDuration;
+use eavs_trace::content::ContentProfile;
+use eavs_video::qoe::QoeReport;
+use std::fmt;
+
+/// Everything measured over one streaming session.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Governor name (plus predictor for EAVS, e.g. `eavs/hybrid`).
+    pub governor: String,
+    /// SoC preset used.
+    pub soc: SocModel,
+    /// Name of the cluster that hosted the player (`big` presets use the
+    /// SoC name; LITTLE placements get a `-little` suffix).
+    pub cluster: &'static str,
+    /// Content profile streamed.
+    pub content: ContentProfile,
+    /// CPU energy breakdown.
+    pub cpu_energy: CpuEnergyBreakdown,
+    /// Radio time/energy breakdown.
+    pub radio: RadioReport,
+    /// Playback quality metrics.
+    pub qoe: QoeReport,
+    /// Wall-clock session length (start → last frame displayed).
+    pub session_length: SimDuration,
+    /// Time-weighted mean CPU frequency over the session.
+    pub mean_freq: Frequency,
+    /// Number of frequency transitions.
+    pub transitions: u64,
+    /// Wall-clock time at each OPP.
+    pub time_in_state: Vec<(Frequency, SimDuration)>,
+    /// Frequency timeline (only when series recording was enabled).
+    pub freq_series: Option<StepSeries>,
+    /// Buffer-level timeline in seconds (only when recording was enabled).
+    pub buffer_series: Option<StepSeries>,
+    /// Frames decoded.
+    pub frames_decoded: u64,
+    /// Segments downloaded.
+    pub segments_downloaded: u64,
+    /// Simulator events processed.
+    pub events_processed: u64,
+    /// Peak die temperature (only when the thermal model was enabled).
+    pub peak_temp_c: Option<f64>,
+    /// Background bursts completed on the secondary core.
+    pub background_jobs: u64,
+    /// Cluster migrations performed (automatic placement only).
+    pub migrations: u64,
+}
+
+impl SessionReport {
+    /// Total CPU energy in joules (the paper's headline metric).
+    pub fn cpu_joules(&self) -> f64 {
+        self.cpu_energy.total()
+    }
+
+    /// Whole-device-relevant energy: CPU + radio.
+    pub fn total_joules(&self) -> f64 {
+        self.cpu_joules() + self.radio.energy_j
+    }
+
+    /// Mean CPU power over the session, watts.
+    pub fn mean_cpu_power(&self) -> f64 {
+        self.cpu_joules() / self.session_length.as_secs_f64()
+    }
+
+    /// CPU energy per displayed frame, millijoules.
+    pub fn mj_per_frame(&self) -> f64 {
+        if self.qoe.frames_displayed == 0 {
+            return 0.0;
+        }
+        self.cpu_joules() * 1000.0 / self.qoe.frames_displayed as f64
+    }
+
+    /// One-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<16} cpu {:7.2} J ({:5.3} W)  radio {:7.2} J  miss {:6.3}%  rebuf {}  mean {}  trans {}",
+            self.governor,
+            self.cpu_joules(),
+            self.mean_cpu_power(),
+            self.radio.energy_j,
+            self.qoe.deadline_miss_rate() * 100.0,
+            self.qoe.rebuffer_events,
+            self.mean_freq,
+            self.transitions,
+        )
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "session: {} on {} ({})", self.governor, self.soc, self.content)?;
+        writeln!(
+            f,
+            "  energy: cpu {:.2} J (busy {:.2} / idle {:.2} / static {:.2} / trans {:.3}), radio {:.2} J",
+            self.cpu_joules(),
+            self.cpu_energy.busy_j,
+            self.cpu_energy.idle_j,
+            self.cpu_energy.static_j,
+            self.cpu_energy.transition_j,
+            self.radio.energy_j
+        )?;
+        writeln!(f, "  qoe: {}", self.qoe)?;
+        write!(
+            f,
+            "  cpu: mean {} over {}, {} transitions, {} frames decoded",
+            self.mean_freq, self.session_length, self.transitions, self.frames_decoded
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavs_video::display::Playback;
+
+    fn report() -> SessionReport {
+        let mut playback = Playback::new(10, 1, 1);
+        playback.finalize(eavs_sim::time::SimTime::from_secs(1));
+        SessionReport {
+            governor: "test".into(),
+            soc: SocModel::MidRange,
+            cluster: "midrange",
+            content: ContentProfile::Film,
+            cpu_energy: CpuEnergyBreakdown {
+                busy_j: 6.0,
+                idle_j: 2.0,
+                static_j: 1.5,
+                transition_j: 0.5,
+            },
+            radio: RadioReport {
+                energy_j: 5.0,
+                ..RadioReport::default()
+            },
+            qoe: QoeReport::from_playback(
+                &playback,
+                &[3000],
+                SimDuration::from_millis(500),
+                SimDuration::from_secs(10),
+            ),
+            session_length: SimDuration::from_secs(10),
+            mean_freq: Frequency::from_mhz(1000),
+            transitions: 42,
+            time_in_state: vec![],
+            freq_series: None,
+            buffer_series: None,
+            frames_decoded: 300,
+            segments_downloaded: 5,
+            events_processed: 1234,
+            peak_temp_c: None,
+            background_jobs: 0,
+            migrations: 0,
+        }
+    }
+
+    #[test]
+    fn energy_aggregation() {
+        let r = report();
+        assert!((r.cpu_joules() - 10.0).abs() < 1e-12);
+        assert!((r.total_joules() - 15.0).abs() < 1e-12);
+        assert!((r.mean_cpu_power() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_and_display_render() {
+        let r = report();
+        assert!(r.summary().contains("test"));
+        let s = r.to_string();
+        assert!(s.contains("cpu 10.00 J"));
+        assert!(s.contains("midrange"));
+    }
+
+    #[test]
+    fn mj_per_frame_handles_zero_frames() {
+        let r = report();
+        assert_eq!(r.mj_per_frame(), 0.0);
+    }
+}

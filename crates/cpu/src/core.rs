@@ -1,0 +1,287 @@
+//! A single CPU core's execution state.
+//!
+//! A core is either idle or executing one job (a bag of cycles). The
+//! enclosing [`Cluster`](crate::cluster::Cluster) drives cores segment by
+//! segment, supplying the frequency in force for each segment; the core
+//! tracks remaining work and busy/idle accounting.
+
+use crate::freq::{Cycles, Frequency};
+use eavs_sim::time::{SimDuration, SimTime};
+
+/// What a core is doing.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum CoreState {
+    /// Waiting for work since the given instant.
+    Idle {
+        /// When the core last became idle.
+        since: SimTime,
+    },
+    /// Executing a job with this much work left.
+    Busy {
+        /// Remaining work.
+        remaining: Cycles,
+    },
+}
+
+/// One CPU core.
+#[derive(Clone, Debug)]
+pub struct CpuCore {
+    id: usize,
+    state: CoreState,
+    busy_total: SimDuration,
+    idle_total: SimDuration,
+    jobs_completed: u64,
+    cycles_retired: f64,
+}
+
+/// Result of advancing a core across one constant-frequency segment.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SegmentOutcome {
+    /// How much of the segment the core spent executing.
+    pub busy: SimDuration,
+    /// Whether the in-flight job completed within the segment.
+    pub completed: bool,
+}
+
+impl CpuCore {
+    /// Creates an idle core.
+    pub fn new(id: usize, start: SimTime) -> Self {
+        CpuCore {
+            id,
+            state: CoreState::Idle { since: start },
+            busy_total: SimDuration::ZERO,
+            idle_total: SimDuration::ZERO,
+            jobs_completed: 0,
+            cycles_retired: 0.0,
+        }
+    }
+
+    /// The core's index within its cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CoreState {
+        self.state
+    }
+
+    /// `true` if the core is executing a job.
+    pub fn is_busy(&self) -> bool {
+        matches!(self.state, CoreState::Busy { .. })
+    }
+
+    /// Cumulative busy time (updated as segments are advanced).
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Cumulative *accounted* idle time (idle intervals are attributed when
+    /// the core wakes or the cluster finalizes).
+    pub fn idle_total(&self) -> SimDuration {
+        self.idle_total
+    }
+
+    /// Number of completed jobs.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Total cycles retired.
+    pub fn cycles_retired(&self) -> f64 {
+        self.cycles_retired
+    }
+
+    /// Remaining work of the in-flight job, if any.
+    pub fn remaining(&self) -> Option<Cycles> {
+        match self.state {
+            CoreState::Busy { remaining } => Some(remaining),
+            CoreState::Idle { .. } => None,
+        }
+    }
+
+    /// Starts a job at `now`. Returns the length of the idle interval that
+    /// just ended (for retroactive idle-energy accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is already busy.
+    pub(crate) fn start_job(&mut self, cycles: Cycles, now: SimTime) -> SimDuration {
+        match self.state {
+            CoreState::Idle { since } => {
+                let idle_len = now
+                    .checked_duration_since(since)
+                    .expect("core clock went backwards");
+                self.idle_total += idle_len;
+                self.state = CoreState::Busy { remaining: cycles };
+                idle_len
+            }
+            CoreState::Busy { .. } => panic!("core {} already busy", self.id),
+        }
+    }
+
+    /// Advances the core across `[start, end)` executed at `freq`.
+    pub(crate) fn advance_segment(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        freq: Frequency,
+    ) -> SegmentOutcome {
+        debug_assert!(end >= start);
+        let seg = end - start;
+        match self.state {
+            CoreState::Idle { .. } => SegmentOutcome {
+                busy: SimDuration::ZERO,
+                completed: false,
+            },
+            CoreState::Busy { remaining } => {
+                if remaining.is_zero() {
+                    // Numerical dust from a previous segment: finish now.
+                    self.finish_job(remaining, start);
+                    return SegmentOutcome {
+                        busy: SimDuration::ZERO,
+                        completed: true,
+                    };
+                }
+                let needed = freq.time_for(remaining);
+                if needed <= seg {
+                    self.busy_total += needed;
+                    self.finish_job(remaining, start + needed);
+                    SegmentOutcome {
+                        busy: needed,
+                        completed: true,
+                    }
+                } else {
+                    let done = freq.cycles_in(seg);
+                    let done = if done.get() > remaining.get() {
+                        remaining
+                    } else {
+                        done
+                    };
+                    self.cycles_retired += done.get();
+                    self.state = CoreState::Busy {
+                        remaining: remaining.saturating_sub(done),
+                    };
+                    self.busy_total += seg;
+                    SegmentOutcome {
+                        busy: seg,
+                        completed: false,
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_job(&mut self, remaining: Cycles, at: SimTime) {
+        self.cycles_retired += remaining.get();
+        self.jobs_completed += 1;
+        self.state = CoreState::Idle { since: at };
+    }
+
+    /// Flushes the open idle interval up to `now`, returning its length and
+    /// restarting accounting from `now`. Busy cores return zero.
+    pub(crate) fn flush_idle(&mut self, now: SimTime) -> SimDuration {
+        match &mut self.state {
+            CoreState::Idle { since } => {
+                let idle_len = now
+                    .checked_duration_since(*since)
+                    .expect("core clock went backwards");
+                self.idle_total += idle_len;
+                *since = now;
+                idle_len
+            }
+            CoreState::Busy { .. } => SimDuration::ZERO,
+        }
+    }
+
+    /// Time needed to finish the in-flight job at `freq`, if busy.
+    pub fn time_to_finish(&self, freq: Frequency) -> Option<SimDuration> {
+        self.remaining().map(|r| freq.time_for(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    const F1G: Frequency = Frequency::from_mhz(1_000);
+
+    #[test]
+    fn idle_core_does_nothing() {
+        let mut c = CpuCore::new(0, t(0));
+        let out = c.advance_segment(t(0), t(10), F1G);
+        assert_eq!(out.busy, SimDuration::ZERO);
+        assert!(!out.completed);
+        assert!(!c.is_busy());
+    }
+
+    #[test]
+    fn job_completes_within_segment() {
+        let mut c = CpuCore::new(0, t(0));
+        let idle = c.start_job(Cycles::from_mega(5.0), t(2)); // 5 ms at 1 GHz
+        assert_eq!(idle, SimDuration::from_millis(2));
+        let out = c.advance_segment(t(2), t(12), F1G);
+        assert!(out.completed);
+        assert_eq!(out.busy, SimDuration::from_millis(5));
+        assert_eq!(c.jobs_completed(), 1);
+        assert_eq!(c.busy_total(), SimDuration::from_millis(5));
+        assert_eq!(c.state(), CoreState::Idle { since: t(7) });
+    }
+
+    #[test]
+    fn job_spans_segments_at_different_frequencies() {
+        let mut c = CpuCore::new(0, t(0));
+        c.start_job(Cycles::from_mega(10.0), t(0));
+        // 4 ms at 1 GHz retires 4 Mcycles.
+        let out = c.advance_segment(t(0), t(4), F1G);
+        assert!(!out.completed);
+        assert_eq!(out.busy, SimDuration::from_millis(4));
+        assert!((c.remaining().unwrap().mega() - 6.0).abs() < 1e-6);
+        // Remaining 6 Mcycles at 2 GHz takes 3 ms.
+        let f2g = Frequency::from_mhz(2_000);
+        let out = c.advance_segment(t(4), t(20), f2g);
+        assert!(out.completed);
+        assert_eq!(out.busy, SimDuration::from_millis(3));
+        assert!((c.cycles_retired() - 10e6).abs() < 10.0);
+    }
+
+    #[test]
+    fn time_to_finish_estimate() {
+        let mut c = CpuCore::new(0, t(0));
+        assert_eq!(c.time_to_finish(F1G), None);
+        c.start_job(Cycles::from_mega(2.0), t(0));
+        assert_eq!(c.time_to_finish(F1G), Some(SimDuration::from_millis(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already busy")]
+    fn double_start_panics() {
+        let mut c = CpuCore::new(0, t(0));
+        c.start_job(Cycles::from_mega(1.0), t(0));
+        c.start_job(Cycles::from_mega(1.0), t(1));
+    }
+
+    #[test]
+    fn flush_idle_accounts_interval() {
+        let mut c = CpuCore::new(0, t(0));
+        assert_eq!(c.flush_idle(t(5)), SimDuration::from_millis(5));
+        assert_eq!(c.flush_idle(t(5)), SimDuration::ZERO);
+        assert_eq!(c.idle_total(), SimDuration::from_millis(5));
+        c.start_job(Cycles::from_mega(1.0), t(7));
+        assert_eq!(c.idle_total(), SimDuration::from_millis(7));
+        assert_eq!(c.flush_idle(t(9)), SimDuration::ZERO, "busy core has no idle");
+    }
+
+    #[test]
+    fn numerical_dust_completes_next_segment() {
+        let mut c = CpuCore::new(0, t(0));
+        c.start_job(Cycles::new(0.5), t(0)); // sub-cycle job
+        let out = c.advance_segment(t(0), t(1), F1G);
+        assert!(out.completed);
+        assert_eq!(out.busy, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,229 @@
+//! CPU idle states (C-states).
+//!
+//! When a core idles, the idle governor picks the deepest state whose
+//! target residency fits the idle interval — deeper states draw less power
+//! but cost entry/exit latency. The simulator attributes idle-interval
+//! energy retroactively (the interval length is known once the core wakes),
+//! which matches what Linux's `menu` governor tries to predict.
+
+use eavs_sim::time::SimDuration;
+use std::fmt;
+
+/// One idle state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CState {
+    /// Human-readable name (e.g. "WFI", "core-off").
+    pub name: &'static str,
+    /// Power drawn while resident, in watts.
+    pub power_w: f64,
+    /// Combined entry+exit latency.
+    pub wake_latency: SimDuration,
+    /// Minimum idle interval for this state to be worthwhile.
+    pub target_residency: SimDuration,
+}
+
+/// A validated set of idle states, shallow to deep.
+///
+/// Invariants: at least one state; the first state has zero target
+/// residency (always usable); power non-increasing with depth; target
+/// residency non-decreasing with depth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CStateTable {
+    states: Vec<CState>,
+}
+
+/// Error building a [`CStateTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CStateError {
+    /// No states supplied.
+    Empty,
+    /// The shallowest state must have zero target residency.
+    FirstStateNotAlwaysUsable,
+    /// Power increased with depth at the given index.
+    PowerIncreases(usize),
+    /// Target residency decreased with depth at the given index.
+    ResidencyDecreases(usize),
+}
+
+impl fmt::Display for CStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CStateError::Empty => write!(f, "no idle states"),
+            CStateError::FirstStateNotAlwaysUsable => {
+                write!(f, "first idle state must have zero target residency")
+            }
+            CStateError::PowerIncreases(i) => write!(f, "idle power increases at state {i}"),
+            CStateError::ResidencyDecreases(i) => {
+                write!(f, "target residency decreases at state {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CStateError {}
+
+impl CStateTable {
+    /// Builds and validates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CStateError`] describing the violated invariant.
+    pub fn new(states: Vec<CState>) -> Result<Self, CStateError> {
+        if states.is_empty() {
+            return Err(CStateError::Empty);
+        }
+        if !states[0].target_residency.is_zero() {
+            return Err(CStateError::FirstStateNotAlwaysUsable);
+        }
+        for i in 1..states.len() {
+            if states[i].power_w > states[i - 1].power_w {
+                return Err(CStateError::PowerIncreases(i));
+            }
+            if states[i].target_residency < states[i - 1].target_residency {
+                return Err(CStateError::ResidencyDecreases(i));
+            }
+        }
+        Ok(CStateTable { states })
+    }
+
+    /// A typical mobile-SoC idle ladder: WFI → core clock-off → core
+    /// power-gate. Powers are fractions of `wfi_power_w`.
+    pub fn mobile_default(wfi_power_w: f64) -> Self {
+        CStateTable::new(vec![
+            CState {
+                name: "WFI",
+                power_w: wfi_power_w,
+                wake_latency: SimDuration::from_micros(1),
+                target_residency: SimDuration::ZERO,
+            },
+            CState {
+                name: "core-retention",
+                power_w: wfi_power_w * 0.4,
+                wake_latency: SimDuration::from_micros(40),
+                target_residency: SimDuration::from_micros(100),
+            },
+            CState {
+                name: "core-off",
+                power_w: wfi_power_w * 0.08,
+                wake_latency: SimDuration::from_micros(250),
+                target_residency: SimDuration::from_millis(1),
+            },
+        ])
+        .expect("default ladder is valid")
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always `false`: tables are validated non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The state at `idx` (0 = shallowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn state(&self, idx: usize) -> &CState {
+        &self.states[idx]
+    }
+
+    /// The deepest state usable for an idle interval of `idle_len`.
+    pub fn deepest_for(&self, idle_len: SimDuration) -> &CState {
+        self.states
+            .iter()
+            .rev()
+            .find(|s| s.target_residency <= idle_len)
+            .expect("first state always usable")
+    }
+
+    /// Energy in joules for an idle interval of `idle_len`, using the
+    /// deepest applicable state.
+    pub fn idle_energy(&self, idle_len: SimDuration) -> f64 {
+        self.deepest_for(idle_len).power_w * idle_len.as_secs_f64()
+    }
+
+    /// Iterates the states shallow-first.
+    pub fn iter(&self) -> impl Iterator<Item = &CState> {
+        self.states.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_selects_by_duration() {
+        let t = CStateTable::mobile_default(0.1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.deepest_for(SimDuration::from_micros(10)).name, "WFI");
+        assert_eq!(
+            t.deepest_for(SimDuration::from_micros(500)).name,
+            "core-retention"
+        );
+        assert_eq!(t.deepest_for(SimDuration::from_secs(1)).name, "core-off");
+    }
+
+    #[test]
+    fn idle_energy_uses_deepest_state() {
+        let t = CStateTable::mobile_default(0.1);
+        // 1 s idle -> core-off at 0.008 W.
+        let e = t.idle_energy(SimDuration::from_secs(1));
+        assert!((e - 0.008).abs() < 1e-9, "e={e}");
+        // Short idle -> WFI at 0.1 W.
+        let e_short = t.idle_energy(SimDuration::from_micros(50));
+        assert!((e_short - 0.1 * 50e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_is_cheaper_per_second() {
+        let t = CStateTable::mobile_default(0.2);
+        let powers: Vec<f64> = t.iter().map(|s| s.power_w).collect();
+        assert!(powers.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(CStateTable::new(vec![]).unwrap_err(), CStateError::Empty);
+        let bad_first = vec![CState {
+            name: "x",
+            power_w: 0.1,
+            wake_latency: SimDuration::ZERO,
+            target_residency: SimDuration::from_micros(1),
+        }];
+        assert_eq!(
+            CStateTable::new(bad_first).unwrap_err(),
+            CStateError::FirstStateNotAlwaysUsable
+        );
+        let increasing_power = vec![
+            CState {
+                name: "a",
+                power_w: 0.1,
+                wake_latency: SimDuration::ZERO,
+                target_residency: SimDuration::ZERO,
+            },
+            CState {
+                name: "b",
+                power_w: 0.2,
+                wake_latency: SimDuration::ZERO,
+                target_residency: SimDuration::from_micros(1),
+            },
+        ];
+        assert_eq!(
+            CStateTable::new(increasing_power).unwrap_err(),
+            CStateError::PowerIncreases(1)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            CStateError::ResidencyDecreases(2).to_string(),
+            "target residency decreases at state 2"
+        );
+    }
+}

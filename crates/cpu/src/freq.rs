@@ -1,0 +1,274 @@
+//! Frequency, voltage and cycle-count units.
+//!
+//! Newtypes keep kHz, mV, cycles and joules from being mixed up across the
+//! DVFS model. Frequencies follow the Linux cpufreq convention of integer
+//! kilohertz.
+
+use eavs_sim::time::SimDuration;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A CPU clock frequency in kilohertz (the Linux cpufreq unit).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Frequency(u32);
+
+impl Frequency {
+    /// Creates a frequency from kilohertz.
+    pub const fn from_khz(khz: u32) -> Self {
+        Frequency(khz)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub const fn from_mhz(mhz: u32) -> Self {
+        Frequency(mhz * 1_000)
+    }
+
+    /// The frequency in kilohertz.
+    pub const fn khz(self) -> u32 {
+        self.0
+    }
+
+    /// The frequency in megahertz (truncating).
+    pub const fn mhz(self) -> u32 {
+        self.0 / 1_000
+    }
+
+    /// The frequency in hertz.
+    pub const fn hz(self) -> u64 {
+        self.0 as u64 * 1_000
+    }
+
+    /// The frequency in gigahertz as a float.
+    pub fn ghz(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Cycles executed in `dt` at this frequency.
+    pub fn cycles_in(self, dt: SimDuration) -> Cycles {
+        Cycles(self.hz() as f64 * dt.as_secs_f64())
+    }
+
+    /// Time needed to execute `cycles` at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn time_for(self, cycles: Cycles) -> SimDuration {
+        assert!(self.0 > 0, "zero frequency cannot execute work");
+        SimDuration::from_secs_f64(cycles.get() / self.hz() as f64)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}GHz", self.ghz())
+        } else {
+            write!(f, "{}MHz", self.mhz())
+        }
+    }
+}
+
+/// A supply voltage in millivolts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Voltage(u32);
+
+impl Voltage {
+    /// Creates a voltage from millivolts.
+    pub const fn from_mv(mv: u32) -> Self {
+        Voltage(mv)
+    }
+
+    /// The voltage in millivolts.
+    pub const fn mv(self) -> u32 {
+        self.0
+    }
+
+    /// The voltage in volts.
+    pub fn volts(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl fmt::Display for Voltage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}mV", self.0)
+    }
+}
+
+/// An amount of CPU work in clock cycles.
+///
+/// Fractional cycles are allowed: workload models produce real-valued cycle
+/// estimates, and execution accounting splits work across intervals.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Cycles(f64);
+
+impl Cycles {
+    /// Zero work.
+    pub const ZERO: Cycles = Cycles(0.0);
+
+    /// Creates a cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative or NaN.
+    pub fn new(cycles: f64) -> Self {
+        assert!(
+            cycles.is_finite() && cycles >= 0.0,
+            "invalid cycle count {cycles}"
+        );
+        Cycles(cycles)
+    }
+
+    /// Creates a cycle count from millions of cycles.
+    pub fn from_mega(mcycles: f64) -> Self {
+        Cycles::new(mcycles * 1e6)
+    }
+
+    /// The raw cycle count.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The count in millions of cycles.
+    pub fn mega(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// `true` if no work remains (within floating tolerance of a cycle).
+    pub fn is_zero(self) -> bool {
+        self.0 < 1.0
+    }
+
+    /// Subtraction clamped at zero.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles((self.0 - other.0).max(0.0))
+    }
+
+    /// Scales the cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn scale(self, factor: f64) -> Cycles {
+        Cycles::new(self.0 * factor)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        assert!(self.0 >= rhs.0, "cycle underflow: {} - {}", self.0, rhs.0);
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Self {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}Mcyc", self.mega())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_unit_conversions() {
+        let f = Frequency::from_mhz(1_500);
+        assert_eq!(f.khz(), 1_500_000);
+        assert_eq!(f.mhz(), 1_500);
+        assert_eq!(f.hz(), 1_500_000_000);
+        assert!((f.ghz() - 1.5).abs() < 1e-12);
+        assert_eq!(f.to_string(), "1.50GHz");
+        assert_eq!(Frequency::from_mhz(600).to_string(), "600MHz");
+    }
+
+    #[test]
+    fn cycles_time_roundtrip() {
+        let f = Frequency::from_mhz(1_000); // 1e9 Hz
+        let dt = SimDuration::from_millis(10);
+        let c = f.cycles_in(dt);
+        assert!((c.get() - 1e7).abs() < 1.0);
+        let back = f.time_for(c);
+        assert_eq!(back, dt);
+    }
+
+    #[test]
+    fn time_for_scales_inversely_with_frequency() {
+        let work = Cycles::from_mega(100.0);
+        let slow = Frequency::from_mhz(500).time_for(work);
+        let fast = Frequency::from_mhz(2_000).time_for(work);
+        assert_eq!(slow.as_nanos(), 4 * fast.as_nanos());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn zero_frequency_cannot_run() {
+        Frequency::from_khz(0).time_for(Cycles::from_mega(1.0));
+    }
+
+    #[test]
+    fn voltage_units() {
+        let v = Voltage::from_mv(1_150);
+        assert_eq!(v.mv(), 1_150);
+        assert!((v.volts() - 1.15).abs() < 1e-12);
+        assert_eq!(v.to_string(), "1150mV");
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::from_mega(3.0);
+        let b = Cycles::from_mega(1.0);
+        assert_eq!((a + b).mega(), 4.0);
+        assert_eq!((a - b).mega(), 2.0);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.scale(2.0).mega(), 6.0);
+        assert!(Cycles::new(0.5).is_zero());
+        assert!(!Cycles::from_mega(1.0).is_zero());
+        let total: Cycles = [a, b].into_iter().sum();
+        assert_eq!(total.mega(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle underflow")]
+    fn cycle_underflow_panics() {
+        let _ = Cycles::from_mega(1.0) - Cycles::from_mega(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cycle count")]
+    fn negative_cycles_rejected() {
+        Cycles::new(-1.0);
+    }
+
+    #[test]
+    fn display_cycles() {
+        assert_eq!(Cycles::from_mega(12.5).to_string(), "12.50Mcyc");
+    }
+}

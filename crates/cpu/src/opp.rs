@@ -1,0 +1,303 @@
+//! Operating performance points (OPPs).
+//!
+//! An OPP is a `(frequency, voltage)` pair the hardware can run at; the
+//! table of all OPPs for a frequency domain is the governor's decision
+//! space, mirroring the kernel's `opp` library and
+//! `scaling_available_frequencies`.
+
+use crate::freq::{Frequency, Voltage};
+use std::fmt;
+
+/// One operating performance point.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Opp {
+    /// Clock frequency at this point.
+    pub freq: Frequency,
+    /// Supply voltage required for this frequency.
+    pub volt: Voltage,
+}
+
+impl fmt::Display for Opp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.freq, self.volt)
+    }
+}
+
+/// Index of an OPP within its table (0 = slowest).
+pub type OppIndex = usize;
+
+/// A validated, ascending table of OPPs for one frequency domain.
+///
+/// Invariants enforced at construction:
+/// * at least one entry;
+/// * frequencies strictly increasing;
+/// * voltages non-decreasing (physics: higher f needs ≥ voltage).
+///
+/// ```
+/// use eavs_cpu::freq::{Frequency, Voltage};
+/// use eavs_cpu::opp::{Opp, OppTable};
+///
+/// let table = OppTable::new(vec![
+///     Opp { freq: Frequency::from_mhz(500), volt: Voltage::from_mv(900) },
+///     Opp { freq: Frequency::from_mhz(1000), volt: Voltage::from_mv(1050) },
+/// ]).unwrap();
+/// assert_eq!(table.len(), 2);
+/// assert_eq!(table.lowest_at_least(Frequency::from_mhz(600)), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OppTable {
+    opps: Vec<Opp>,
+}
+
+/// Error building an [`OppTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OppTableError {
+    /// The table had no entries.
+    Empty,
+    /// Frequencies were not strictly increasing at the given index.
+    NonMonotonicFrequency(usize),
+    /// Voltages decreased at the given index.
+    DecreasingVoltage(usize),
+    /// A zero frequency entry was supplied at the given index.
+    ZeroFrequency(usize),
+}
+
+impl fmt::Display for OppTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OppTableError::Empty => write!(f, "opp table is empty"),
+            OppTableError::NonMonotonicFrequency(i) => {
+                write!(f, "frequency not strictly increasing at index {i}")
+            }
+            OppTableError::DecreasingVoltage(i) => {
+                write!(f, "voltage decreases at index {i}")
+            }
+            OppTableError::ZeroFrequency(i) => write!(f, "zero frequency at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for OppTableError {}
+
+impl OppTable {
+    /// Builds a table, validating the invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OppTableError`] if the table is empty, frequencies are
+    /// not strictly increasing, any frequency is zero, or voltages decrease.
+    pub fn new(opps: Vec<Opp>) -> Result<Self, OppTableError> {
+        if opps.is_empty() {
+            return Err(OppTableError::Empty);
+        }
+        for (i, opp) in opps.iter().enumerate() {
+            if opp.freq.khz() == 0 {
+                return Err(OppTableError::ZeroFrequency(i));
+            }
+            if i > 0 {
+                if opp.freq <= opps[i - 1].freq {
+                    return Err(OppTableError::NonMonotonicFrequency(i));
+                }
+                if opp.volt < opps[i - 1].volt {
+                    return Err(OppTableError::DecreasingVoltage(i));
+                }
+            }
+        }
+        Ok(OppTable { opps })
+    }
+
+    /// Convenience constructor from `(MHz, mV)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OppTable::new`].
+    pub fn from_mhz_mv(pairs: &[(u32, u32)]) -> Result<Self, OppTableError> {
+        OppTable::new(
+            pairs
+                .iter()
+                .map(|&(mhz, mv)| Opp {
+                    freq: Frequency::from_mhz(mhz),
+                    volt: Voltage::from_mv(mv),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of OPPs.
+    pub fn len(&self) -> usize {
+        self.opps.len()
+    }
+
+    /// Always `false`: tables are validated non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The OPP at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn opp(&self, idx: OppIndex) -> Opp {
+        self.opps[idx]
+    }
+
+    /// The frequency at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn freq(&self, idx: OppIndex) -> Frequency {
+        self.opps[idx].freq
+    }
+
+    /// The slowest OPP's index (always 0).
+    pub fn min_index(&self) -> OppIndex {
+        0
+    }
+
+    /// The fastest OPP's index.
+    pub fn max_index(&self) -> OppIndex {
+        self.opps.len() - 1
+    }
+
+    /// The slowest frequency.
+    pub fn min_freq(&self) -> Frequency {
+        self.opps[0].freq
+    }
+
+    /// The fastest frequency.
+    pub fn max_freq(&self) -> Frequency {
+        self.opps[self.opps.len() - 1].freq
+    }
+
+    /// Index of the slowest OPP with frequency ≥ `target`, or `None` if even
+    /// the fastest is too slow.
+    pub fn lowest_at_least(&self, target: Frequency) -> Option<OppIndex> {
+        self.opps.iter().position(|o| o.freq >= target)
+    }
+
+    /// Index of the fastest OPP with frequency ≤ `target`, or `None` if even
+    /// the slowest is too fast.
+    pub fn highest_at_most(&self, target: Frequency) -> Option<OppIndex> {
+        self.opps.iter().rposition(|o| o.freq <= target)
+    }
+
+    /// Index of the OPP with exactly `freq`, if present.
+    pub fn index_of(&self, freq: Frequency) -> Option<OppIndex> {
+        self.opps.iter().position(|o| o.freq == freq)
+    }
+
+    /// The nearest valid index for `target`: the lowest OPP satisfying it,
+    /// else the fastest OPP (cpufreq's CPUFREQ_RELATION_L with fallback).
+    pub fn closest_satisfying(&self, target: Frequency) -> OppIndex {
+        self.lowest_at_least(target).unwrap_or(self.max_index())
+    }
+
+    /// Iterates the OPPs slowest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Opp> {
+        self.opps.iter()
+    }
+
+    /// All frequencies, slowest-first.
+    pub fn frequencies(&self) -> Vec<Frequency> {
+        self.opps.iter().map(|o| o.freq).collect()
+    }
+}
+
+impl fmt::Display for OppTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, opp) in self.opps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{opp}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> OppTable {
+        OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_tables() {
+        assert_eq!(OppTable::new(vec![]).unwrap_err(), OppTableError::Empty);
+        assert_eq!(
+            OppTable::from_mhz_mv(&[(1000, 1000), (500, 900)]).unwrap_err(),
+            OppTableError::NonMonotonicFrequency(1)
+        );
+        assert_eq!(
+            OppTable::from_mhz_mv(&[(500, 1000), (1000, 900)]).unwrap_err(),
+            OppTableError::DecreasingVoltage(1)
+        );
+        assert_eq!(
+            OppTable::from_mhz_mv(&[(0, 900)]).unwrap_err(),
+            OppTableError::ZeroFrequency(0)
+        );
+        // Equal frequencies rejected, equal voltages allowed.
+        assert!(OppTable::from_mhz_mv(&[(500, 900), (500, 950)]).is_err());
+        assert!(OppTable::from_mhz_mv(&[(500, 900), (600, 900)]).is_ok());
+    }
+
+    #[test]
+    fn lookup_lowest_at_least() {
+        let t = table();
+        assert_eq!(t.lowest_at_least(Frequency::from_mhz(1)), Some(0));
+        assert_eq!(t.lowest_at_least(Frequency::from_mhz(500)), Some(0));
+        assert_eq!(t.lowest_at_least(Frequency::from_mhz(501)), Some(1));
+        assert_eq!(t.lowest_at_least(Frequency::from_mhz(2000)), Some(3));
+        assert_eq!(t.lowest_at_least(Frequency::from_mhz(2001)), None);
+    }
+
+    #[test]
+    fn lookup_highest_at_most() {
+        let t = table();
+        assert_eq!(t.highest_at_most(Frequency::from_mhz(499)), None);
+        assert_eq!(t.highest_at_most(Frequency::from_mhz(500)), Some(0));
+        assert_eq!(t.highest_at_most(Frequency::from_mhz(1750)), Some(2));
+        assert_eq!(t.highest_at_most(Frequency::from_mhz(9000)), Some(3));
+    }
+
+    #[test]
+    fn closest_satisfying_falls_back_to_max() {
+        let t = table();
+        assert_eq!(t.closest_satisfying(Frequency::from_mhz(700)), 1);
+        assert_eq!(t.closest_satisfying(Frequency::from_mhz(99_999)), 3);
+    }
+
+    #[test]
+    fn index_of_exact() {
+        let t = table();
+        assert_eq!(t.index_of(Frequency::from_mhz(1500)), Some(2));
+        assert_eq!(t.index_of(Frequency::from_mhz(1501)), None);
+    }
+
+    #[test]
+    fn bounds_and_iteration() {
+        let t = table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.min_index(), 0);
+        assert_eq!(t.max_index(), 3);
+        assert_eq!(t.min_freq(), Frequency::from_mhz(500));
+        assert_eq!(t.max_freq(), Frequency::from_mhz(2000));
+        assert_eq!(t.frequencies().len(), 4);
+        assert_eq!(t.iter().count(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = OppTable::from_mhz_mv(&[(500, 900)]).unwrap();
+        assert_eq!(t.to_string(), "500MHz @ 900mV");
+        assert_eq!(
+            OppTableError::DecreasingVoltage(2).to_string(),
+            "voltage decreases at index 2"
+        );
+    }
+}

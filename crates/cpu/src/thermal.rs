@@ -1,0 +1,181 @@
+//! First-order RC thermal model with proportional throttling.
+//!
+//! Die temperature follows `C·dT/dt = P − (T − T_amb)/R`; the exact
+//! exponential solution is applied per update step so step size does not
+//! affect accuracy. A throttle controller maps temperature to a maximum
+//! allowed OPP index, mimicking a thermal governor's `cpufreq` cooling
+//! device.
+
+use crate::opp::{OppIndex, OppTable};
+use eavs_sim::time::SimDuration;
+
+/// RC thermal model of one frequency domain.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ThermalModel {
+    temp_c: f64,
+    ambient_c: f64,
+    /// Thermal resistance, °C per watt.
+    r_c_per_w: f64,
+    /// Thermal capacitance, joules per °C.
+    c_j_per_c: f64,
+}
+
+impl ThermalModel {
+    /// Creates a model at ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive R or C, or non-finite ambient.
+    pub fn new(ambient_c: f64, r_c_per_w: f64, c_j_per_c: f64) -> Self {
+        assert!(ambient_c.is_finite(), "bad ambient {ambient_c}");
+        assert!(r_c_per_w > 0.0, "thermal resistance must be positive");
+        assert!(c_j_per_c > 0.0, "thermal capacitance must be positive");
+        ThermalModel {
+            temp_c: ambient_c,
+            ambient_c,
+            r_c_per_w,
+            c_j_per_c,
+        }
+    }
+
+    /// A phone-like default: 25 °C ambient, 20 °C/W to ambient through the
+    /// chassis, ~6 J/°C effective capacitance (τ = 120 s).
+    pub fn phone_default() -> Self {
+        ThermalModel::new(25.0, 20.0, 6.0)
+    }
+
+    /// Current die temperature in °C.
+    pub fn temperature(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// The steady-state temperature for a sustained power draw.
+    pub fn steady_state(&self, power_w: f64) -> f64 {
+        self.ambient_c + power_w * self.r_c_per_w
+    }
+
+    /// Advances the model by `dt` with constant dissipated power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_w` is negative or NaN.
+    pub fn update(&mut self, power_w: f64, dt: SimDuration) {
+        assert!(
+            power_w.is_finite() && power_w >= 0.0,
+            "bad power {power_w}"
+        );
+        let target = self.steady_state(power_w);
+        let tau = self.r_c_per_w * self.c_j_per_c;
+        let alpha = (-dt.as_secs_f64() / tau).exp();
+        self.temp_c = target + (self.temp_c - target) * alpha;
+    }
+}
+
+/// Maps temperature to a maximum allowed OPP index with hysteresis.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ThrottleController {
+    /// Temperature at which throttling begins.
+    pub throttle_start_c: f64,
+    /// Temperature at which only the slowest OPP is allowed.
+    pub throttle_full_c: f64,
+}
+
+impl ThrottleController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `throttle_start_c < throttle_full_c`.
+    pub fn new(throttle_start_c: f64, throttle_full_c: f64) -> Self {
+        assert!(
+            throttle_start_c < throttle_full_c,
+            "throttle window inverted"
+        );
+        ThrottleController {
+            throttle_start_c,
+            throttle_full_c,
+        }
+    }
+
+    /// A phone-like default: start trimming at 70 °C, floor at 95 °C.
+    pub fn phone_default() -> Self {
+        ThrottleController::new(70.0, 95.0)
+    }
+
+    /// The maximum allowed OPP index at `temp_c`: the full table below the
+    /// start threshold, linearly reduced to index 0 at the full threshold.
+    pub fn max_index(&self, temp_c: f64, table: &OppTable) -> OppIndex {
+        if temp_c <= self.throttle_start_c {
+            return table.max_index();
+        }
+        if temp_c >= self.throttle_full_c {
+            return 0;
+        }
+        let span = self.throttle_full_c - self.throttle_start_c;
+        let frac = (temp_c - self.throttle_start_c) / span;
+        let allowed = ((1.0 - frac) * table.max_index() as f64).floor() as usize;
+        allowed.min(table.max_index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opp::OppTable;
+
+    #[test]
+    fn starts_at_ambient_and_approaches_steady_state() {
+        let mut m = ThermalModel::new(25.0, 10.0, 5.0); // tau = 50 s
+        assert_eq!(m.temperature(), 25.0);
+        assert_eq!(m.steady_state(2.0), 45.0);
+        // Long enough to converge.
+        m.update(2.0, SimDuration::from_secs(1000));
+        assert!((m.temperature() - 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_step_is_step_size_independent() {
+        let mut a = ThermalModel::new(25.0, 10.0, 5.0);
+        let mut b = a;
+        a.update(3.0, SimDuration::from_secs(10));
+        for _ in 0..10 {
+            b.update(3.0, SimDuration::from_secs(1));
+        }
+        assert!((a.temperature() - b.temperature()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cooling_when_power_drops() {
+        let mut m = ThermalModel::new(25.0, 10.0, 5.0);
+        m.update(3.0, SimDuration::from_secs(500));
+        let hot = m.temperature();
+        m.update(0.0, SimDuration::from_secs(500));
+        assert!(m.temperature() < hot);
+        assert!((m.temperature() - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn throttle_mapping() {
+        let table = OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)])
+            .unwrap();
+        let ctl = ThrottleController::new(70.0, 90.0);
+        assert_eq!(ctl.max_index(25.0, &table), 3);
+        assert_eq!(ctl.max_index(70.0, &table), 3);
+        assert_eq!(ctl.max_index(80.0, &table), 1); // halfway -> half the range
+        assert_eq!(ctl.max_index(95.0, &table), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_throttle_window_panics() {
+        ThrottleController::new(90.0, 70.0);
+    }
+
+    #[test]
+    fn phone_defaults_sane() {
+        let m = ThermalModel::phone_default();
+        assert_eq!(m.temperature(), 25.0);
+        // 3 W sustained should exceed the throttle-start temperature.
+        assert!(m.steady_state(3.0) > ThrottleController::phone_default().throttle_start_c);
+    }
+}

@@ -1,0 +1,72 @@
+//! The cpufreq governor interface.
+//!
+//! Baseline governors are *workload-oblivious*: they see only periodic
+//! [`LoadSample`]s (busy fraction per sampling window) plus the OPP table
+//! and policy limits — exactly the information their kernel counterparts
+//! have. The video-aware EAVS governor lives in `eavs-core` and receives
+//! additional pipeline hooks; comparing the two information models is the
+//! point of the paper.
+
+use eavs_cpu::load::LoadSample;
+use eavs_cpu::cluster::PolicyLimits;
+use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::time::SimDuration;
+
+/// A sampling cpufreq governor.
+pub trait CpufreqGovernor: std::fmt::Debug + Send {
+    /// The governor's sysfs name.
+    fn name(&self) -> &'static str;
+
+    /// How often the governor wants to be sampled.
+    fn sampling_interval(&self) -> SimDuration;
+
+    /// The OPP index to select when the governor starts.
+    fn initial_index(&self, table: &OppTable, limits: PolicyLimits) -> OppIndex {
+        let _ = table;
+        limits.min_index
+    }
+
+    /// Processes one load sample and returns the desired OPP index
+    /// (will be clamped to `limits` by the caller as well, but governors
+    /// should respect them like their kernel counterparts do).
+    fn on_sample(
+        &mut self,
+        sample: &LoadSample,
+        table: &OppTable,
+        limits: PolicyLimits,
+    ) -> OppIndex;
+}
+
+/// Helper shared by several governors: the lowest OPP index whose
+/// frequency is at least `target_khz`, clamped to limits.
+pub fn lowest_index_for_khz(table: &OppTable, limits: PolicyLimits, target_khz: f64) -> OppIndex {
+    let mut idx = limits.max_index;
+    for i in limits.min_index..=limits.max_index {
+        if table.freq(i).khz() as f64 >= target_khz {
+            idx = i;
+            break;
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_index_respects_limits() {
+        let table = OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)])
+            .unwrap();
+        let full = PolicyLimits::full(&table);
+        assert_eq!(lowest_index_for_khz(&table, full, 0.0), 0);
+        assert_eq!(lowest_index_for_khz(&table, full, 600_000.0), 1);
+        assert_eq!(lowest_index_for_khz(&table, full, 9_999_999.0), 3);
+        let narrow = PolicyLimits {
+            min_index: 1,
+            max_index: 2,
+        };
+        assert_eq!(lowest_index_for_khz(&table, narrow, 0.0), 1);
+        assert_eq!(lowest_index_for_khz(&table, narrow, 1_800_000.0), 2);
+    }
+}

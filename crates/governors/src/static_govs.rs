@@ -1,0 +1,169 @@
+//! The trivial governors: `performance`, `powersave`, `userspace`.
+
+use crate::governor::CpufreqGovernor;
+use eavs_cpu::cluster::PolicyLimits;
+use eavs_cpu::load::LoadSample;
+use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::time::SimDuration;
+
+/// Pins the policy at the maximum frequency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Performance;
+
+impl CpufreqGovernor for Performance {
+    fn name(&self) -> &'static str {
+        "performance"
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        // Nothing to react to; sample rarely just to re-assert the target
+        // after limit changes.
+        SimDuration::from_millis(100)
+    }
+
+    fn initial_index(&self, _table: &OppTable, limits: PolicyLimits) -> OppIndex {
+        limits.max_index
+    }
+
+    fn on_sample(
+        &mut self,
+        _sample: &LoadSample,
+        _table: &OppTable,
+        limits: PolicyLimits,
+    ) -> OppIndex {
+        limits.max_index
+    }
+}
+
+/// Pins the policy at the minimum frequency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Powersave;
+
+impl CpufreqGovernor for Powersave {
+    fn name(&self) -> &'static str {
+        "powersave"
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+
+    fn on_sample(
+        &mut self,
+        _sample: &LoadSample,
+        _table: &OppTable,
+        limits: PolicyLimits,
+    ) -> OppIndex {
+        limits.min_index
+    }
+}
+
+/// Holds whatever frequency was last set through `scaling_setspeed`.
+#[derive(Clone, Copy, Debug)]
+pub struct Userspace {
+    target: OppIndex,
+}
+
+impl Userspace {
+    /// Creates a userspace governor initially pinned to `target`.
+    pub fn new(target: OppIndex) -> Self {
+        Userspace { target }
+    }
+
+    /// Updates the pinned index (the `scaling_setspeed` write).
+    pub fn set_speed(&mut self, target: OppIndex) {
+        self.target = target;
+    }
+
+    /// The pinned index.
+    pub fn speed(&self) -> OppIndex {
+        self.target
+    }
+}
+
+impl CpufreqGovernor for Userspace {
+    fn name(&self) -> &'static str {
+        "userspace"
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+
+    fn initial_index(&self, _table: &OppTable, limits: PolicyLimits) -> OppIndex {
+        limits.clamp(self.target)
+    }
+
+    fn on_sample(
+        &mut self,
+        _sample: &LoadSample,
+        _table: &OppTable,
+        limits: PolicyLimits,
+    ) -> OppIndex {
+        limits.clamp(self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavs_cpu::freq::Frequency;
+    use eavs_sim::time::SimTime;
+
+    fn table() -> OppTable {
+        OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (2000, 1250)]).unwrap()
+    }
+
+    fn sample(load: f64) -> LoadSample {
+        LoadSample {
+            now: SimTime::from_secs(1),
+            window: SimDuration::from_millis(10),
+            busy_fraction: load,
+            cur_freq: Frequency::from_mhz(1000),
+            cur_index: 1,
+        }
+    }
+
+    #[test]
+    fn performance_always_max() {
+        let t = table();
+        let limits = PolicyLimits::full(&t);
+        let mut g = Performance;
+        assert_eq!(g.initial_index(&t, limits), 2);
+        assert_eq!(g.on_sample(&sample(0.0), &t, limits), 2);
+        assert_eq!(g.on_sample(&sample(1.0), &t, limits), 2);
+        assert_eq!(g.name(), "performance");
+    }
+
+    #[test]
+    fn powersave_always_min() {
+        let t = table();
+        let limits = PolicyLimits::full(&t);
+        let mut g = Powersave;
+        assert_eq!(g.initial_index(&t, limits), 0);
+        assert_eq!(g.on_sample(&sample(1.0), &t, limits), 0);
+    }
+
+    #[test]
+    fn userspace_holds_and_updates() {
+        let t = table();
+        let limits = PolicyLimits::full(&t);
+        let mut g = Userspace::new(1);
+        assert_eq!(g.on_sample(&sample(0.9), &t, limits), 1);
+        g.set_speed(2);
+        assert_eq!(g.speed(), 2);
+        assert_eq!(g.on_sample(&sample(0.1), &t, limits), 2);
+    }
+
+    #[test]
+    fn limits_clamp_static_governors() {
+        let t = table();
+        let limits = PolicyLimits {
+            min_index: 1,
+            max_index: 1,
+        };
+        assert_eq!(Performance.on_sample(&sample(1.0), &t, limits), 1);
+        assert_eq!(Powersave.on_sample(&sample(0.0), &t, limits), 1);
+        assert_eq!(Userspace::new(2).on_sample(&sample(0.5), &t, limits), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests: every baseline governor, fed arbitrary load
+//! sequences, must produce legal indices, respect policy limits, and
+//! satisfy its own invariants.
+
+use eavs_cpu::cluster::PolicyLimits;
+use eavs_cpu::load::LoadSample;
+use eavs_cpu::opp::OppTable;
+use eavs_governors::{by_name, Conservative, Ondemand, BASELINE_NAMES};
+use eavs_governors::governor::CpufreqGovernor;
+use eavs_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn table() -> OppTable {
+    OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap()
+}
+
+fn sample(t_ms: u64, load: f64, cur: usize, tbl: &OppTable) -> LoadSample {
+    LoadSample {
+        now: SimTime::from_millis(t_ms),
+        window: SimDuration::from_millis(10),
+        busy_fraction: load,
+        cur_freq: tbl.freq(cur),
+        cur_index: cur,
+    }
+}
+
+proptest! {
+    /// All governors always return an index inside the policy limits,
+    /// for any load sequence and any (possibly narrowed) limits.
+    #[test]
+    fn outputs_always_within_limits(
+        loads in proptest::collection::vec(0.0f64..1.0, 1..100),
+        min in 0usize..4,
+        span in 0usize..4,
+    ) {
+        let tbl = table();
+        let limits = PolicyLimits {
+            min_index: min,
+            max_index: (min + span).min(3),
+        };
+        for name in BASELINE_NAMES {
+            let mut g = by_name(name).unwrap();
+            let mut cur = limits.min_index;
+            for (i, &load) in loads.iter().enumerate() {
+                let s = sample(i as u64 * 10, load, cur, &tbl);
+                let idx = g.on_sample(&s, &tbl, limits);
+                prop_assert!(
+                    idx >= limits.min_index && idx <= limits.max_index,
+                    "{name} returned {idx} outside [{}, {}]",
+                    limits.min_index,
+                    limits.max_index
+                );
+                cur = idx;
+            }
+        }
+    }
+
+    /// ondemand above its up-threshold always jumps straight to max.
+    #[test]
+    fn ondemand_burst_goes_to_max(cur in 0usize..4, load in 0.96f64..1.0) {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = Ondemand::new();
+        let idx = g.on_sample(&sample(0, load, cur, &tbl), &tbl, limits);
+        prop_assert_eq!(idx, limits.max_index);
+    }
+
+    /// conservative never moves more than one OPP step per sample on this
+    /// table (5% of max = 100 MHz < the smallest 500 MHz gap).
+    #[test]
+    fn conservative_is_gradual(loads in proptest::collection::vec(0.0f64..1.0, 1..60)) {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = Conservative::new();
+        let mut cur = 0usize;
+        for (i, &load) in loads.iter().enumerate() {
+            let idx = g.on_sample(&sample(i as u64 * 10, load, cur, &tbl), &tbl, limits);
+            prop_assert!(
+                idx.abs_diff(cur) <= 1,
+                "conservative jumped {cur} -> {idx}"
+            );
+            cur = idx;
+        }
+    }
+
+    /// A sustained zero-load sequence drives every dynamic governor to the
+    /// floor eventually (performance excepted, by design).
+    #[test]
+    fn idle_converges_to_floor(start in 0usize..4) {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        for name in ["ondemand", "conservative", "interactive", "schedutil"] {
+            let mut g = by_name(name).unwrap();
+            let mut cur = start;
+            for i in 0..200u64 {
+                cur = g.on_sample(&sample(i * 20, 0.0, cur, &tbl), &tbl, limits);
+            }
+            prop_assert_eq!(cur, 0, "{} stuck at {} under zero load", name, cur);
+        }
+    }
+
+    /// A sustained full-load sequence drives every dynamic governor to the
+    /// ceiling eventually (powersave/userspace excepted, by design).
+    #[test]
+    fn saturation_converges_to_max(start in 0usize..4) {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        for name in ["ondemand", "conservative", "interactive", "schedutil"] {
+            let mut g = by_name(name).unwrap();
+            let mut cur = start;
+            for i in 0..200u64 {
+                cur = g.on_sample(&sample(i * 20, 1.0, cur, &tbl), &tbl, limits);
+            }
+            prop_assert_eq!(cur, 3, "{} stuck at {} under full load", name, cur);
+        }
+    }
+}

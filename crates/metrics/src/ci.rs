@@ -1,0 +1,146 @@
+//! Confidence intervals for experiment repetitions.
+
+use crate::stats::OnlineStats;
+
+/// A two-sided confidence interval around a mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// `true` if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+}
+
+/// Two-sided Student-t critical values at the 95% level for df = 1..=30.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Two-sided Student-t critical values at the 99% level for df = 1..=30.
+const T99: [f64; 30] = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+    2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+    2.771, 2.763, 2.756, 2.750,
+];
+
+/// The two-sided Student-t critical value for the given confidence level
+/// (0.95 or 0.99) and degrees of freedom; converges to the normal quantile
+/// for large df.
+///
+/// # Panics
+///
+/// Panics for unsupported levels or `df == 0`.
+pub fn t_critical(level: f64, df: u64) -> f64 {
+    assert!(df > 0, "zero degrees of freedom");
+    let table: &[f64; 30] = if (level - 0.95).abs() < 1e-9 {
+        &T95
+    } else if (level - 0.99).abs() < 1e-9 {
+        &T99
+    } else {
+        panic!("unsupported confidence level {level}; use 0.95 or 0.99");
+    };
+    if df <= 30 {
+        table[(df - 1) as usize]
+    } else if (level - 0.95).abs() < 1e-9 {
+        1.960
+    } else {
+        2.576
+    }
+}
+
+/// Computes the CI of the mean from repeated-run statistics.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 observations or unsupported level.
+pub fn mean_confidence_interval(stats: &OnlineStats, level: f64) -> ConfidenceInterval {
+    assert!(
+        stats.count() >= 2,
+        "confidence interval needs at least 2 runs, got {}",
+        stats.count()
+    );
+    let t = t_critical(level, stats.count() - 1);
+    let sem = stats.sample_std_dev() / (stats.count() as f64).sqrt();
+    ConfidenceInterval {
+        mean: stats.mean(),
+        half_width: t * sem,
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_interval() {
+        // Classic example: n=5, mean=10, s=2 -> hw = 2.776 * 2/sqrt(5).
+        let s: OnlineStats = [8.0, 9.0, 10.0, 11.0, 12.0].into_iter().collect();
+        let ci = mean_confidence_interval(&s, 0.95);
+        assert!((ci.mean - 10.0).abs() < 1e-12);
+        let expected = 2.776 * s.sample_std_dev() / 5f64.sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+        assert!(ci.contains(10.0));
+        assert!(!ci.contains(100.0));
+        assert!(ci.lo() < ci.hi());
+    }
+
+    #[test]
+    fn t_table_values() {
+        assert!((t_critical(0.95, 1) - 12.706).abs() < 1e-9);
+        assert!((t_critical(0.95, 30) - 2.042).abs() < 1e-9);
+        assert!((t_critical(0.95, 1000) - 1.960).abs() < 1e-9);
+        assert!((t_critical(0.99, 5) - 4.032).abs() < 1e-9);
+        assert!((t_critical(0.99, 500) - 2.576).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_at_higher_confidence() {
+        let s: OnlineStats = (0..10).map(f64::from).collect();
+        let ci95 = mean_confidence_interval(&s, 0.95);
+        let ci99 = mean_confidence_interval(&s, 0.99);
+        assert!(ci99.half_width > ci95.half_width);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_run_panics() {
+        let s: OnlineStats = [1.0].into_iter().collect();
+        mean_confidence_interval(&s, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence level")]
+    fn bad_level_panics() {
+        t_critical(0.5, 3);
+    }
+
+    #[test]
+    fn zero_variance_gives_zero_width() {
+        let s: OnlineStats = [5.0, 5.0, 5.0, 5.0].into_iter().collect();
+        let ci = mean_confidence_interval(&s, 0.95);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(5.0));
+    }
+}

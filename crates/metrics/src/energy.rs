@@ -1,0 +1,169 @@
+//! Energy accounting.
+//!
+//! Components integrate power over simulated time into named accounts; the
+//! session report sums them. Keeping a per-component breakdown lets the
+//! experiments separate CPU energy (the paper's primary metric) from radio
+//! and baseline system energy.
+
+use eavs_sim::time::SimDuration;
+use std::fmt;
+
+/// Joules attributed to named components.
+///
+/// ```
+/// use eavs_metrics::energy::EnergyAccount;
+/// use eavs_sim::time::SimDuration;
+///
+/// let mut acc = EnergyAccount::new();
+/// acc.add_power("cpu", 2.0, SimDuration::from_secs(3)); // 2 W for 3 s
+/// acc.add_joules("radio", 1.5);
+/// assert!((acc.joules("cpu") - 6.0).abs() < 1e-12);
+/// assert!((acc.total() - 7.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EnergyAccount {
+    accounts: Vec<(String, f64)>,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        EnergyAccount {
+            accounts: Vec::new(),
+        }
+    }
+
+    /// Adds `joules` to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or NaN — energy only accumulates.
+    pub fn add_joules(&mut self, component: &str, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "bad energy increment {joules} J for {component}"
+        );
+        if let Some(entry) = self.accounts.iter_mut().find(|(c, _)| c == component) {
+            entry.1 += joules;
+        } else {
+            self.accounts.push((component.to_owned(), joules));
+        }
+    }
+
+    /// Adds `watts × duration` to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or NaN.
+    pub fn add_power(&mut self, component: &str, watts: f64, dt: SimDuration) {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "bad power {watts} W for {component}"
+        );
+        self.add_joules(component, watts * dt.as_secs_f64());
+    }
+
+    /// Energy attributed to `component` so far (0 if unseen).
+    pub fn joules(&self, component: &str) -> f64 {
+        self.accounts
+            .iter()
+            .find(|(c, _)| c == component)
+            .map_or(0.0, |(_, j)| *j)
+    }
+
+    /// Total energy across components.
+    pub fn total(&self) -> f64 {
+        self.accounts.iter().map(|(_, j)| j).sum()
+    }
+
+    /// Iterates `(component, joules)` in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.accounts.iter().map(|(c, j)| (c.as_str(), *j))
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for (c, j) in other.iter() {
+            self.add_joules(c, j);
+        }
+    }
+
+    /// Average power of `component` over a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn mean_power(&self, component: &str, window: SimDuration) -> f64 {
+        assert!(!window.is_zero(), "zero window");
+        self.joules(component) / window.as_secs_f64()
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, j) in self.iter() {
+            writeln!(f, "{c:>12}: {j:10.3} J")?;
+        }
+        write!(f, "{:>12}: {:10.3} J", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_component() {
+        let mut acc = EnergyAccount::new();
+        acc.add_joules("cpu", 1.0);
+        acc.add_joules("cpu", 2.0);
+        acc.add_joules("radio", 4.0);
+        assert_eq!(acc.joules("cpu"), 3.0);
+        assert_eq!(acc.joules("radio"), 4.0);
+        assert_eq!(acc.joules("display"), 0.0);
+        assert_eq!(acc.total(), 7.0);
+    }
+
+    #[test]
+    fn power_integration() {
+        let mut acc = EnergyAccount::new();
+        acc.add_power("cpu", 1.5, SimDuration::from_millis(2000));
+        assert!((acc.joules("cpu") - 3.0).abs() < 1e-12);
+        acc.add_power("cpu", 0.0, SimDuration::from_secs(100));
+        assert!((acc.joules("cpu") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let mut a = EnergyAccount::new();
+        a.add_joules("cpu", 1.0);
+        let mut b = EnergyAccount::new();
+        b.add_joules("cpu", 2.0);
+        b.add_joules("radio", 5.0);
+        a.merge(&b);
+        assert_eq!(a.joules("cpu"), 3.0);
+        assert_eq!(a.joules("radio"), 5.0);
+    }
+
+    #[test]
+    fn mean_power_over_window() {
+        let mut acc = EnergyAccount::new();
+        acc.add_joules("cpu", 10.0);
+        assert!((acc.mean_power("cpu", SimDuration::from_secs(5)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad energy")]
+    fn negative_energy_rejected() {
+        EnergyAccount::new().add_joules("cpu", -1.0);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut acc = EnergyAccount::new();
+        acc.add_joules("cpu", 2.5);
+        let text = acc.to_string();
+        assert!(text.contains("cpu"));
+        assert!(text.contains("total"));
+    }
+}

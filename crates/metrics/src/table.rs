@@ -1,0 +1,237 @@
+//! Plain-text table and CSV rendering for the experiment harness.
+//!
+//! Every figure/table binary prints an aligned ASCII table to stdout (the
+//! "paper row" view) and can also emit CSV for plotting.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An ASCII table builder.
+///
+/// ```
+/// use eavs_metrics::table::Table;
+///
+/// let mut t = Table::new(&["governor", "energy (J)"]);
+/// t.row(&["ondemand", "41.2"]);
+/// t.row(&["eavs", "27.9"]);
+/// let out = t.render();
+/// assert!(out.contains("governor"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column is
+    /// left-aligned, the rest right-aligned (override with
+    /// [`Table::set_align`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        let mut aligns = vec![Align::Right; headers.len()];
+        aligns[0] = Align::Left;
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            aligns,
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn set_title(&mut self, title: impl Into<String>) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides one column's alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn set_align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count doesn't match the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the aligned ASCII table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "== {title} ==");
+        }
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(cell);
+                    }
+                }
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows), RFC-4180 quoting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let encoded: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&encoded.join(","));
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Quotes a CSV field when needed.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a ratio as a signed percentage ("-23.4%").
+pub fn fmt_pct(ratio: f64) -> String {
+    format!("{:+.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "23456"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w || l.starts_with('-')));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn title_precedes_table() {
+        let mut t = Table::new(&["x"]);
+        t.set_title("F5: energy");
+        assert!(t.render().starts_with("== F5: energy =="));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_output_and_escaping() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(&["plain", "1"]);
+        t.row(&["with,comma", "with\"quote"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "k,v");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"with\"\"quote\"");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_pct(-0.234), "-23.4%");
+        assert_eq!(fmt_pct(0.05), "+5.0%");
+    }
+
+    #[test]
+    fn unicode_width_by_chars() {
+        let mut t = Table::new(&["µ", "σ"]);
+        t.row(&["1", "2"]);
+        let out = t.render();
+        assert!(out.contains('µ'));
+    }
+}

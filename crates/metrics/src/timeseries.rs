@@ -1,0 +1,230 @@
+//! Step-function time series.
+//!
+//! Records piecewise-constant signals (CPU frequency, buffer level) as
+//! `(time, value)` change points, supporting time-weighted averaging,
+//! resampling for plots, and value lookup — the backing store for the
+//! timeline figures (F2, F11).
+
+use eavs_sim::time::{SimDuration, SimTime};
+
+/// A piecewise-constant signal sampled at change points.
+///
+/// ```
+/// use eavs_metrics::timeseries::StepSeries;
+/// use eavs_sim::time::SimTime;
+///
+/// let mut s = StepSeries::new();
+/// s.set(SimTime::ZERO, 1.0);
+/// s.set(SimTime::from_secs(2), 3.0);
+/// assert_eq!(s.value_at(SimTime::from_secs(1)), Some(1.0));
+/// assert_eq!(s.value_at(SimTime::from_secs(2)), Some(3.0));
+/// // mean over [0, 4): (1*2 + 3*2)/4 = 2
+/// assert!((s.time_weighted_mean(SimTime::ZERO, SimTime::from_secs(4)).unwrap() - 2.0) < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        StepSeries { points: Vec::new() }
+    }
+
+    /// Records that the signal takes `value` from `time` onward.
+    ///
+    /// Consecutive equal values are coalesced; updating at the same time
+    /// overwrites the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last change point or `value` is NaN.
+    pub fn set(&mut self, time: SimTime, value: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        if let Some(&(last_t, last_v)) = self.points.last() {
+            assert!(time >= last_t, "series time went backwards");
+            if time == last_t {
+                self.points.last_mut().expect("non-empty").1 = value;
+                return;
+            }
+            if last_v == value {
+                return; // coalesce
+            }
+        }
+        self.points.push((time, value));
+    }
+
+    /// Number of retained change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The signal value at `time`, or `None` before the first point.
+    pub fn value_at(&self, time: SimTime) -> Option<f64> {
+        match self.points.partition_point(|&(t, _)| t <= time) {
+            0 => None,
+            i => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Iterates the change points.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Time-weighted mean over `[from, to)`, or `None` if the series has no
+    /// value anywhere in the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to`.
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        assert!(from <= to, "inverted window");
+        if from == to {
+            return self.value_at(from);
+        }
+        let integral = self.integral(from, to)?;
+        Some(integral / (to - from).as_secs_f64())
+    }
+
+    /// Integral of the signal over `[from, to)` in value·seconds. `None` if
+    /// the series is undefined over the whole window. Undefined leading
+    /// portions (before the first point) are excluded from the integral but
+    /// the full window length still divides the mean.
+    pub fn integral(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        assert!(from <= to, "inverted window");
+        let first = self.points.first()?.0;
+        if first >= to {
+            return None;
+        }
+        let start = from.max(first);
+        let mut acc = 0.0;
+        let mut t = start;
+        let mut idx = self.points.partition_point(|&(pt, _)| pt <= start);
+        let mut v = self.points[idx - 1].1;
+        while t < to {
+            let next_change = self
+                .points
+                .get(idx)
+                .map(|&(pt, _)| pt)
+                .unwrap_or(SimTime::MAX);
+            let seg_end = next_change.min(to);
+            acc += v * (seg_end - t).as_secs_f64();
+            t = seg_end;
+            if t == next_change {
+                v = self.points[idx].1;
+                idx += 1;
+            }
+        }
+        Some(acc)
+    }
+
+    /// Resamples the series at a fixed interval over `[from, to]`,
+    /// yielding `(time, value)` pairs for plotting. Times before the first
+    /// change point yield the first value.
+    pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "zero resample step");
+        let mut out = Vec::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        let first_v = self.points[0].1;
+        let mut t = from;
+        while t <= to {
+            out.push((t, self.value_at(t).unwrap_or(first_v)));
+            match t.checked_add(step) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for StepSeries {
+    fn from_iter<T: IntoIterator<Item = (SimTime, f64)>>(iter: T) -> Self {
+        let mut s = StepSeries::new();
+        for (t, v) in iter {
+            s.set(t, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> SimTime {
+        SimTime::from_secs(n)
+    }
+
+    #[test]
+    fn lookup_semantics() {
+        let series: StepSeries = [(s(1), 10.0), (s(3), 20.0)].into_iter().collect();
+        assert_eq!(series.value_at(s(0)), None);
+        assert_eq!(series.value_at(s(1)), Some(10.0));
+        assert_eq!(series.value_at(s(2)), Some(10.0));
+        assert_eq!(series.value_at(s(3)), Some(20.0));
+        assert_eq!(series.value_at(s(100)), Some(20.0));
+    }
+
+    #[test]
+    fn coalesces_equal_values_and_overwrites_same_time() {
+        let mut series = StepSeries::new();
+        series.set(s(0), 5.0);
+        series.set(s(1), 5.0); // coalesced
+        assert_eq!(series.len(), 1);
+        series.set(s(2), 7.0);
+        series.set(s(2), 9.0); // overwrite
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.value_at(s(2)), Some(9.0));
+    }
+
+    #[test]
+    fn integral_and_mean() {
+        let series: StepSeries = [(s(0), 2.0), (s(4), 6.0)].into_iter().collect();
+        assert!((series.integral(s(0), s(8)).unwrap() - (2.0 * 4.0 + 6.0 * 4.0)).abs() < 1e-9);
+        assert!((series.time_weighted_mean(s(0), s(8)).unwrap() - 4.0).abs() < 1e-12);
+        // Window fully before the series start.
+        let late: StepSeries = [(s(10), 1.0)].into_iter().collect();
+        assert_eq!(late.integral(s(0), s(5)), None);
+    }
+
+    #[test]
+    fn integral_partial_window() {
+        let series: StepSeries = [(s(2), 10.0)].into_iter().collect();
+        // Defined only from t=2; window [0, 4) integrates 2 s of coverage.
+        assert!((series.integral(s(0), s(4)).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let series: StepSeries = [(s(0), 1.0), (s(5), 2.0)].into_iter().collect();
+        let pts = series.resample(s(0), s(10), SimDuration::from_secs(5));
+        assert_eq!(
+            pts,
+            vec![(s(0), 1.0), (s(5), 2.0), (s(10), 2.0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_backwards_panics() {
+        let mut series = StepSeries::new();
+        series.set(s(5), 1.0);
+        series.set(s(4), 2.0);
+    }
+
+    #[test]
+    fn zero_width_mean_is_lookup() {
+        let series: StepSeries = [(s(0), 3.0)].into_iter().collect();
+        assert_eq!(series.time_weighted_mean(s(1), s(1)), Some(3.0));
+    }
+}

@@ -1,0 +1,263 @@
+//! Adaptive-bitrate (ABR) algorithms.
+//!
+//! Decides which ladder rung to fetch next. Three classic families are
+//! implemented: fixed (the controlled-bitrate experiments), throughput-
+//! based (harmonic-mean rate estimation with a safety factor) and
+//! buffer-based (BBA-style linear mapping from buffer occupancy).
+
+use crate::download::ThroughputSample;
+use eavs_sim::time::SimDuration;
+use eavs_video::manifest::Manifest;
+
+/// Everything an ABR may look at when choosing the next segment's rung.
+#[derive(Clone, Debug)]
+pub struct AbrContext<'a> {
+    /// The manifest (ladder).
+    pub manifest: &'a Manifest,
+    /// Media buffered ahead of the playhead.
+    pub buffer_level: SimDuration,
+    /// Completed-transfer samples, oldest first.
+    pub throughput: &'a [ThroughputSample],
+    /// Index of the segment about to be requested.
+    pub next_segment: u64,
+    /// The rung used for the previous segment (`None` before the first).
+    pub previous_choice: Option<usize>,
+}
+
+/// An ABR algorithm.
+pub trait AbrAlgorithm: std::fmt::Debug + Send {
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the ladder rung for the next segment.
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize;
+}
+
+/// Always fetches the same rung.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedAbr {
+    rung: usize,
+}
+
+impl FixedAbr {
+    /// Creates a fixed ABR pinned to `rung`.
+    pub fn new(rung: usize) -> Self {
+        FixedAbr { rung }
+    }
+}
+
+impl AbrAlgorithm for FixedAbr {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        self.rung.min(ctx.manifest.num_representations() - 1)
+    }
+}
+
+/// Throughput-based ABR: harmonic mean of the last `window` samples,
+/// scaled by a safety factor, picks the highest sustainable rung.
+#[derive(Clone, Copy, Debug)]
+pub struct RateBasedAbr {
+    window: usize,
+    safety: f64,
+}
+
+impl RateBasedAbr {
+    /// Creates a rate-based ABR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `safety` is not in `(0, 1]`.
+    pub fn new(window: usize, safety: f64) -> Self {
+        assert!(window > 0, "zero estimation window");
+        assert!(safety > 0.0 && safety <= 1.0, "safety must be in (0,1]");
+        RateBasedAbr { window, safety }
+    }
+
+    /// The conventional configuration: 5-sample window, 0.8 safety.
+    pub fn standard() -> Self {
+        RateBasedAbr::new(5, 0.8)
+    }
+
+    fn estimate_bps(&self, samples: &[ThroughputSample]) -> Option<f64> {
+        let tail: Vec<&ThroughputSample> = samples.iter().rev().take(self.window).collect();
+        if tail.is_empty() {
+            return None;
+        }
+        // Harmonic mean is robust to one inflated sample.
+        let denom: f64 = tail.iter().map(|s| 1.0 / s.bps().max(1.0)).sum();
+        Some(tail.len() as f64 / denom)
+    }
+}
+
+impl AbrAlgorithm for RateBasedAbr {
+    fn name(&self) -> &'static str {
+        "rate"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        let Some(est) = self.estimate_bps(ctx.throughput) else {
+            return 0; // conservative start
+        };
+        let budget_kbps = est * self.safety / 1000.0;
+        ctx.manifest
+            .representations()
+            .iter()
+            .rev()
+            .find(|r| f64::from(r.bitrate_kbps) <= budget_kbps)
+            .map_or(0, |r| r.id)
+    }
+}
+
+/// Buffer-based ABR (BBA-0): rung is a linear function of buffer occupancy
+/// between a reservoir and a cushion.
+#[derive(Clone, Copy, Debug)]
+pub struct BufferBasedAbr {
+    reservoir: SimDuration,
+    cushion: SimDuration,
+}
+
+impl BufferBasedAbr {
+    /// Creates a buffer-based ABR with the given reservoir (below it,
+    /// lowest rung) and cushion (above `reservoir + cushion`, highest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cushion` is zero.
+    pub fn new(reservoir: SimDuration, cushion: SimDuration) -> Self {
+        assert!(!cushion.is_zero(), "zero cushion");
+        BufferBasedAbr { reservoir, cushion }
+    }
+
+    /// The BBA paper's shape scaled to a 30 s player buffer: 5 s reservoir,
+    /// 15 s cushion.
+    pub fn standard() -> Self {
+        BufferBasedAbr::new(SimDuration::from_secs(5), SimDuration::from_secs(15))
+    }
+}
+
+impl AbrAlgorithm for BufferBasedAbr {
+    fn name(&self) -> &'static str {
+        "buffer"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        let top = ctx.manifest.num_representations() - 1;
+        let level = ctx.buffer_level;
+        if level <= self.reservoir {
+            return 0;
+        }
+        let above = level - self.reservoir;
+        if above >= self.cushion {
+            return top;
+        }
+        let frac = above.ratio(self.cushion);
+        (frac * top as f64).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavs_sim::time::SimDuration;
+
+    fn manifest() -> Manifest {
+        Manifest::standard_ladder(SimDuration::from_secs(60), 30)
+    }
+
+    fn sample(mbps: f64) -> ThroughputSample {
+        ThroughputSample {
+            bytes: (mbps * 1e6 / 8.0) as u64,
+            duration: SimDuration::from_secs(1),
+        }
+    }
+
+    fn ctx<'a>(
+        m: &'a Manifest,
+        buffer_secs: u64,
+        throughput: &'a [ThroughputSample],
+    ) -> AbrContext<'a> {
+        AbrContext {
+            manifest: m,
+            buffer_level: SimDuration::from_secs(buffer_secs),
+            throughput,
+            next_segment: 3,
+            previous_choice: Some(0),
+        }
+    }
+
+    #[test]
+    fn fixed_clamps_to_ladder() {
+        let m = manifest();
+        let mut abr = FixedAbr::new(99);
+        assert_eq!(abr.choose(&ctx(&m, 10, &[])), 4);
+        let mut abr = FixedAbr::new(2);
+        assert_eq!(abr.choose(&ctx(&m, 10, &[])), 2);
+        assert_eq!(abr.name(), "fixed");
+    }
+
+    #[test]
+    fn rate_based_starts_conservative() {
+        let m = manifest();
+        let mut abr = RateBasedAbr::standard();
+        assert_eq!(abr.choose(&ctx(&m, 10, &[])), 0);
+    }
+
+    #[test]
+    fn rate_based_picks_highest_sustainable() {
+        let m = manifest();
+        let mut abr = RateBasedAbr::standard();
+        // 10 Mbps × 0.8 = 8 Mbps budget -> 1080p (6 Mbps), not 1440p (10).
+        let samples = vec![sample(10.0); 5];
+        assert_eq!(abr.choose(&ctx(&m, 10, &samples)), 3);
+        // 1.2 Mbps × 0.8 < 1.5 Mbps -> lowest-but-one fails, take 700 kbps.
+        let slow = vec![sample(1.2); 5];
+        assert_eq!(abr.choose(&ctx(&m, 10, &slow)), 0);
+    }
+
+    #[test]
+    fn rate_based_harmonic_mean_resists_spikes() {
+        let m = manifest();
+        let mut abr = RateBasedAbr::new(5, 0.8);
+        // Four slow samples and one huge spike: harmonic mean stays low.
+        let samples = vec![
+            sample(1.0),
+            sample(1.0),
+            sample(1.0),
+            sample(1.0),
+            sample(100.0),
+        ];
+        assert_eq!(abr.choose(&ctx(&m, 10, &samples)), 0);
+    }
+
+    #[test]
+    fn buffer_based_maps_levels() {
+        let m = manifest();
+        let mut abr = BufferBasedAbr::standard();
+        assert_eq!(abr.choose(&ctx(&m, 2, &[])), 0, "inside reservoir");
+        assert_eq!(abr.choose(&ctx(&m, 30, &[])), 4, "above cushion");
+        let mid = abr.choose(&ctx(&m, 12, &[]));
+        assert!((1..=3).contains(&mid), "mid buffer -> mid rung, got {mid}");
+        assert_eq!(abr.name(), "buffer");
+    }
+
+    #[test]
+    fn buffer_based_monotone_in_level() {
+        let m = manifest();
+        let mut abr = BufferBasedAbr::standard();
+        let mut last = 0;
+        for secs in 0..35 {
+            let rung = abr.choose(&ctx(&m, secs, &[]));
+            assert!(rung >= last, "rung decreased as buffer grew");
+            last = rung;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "safety")]
+    fn bad_safety_rejected() {
+        RateBasedAbr::new(5, 1.5);
+    }
+}

@@ -1,0 +1,219 @@
+//! The segment downloader.
+//!
+//! One HTTP-like transfer at a time (DASH players fetch segments
+//! sequentially): a request costs one RTT, then bytes flow at the
+//! bandwidth trace's rate. Completion times are computed in closed form
+//! from the piecewise-constant trace, so the session can schedule a single
+//! completion event per segment. Activity intervals are recorded for radio
+//! energy accounting, and per-segment throughput samples feed the ABR.
+
+use crate::bandwidth::BandwidthTrace;
+use crate::radio::ActivityInterval;
+use eavs_sim::time::{SimDuration, SimTime};
+
+/// A completed transfer's measurement, as the ABR sees it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ThroughputSample {
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Transfer wall time including the request RTT.
+    pub duration: SimDuration,
+}
+
+impl ThroughputSample {
+    /// The measured goodput in bits/second.
+    pub fn bps(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / self.duration.as_secs_f64()
+    }
+}
+
+/// State of the in-flight transfer.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct InFlight {
+    started: SimTime,
+    completes: SimTime,
+    bytes: u64,
+}
+
+/// Sequential segment downloader over a bandwidth trace.
+#[derive(Clone, Debug)]
+pub struct Downloader {
+    trace: BandwidthTrace,
+    rtt: SimDuration,
+    in_flight: Option<InFlight>,
+    activity: Vec<ActivityInterval>,
+    samples: Vec<ThroughputSample>,
+    bytes_total: u64,
+}
+
+impl Downloader {
+    /// Creates a downloader over `trace` with the given request RTT.
+    pub fn new(trace: BandwidthTrace, rtt: SimDuration) -> Self {
+        Downloader {
+            trace,
+            rtt,
+            in_flight: None,
+            activity: Vec::new(),
+            samples: Vec::new(),
+            bytes_total: 0,
+        }
+    }
+
+    /// `true` if a transfer is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Starts fetching `bytes` at `now`; returns the completion instant,
+    /// or `None` if the trace's bandwidth drops to zero forever before the
+    /// transfer can finish (the session should treat this as a stalled
+    /// network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transfer is already in flight.
+    pub fn start(&mut self, now: SimTime, bytes: u64) -> Option<SimTime> {
+        assert!(self.in_flight.is_none(), "downloader is busy");
+        let data_start = now + self.rtt;
+        let completes = self.trace.completion_time(data_start, bytes as f64)?;
+        self.in_flight = Some(InFlight {
+            started: now,
+            completes,
+            bytes,
+        });
+        Some(completes)
+    }
+
+    /// Marks the in-flight transfer complete at `now` (the instant returned
+    /// by [`Downloader::start`]) and returns its throughput sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight or `now` differs from the promised
+    /// completion instant.
+    pub fn complete(&mut self, now: SimTime) -> ThroughputSample {
+        let f = self.in_flight.take().expect("no transfer in flight");
+        assert_eq!(now, f.completes, "completion at unexpected time");
+        self.activity.push(ActivityInterval {
+            start: f.started,
+            end: now,
+        });
+        let sample = ThroughputSample {
+            bytes: f.bytes,
+            duration: now - f.started,
+        };
+        self.samples.push(sample);
+        self.bytes_total += f.bytes;
+        sample
+    }
+
+    /// All completed-transfer throughput samples, oldest first.
+    pub fn samples(&self) -> &[ThroughputSample] {
+        &self.samples
+    }
+
+    /// Total bytes downloaded.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// Radio activity intervals so far (including any in-flight transfer,
+    /// truncated at `now`).
+    pub fn activity(&self, now: SimTime) -> Vec<ActivityInterval> {
+        let mut out = self.activity.clone();
+        if let Some(f) = self.in_flight {
+            out.push(ActivityInterval {
+                start: f.started,
+                end: now.min(f.completes),
+            });
+        }
+        out
+    }
+
+    /// The bandwidth trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// The configured request RTT.
+    pub fn rtt(&self) -> SimDuration {
+        self.rtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> SimTime {
+        SimTime::from_secs(n)
+    }
+
+    #[test]
+    fn transfer_lifecycle() {
+        let trace = BandwidthTrace::constant(8e6); // 1 MB/s
+        let mut d = Downloader::new(trace, SimDuration::from_millis(50));
+        assert!(!d.is_busy());
+        let done = d.start(s(1), 1_000_000).unwrap();
+        assert!(d.is_busy());
+        assert_eq!(done, s(2) + SimDuration::from_millis(50));
+        let sample = d.complete(done);
+        assert!(!d.is_busy());
+        assert_eq!(sample.bytes, 1_000_000);
+        assert_eq!(sample.duration, SimDuration::from_millis(1050));
+        // Goodput below link rate because of the RTT.
+        assert!(sample.bps() < 8e6);
+        assert!(sample.bps() > 7e6);
+        assert_eq!(d.bytes_total(), 1_000_000);
+        assert_eq!(d.samples().len(), 1);
+    }
+
+    #[test]
+    fn activity_includes_in_flight() {
+        let mut d = Downloader::new(BandwidthTrace::constant(8e6), SimDuration::ZERO);
+        let done = d.start(s(0), 4_000_000).unwrap();
+        assert_eq!(done, s(4));
+        let act = d.activity(s(2));
+        assert_eq!(act.len(), 1);
+        assert_eq!(act[0].end, s(2));
+        d.complete(done);
+        let act = d.activity(s(10));
+        assert_eq!(act[0].end, s(4));
+    }
+
+    #[test]
+    fn stalled_network_returns_none() {
+        let trace = BandwidthTrace::from_mbps_steps(&[(0, 1.0), (2, 0.0)]);
+        let mut d = Downloader::new(trace, SimDuration::ZERO);
+        assert!(d.start(s(0), 10_000_000).is_none());
+        assert!(!d.is_busy(), "failed start leaves downloader free");
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn concurrent_start_panics() {
+        let mut d = Downloader::new(BandwidthTrace::constant(8e6), SimDuration::ZERO);
+        d.start(s(0), 1000).unwrap();
+        d.start(s(0), 1000).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected time")]
+    fn complete_at_wrong_time_panics() {
+        let mut d = Downloader::new(BandwidthTrace::constant(8e6), SimDuration::ZERO);
+        d.start(s(0), 8_000_000).unwrap();
+        d.complete(s(3));
+    }
+
+    #[test]
+    fn throughput_sample_zero_duration() {
+        let sample = ThroughputSample {
+            bytes: 100,
+            duration: SimDuration::ZERO,
+        };
+        assert_eq!(sample.bps(), 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Cellular radio power-state accounting.
+//!
+//! Models the RRC state machines of 3G UMTS (IDLE/FACH/DCH with the T1/T2
+//! inactivity timers) and LTE (IDLE/CONNECTED with continuous-reception
+//! and DRX tail phases). Given the session's traffic activity intervals,
+//! the model computes how long the radio spends in each state and the
+//! resulting energy — the "radio" component of whole-device energy in the
+//! network experiments (F9).
+//!
+//! State powers and timer values follow the published measurements the
+//! paper's group used (Huang et al. 4G LTE characterization; the TPDS'14
+//! web-browsing paper's UMTS numbers).
+
+use eavs_sim::time::{SimDuration, SimTime};
+
+/// A half-open interval of network activity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ActivityInterval {
+    /// Transfer start.
+    pub start: SimTime,
+    /// Transfer end.
+    pub end: SimTime,
+}
+
+/// Merges possibly-overlapping activity intervals into a sorted disjoint
+/// list.
+pub fn merge_intervals(mut intervals: Vec<ActivityInterval>) -> Vec<ActivityInterval> {
+    intervals.retain(|iv| iv.end > iv.start);
+    intervals.sort_by_key(|iv| iv.start);
+    let mut merged: Vec<ActivityInterval> = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        match merged.last_mut() {
+            Some(last) if iv.start <= last.end => {
+                last.end = last.end.max(iv.end);
+            }
+            _ => merged.push(iv),
+        }
+    }
+    merged
+}
+
+/// Radio energy/time breakdown.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct RadioReport {
+    /// Time actively transferring (high-power state).
+    pub active_time: SimDuration,
+    /// Time in promotion/tail states attributable to inactivity timers.
+    pub tail_time: SimDuration,
+    /// Time fully idle.
+    pub idle_time: SimDuration,
+    /// Total radio energy, joules.
+    pub energy_j: f64,
+}
+
+/// A radio technology's state machine parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RadioModel {
+    /// Power while actively transferring (DCH / CONNECTED-RX), watts.
+    pub active_power_w: f64,
+    /// Power during the first tail phase (FACH / short-DRX), watts.
+    pub tail1_power_w: f64,
+    /// Duration of the first tail phase after last activity.
+    pub tail1: SimDuration,
+    /// Power during the second tail phase (PCH / long-DRX), watts.
+    pub tail2_power_w: f64,
+    /// Duration of the second tail phase.
+    pub tail2: SimDuration,
+    /// Idle (camped) power, watts.
+    pub idle_power_w: f64,
+    /// Energy of an IDLE→ACTIVE promotion, joules.
+    pub promotion_energy_j: f64,
+    /// Latency of an IDLE→ACTIVE promotion.
+    pub promotion_latency: SimDuration,
+}
+
+impl RadioModel {
+    /// 3G UMTS numbers: DCH ≈ 1.2 W, FACH ≈ 0.6 W with T1 = 4 s demotion
+    /// to FACH and T2 = 15 s to IDLE (T-Mobile UMTS as measured in the
+    /// group's prior work).
+    pub fn umts_3g() -> Self {
+        RadioModel {
+            active_power_w: 1.2,
+            tail1_power_w: 1.2, // DCH tail until T1
+            tail1: SimDuration::from_secs(4),
+            tail2_power_w: 0.6, // FACH until T2
+            tail2: SimDuration::from_secs(15),
+            idle_power_w: 0.02,
+            promotion_energy_j: 1.8, // ~1.5 s of signaling at ~1.2 W
+            promotion_latency: SimDuration::from_millis(1500),
+        }
+    }
+
+    /// LTE numbers: CONNECTED ≈ 1.1 W, short-DRX tail ≈ 1.0 W for 1 s,
+    /// long-DRX ≈ 0.5 W for ~10 s, fast promotion.
+    pub fn lte() -> Self {
+        RadioModel {
+            active_power_w: 1.1,
+            tail1_power_w: 1.0,
+            tail1: SimDuration::from_secs(1),
+            tail2_power_w: 0.5,
+            tail2: SimDuration::from_secs(10),
+            idle_power_w: 0.015,
+            promotion_energy_j: 0.35,
+            promotion_latency: SimDuration::from_millis(260),
+        }
+    }
+
+    /// WiFi with PSM: cheap active power, tiny tail.
+    pub fn wifi() -> Self {
+        RadioModel {
+            active_power_w: 0.7,
+            tail1_power_w: 0.25,
+            tail1: SimDuration::from_millis(200),
+            tail2_power_w: 0.05,
+            tail2: SimDuration::from_millis(800),
+            idle_power_w: 0.01,
+            promotion_energy_j: 0.01,
+            promotion_latency: SimDuration::from_millis(10),
+        }
+    }
+
+    /// Computes the radio report for a session of `session_len` whose
+    /// traffic occupied `activity` (merged internally).
+    ///
+    /// A new promotion is charged whenever activity begins while the radio
+    /// has fully demoted to idle (gap since previous activity exceeding
+    /// `tail1 + tail2`).
+    pub fn account(&self, activity: Vec<ActivityInterval>, session_len: SimDuration) -> RadioReport {
+        let end_of_session = SimTime::ZERO + session_len;
+        let merged = merge_intervals(activity);
+        let mut report = RadioReport::default();
+        let full_tail = self.tail1 + self.tail2;
+
+        let mut promotions = 0u32;
+        let mut prev_end: Option<SimTime> = None;
+        for iv in &merged {
+            let iv_end = iv.end.min(end_of_session);
+            let iv_start = iv.start.min(iv_end);
+            // Promotion if coming from a fully-demoted radio.
+            let promoted = match prev_end {
+                None => true,
+                Some(pe) => iv_start.saturating_duration_since(pe) > full_tail,
+            };
+            if promoted {
+                promotions += 1;
+            }
+            report.active_time += iv_end - iv_start;
+
+            // Tail after this interval, truncated by the next activity or
+            // session end.
+            let next_start = merged
+                .iter()
+                .map(|n| n.start)
+                .find(|&s| s >= iv.end)
+                .unwrap_or(SimTime::MAX)
+                .min(end_of_session);
+            let gap = next_start.saturating_duration_since(iv_end);
+            let t1 = gap.min(self.tail1);
+            let t2 = gap.saturating_sub(self.tail1).min(self.tail2);
+            report.tail_time += t1 + t2;
+            report.energy_j += self.tail1_power_w * t1.as_secs_f64()
+                + self.tail2_power_w * t2.as_secs_f64();
+            prev_end = Some(iv_end);
+        }
+
+        report.energy_j += self.active_power_w * report.active_time.as_secs_f64();
+        report.energy_j += self.promotion_energy_j * f64::from(promotions);
+        report.idle_time = session_len
+            .saturating_sub(report.active_time)
+            .saturating_sub(report.tail_time);
+        report.energy_j += self.idle_power_w * report.idle_time.as_secs_f64();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> ActivityInterval {
+        ActivityInterval {
+            start: SimTime::from_secs(s),
+            end: SimTime::from_secs(e),
+        }
+    }
+
+    #[test]
+    fn merge_overlaps_and_drops_empties() {
+        let merged = merge_intervals(vec![iv(5, 7), iv(0, 2), iv(1, 3), iv(4, 4)]);
+        assert_eq!(merged, vec![iv(0, 3), iv(5, 7)]);
+    }
+
+    #[test]
+    fn single_burst_accounting() {
+        let m = RadioModel::umts_3g();
+        // 10 s transfer, then 30 s silence: full 4 s DCH-tail + 15 s FACH.
+        let r = m.account(vec![iv(0, 10)], SimDuration::from_secs(40));
+        assert_eq!(r.active_time, SimDuration::from_secs(10));
+        assert_eq!(r.tail_time, SimDuration::from_secs(19));
+        assert_eq!(r.idle_time, SimDuration::from_secs(11));
+        let expected = 1.2 * 10.0 + 1.2 * 4.0 + 0.6 * 15.0 + 0.02 * 11.0 + 1.8;
+        assert!((r.energy_j - expected).abs() < 1e-9, "got {}", r.energy_j);
+    }
+
+    #[test]
+    fn close_bursts_share_tail_without_new_promotion() {
+        let m = RadioModel::lte();
+        // Gap of 2 s < tail (11 s): no second promotion; tail truncated.
+        let r = m.account(vec![iv(0, 5), iv(7, 10)], SimDuration::from_secs(30));
+        assert_eq!(r.active_time, SimDuration::from_secs(8));
+        // First tail truncated to 2 s (1 s short-DRX + 1 s long-DRX), second
+        // tail full 11 s.
+        assert_eq!(r.tail_time, SimDuration::from_secs(13));
+        // Promotions: just one.
+        let one_promotion = m.promotion_energy_j;
+        let energy_lower_bound = 1.1 * 8.0 + one_promotion;
+        assert!(r.energy_j > energy_lower_bound);
+        let r2 = m.account(vec![iv(0, 5), iv(25, 28)], SimDuration::from_secs(40));
+        // Far-apart bursts: two promotions, two full tails.
+        assert_eq!(r2.tail_time, SimDuration::from_secs(22));
+    }
+
+    #[test]
+    fn tail_truncated_by_session_end() {
+        let m = RadioModel::lte();
+        let r = m.account(vec![iv(0, 5)], SimDuration::from_secs(6));
+        assert_eq!(r.tail_time, SimDuration::from_secs(1));
+        assert_eq!(r.idle_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn continuous_activity_has_no_tail() {
+        let m = RadioModel::umts_3g();
+        let r = m.account(vec![iv(0, 20)], SimDuration::from_secs(20));
+        assert_eq!(r.active_time, SimDuration::from_secs(20));
+        assert_eq!(r.tail_time, SimDuration::ZERO);
+        assert_eq!(r.idle_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn no_activity_is_all_idle() {
+        let m = RadioModel::wifi();
+        let r = m.account(vec![], SimDuration::from_secs(100));
+        assert_eq!(r.active_time, SimDuration::ZERO);
+        assert_eq!(r.idle_time, SimDuration::from_secs(100));
+        assert!((r.energy_j - 0.01 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wifi_cheaper_than_lte_for_bursty_traffic() {
+        let activity = vec![iv(0, 2), iv(20, 22), iv(40, 42)];
+        let len = SimDuration::from_secs(60);
+        let wifi = RadioModel::wifi().account(activity.clone(), len);
+        let lte = RadioModel::lte().account(activity, len);
+        assert!(wifi.energy_j < lte.energy_j / 2.0);
+    }
+
+    #[test]
+    fn times_partition_session() {
+        let m = RadioModel::umts_3g();
+        let r = m.account(vec![iv(3, 8), iv(30, 31)], SimDuration::from_secs(60));
+        let total = r.active_time + r.tail_time + r.idle_time;
+        assert_eq!(total, SimDuration::from_secs(60));
+    }
+}

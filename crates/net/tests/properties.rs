@@ -1,0 +1,150 @@
+//! Property-based tests for the network substrate.
+
+use eavs_net::bandwidth::BandwidthTrace;
+use eavs_net::radio::{merge_intervals, ActivityInterval, RadioModel};
+use eavs_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn trace_from(steps: &[(u64, f64)]) -> BandwidthTrace {
+    let mut points = vec![(SimTime::ZERO, steps.first().map_or(1e6, |&(_, r)| r))];
+    let mut t = 0;
+    for &(dt, rate) in steps {
+        t += dt;
+        points.push((SimTime::from_secs(t), rate));
+    }
+    BandwidthTrace::from_points(points)
+}
+
+proptest! {
+    /// completion_time is the inverse of bytes_between: transferring
+    /// exactly the bytes available over a window completes at (or within
+    /// a microsecond of) the window's end.
+    #[test]
+    fn completion_inverts_integral(
+        steps in proptest::collection::vec((1u64..20, 0.5f64..50.0), 1..10),
+        start in 0u64..30,
+        span in 1u64..60,
+    ) {
+        let tr = trace_from(&steps.iter().map(|&(dt, mbps)| (dt, mbps * 1e6)).collect::<Vec<_>>());
+        let from = SimTime::from_secs(start);
+        let to = SimTime::from_secs(start + span);
+        let bytes = tr.bytes_between(from, to);
+        prop_assume!(bytes > 1.0);
+        let done = tr.completion_time(from, bytes).expect("positive rates");
+        let diff = if done > to { done - to } else { to - done };
+        prop_assert!(
+            diff <= SimDuration::from_micros(10),
+            "done {done} vs window end {to}"
+        );
+    }
+
+    /// bytes_between is additive over adjacent windows.
+    #[test]
+    fn integral_additive(
+        steps in proptest::collection::vec((1u64..20, 0.0f64..50.0), 1..10),
+        a in 0u64..40,
+        b in 0u64..40,
+        c in 0u64..40,
+    ) {
+        let tr = trace_from(&steps.iter().map(|&(dt, mbps)| (dt, mbps * 1e6)).collect::<Vec<_>>());
+        let mut cuts = [a, a + b, a + b + c];
+        cuts.sort_unstable();
+        let (t0, t1, t2) = (
+            SimTime::from_secs(cuts[0]),
+            SimTime::from_secs(cuts[1]),
+            SimTime::from_secs(cuts[2]),
+        );
+        let whole = tr.bytes_between(t0, t2);
+        let parts = tr.bytes_between(t0, t1) + tr.bytes_between(t1, t2);
+        prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole));
+    }
+
+    /// merge_intervals yields sorted, disjoint intervals covering exactly
+    /// the union.
+    #[test]
+    fn merge_produces_disjoint_cover(
+        intervals in proptest::collection::vec((0u64..100, 0u64..20), 0..30),
+    ) {
+        let input: Vec<ActivityInterval> = intervals
+            .iter()
+            .map(|&(s, len)| ActivityInterval {
+                start: SimTime::from_secs(s),
+                end: SimTime::from_secs(s + len),
+            })
+            .collect();
+        let merged = merge_intervals(input.clone());
+        // Sorted and disjoint (strictly separated).
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+        // Same union: check per-second membership.
+        for sec in 0..130u64 {
+            let t = SimTime::from_secs(sec);
+            let in_input = input
+                .iter()
+                .any(|iv| iv.start <= t && t < iv.end);
+            let in_merged = merged
+                .iter()
+                .any(|iv| iv.start <= t && t < iv.end);
+            prop_assert_eq!(in_input, in_merged, "coverage differs at {}s", sec);
+        }
+    }
+
+    /// Radio accounting always partitions the session and yields finite,
+    /// non-negative energy, for any radio model and activity set.
+    #[test]
+    fn radio_partitions_session(
+        intervals in proptest::collection::vec((0u64..200, 1u64..30), 0..20),
+        session_extra in 0u64..100,
+        model_pick in 0u8..3,
+    ) {
+        let model = match model_pick {
+            0 => RadioModel::umts_3g(),
+            1 => RadioModel::lte(),
+            _ => RadioModel::wifi(),
+        };
+        let activity: Vec<ActivityInterval> = intervals
+            .iter()
+            .map(|&(s, len)| ActivityInterval {
+                start: SimTime::from_secs(s),
+                end: SimTime::from_secs(s + len),
+            })
+            .collect();
+        let latest_end = activity.iter().map(|iv| iv.end.as_nanos()).max().unwrap_or(0);
+        let session = SimDuration::from_nanos(latest_end) + SimDuration::from_secs(session_extra);
+        prop_assume!(!session.is_zero());
+        let report = model.account(activity, session);
+        prop_assert_eq!(
+            report.active_time + report.tail_time + report.idle_time,
+            session
+        );
+        prop_assert!(report.energy_j.is_finite() && report.energy_j >= 0.0);
+        // Energy at least idle-floor, at most all-active + promotions.
+        let floor = model.idle_power_w * session.as_secs_f64();
+        prop_assert!(report.energy_j >= floor - 1e-9);
+    }
+
+    /// More activity never reduces radio energy (monotonicity).
+    #[test]
+    fn radio_energy_monotone_in_activity(
+        base in proptest::collection::vec((0u64..100, 1u64..10), 0..10),
+        extra_start in 0u64..100,
+        extra_len in 1u64..10,
+    ) {
+        let to_iv = |&(s, len): &(u64, u64)| ActivityInterval {
+            start: SimTime::from_secs(s),
+            end: SimTime::from_secs(s + len),
+        };
+        let model = RadioModel::lte();
+        let session = SimDuration::from_secs(250);
+        let a: Vec<_> = base.iter().map(to_iv).collect();
+        let mut b = a.clone();
+        b.push(ActivityInterval {
+            start: SimTime::from_secs(extra_start),
+            end: SimTime::from_secs(extra_start + extra_len),
+        });
+        let ra = model.account(a, session);
+        let rb = model.account(b, session);
+        prop_assert!(rb.energy_j >= ra.energy_j - 1e-9);
+    }
+}

@@ -1,0 +1,237 @@
+//! The pending-event queue.
+//!
+//! A binary-heap priority queue keyed on `(time, sequence)` so that events
+//! scheduled for the same instant pop in FIFO order — a property several
+//! state machines in the simulator rely on (e.g. "frequency applied" must be
+//! observed before a decode-completion check scheduled afterwards at the same
+//! instant).
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] marks the event id and the
+//! entry is dropped when it reaches the top of the heap. This keeps both
+//! scheduling and cancellation `O(log n)` amortized.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number. Mostly useful for logging.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev#{}", self.0)
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    event: E,
+}
+
+/// Orders entries by `(time, id)`; wrapped in `Reverse` for min-heap usage.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key(SimTime, EventId);
+
+/// A time-ordered queue of pending simulation events.
+///
+/// ```
+/// use eavs_sim::queue::EventQueue;
+/// use eavs_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let a = q.push(SimTime::from_millis(5), "late");
+/// let _b = q.push(SimTime::from_millis(1), "early");
+/// q.cancel(a);
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_millis(1), "early"));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    // The heap holds only ordering keys; the payloads live in `entries` so
+    // that `E` needs no `Ord` bound and cancellation can reclaim memory.
+    heap: BinaryHeap<Reverse<Key>>,
+    entries: HashMap<EventId, Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            entries: HashMap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`, returning its id.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.entries.insert(id, Entry { time, event });
+        self.heap.push(Reverse(Key(time, id)));
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.entries.remove(&id).is_some() {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_cancelled();
+        self.heap.peek().map(|Reverse(Key(t, _))| *t)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.purge_cancelled();
+        let Reverse(Key(time, id)) = self.heap.pop()?;
+        let entry = self
+            .entries
+            .remove(&id)
+            .expect("heap key without live entry after purge");
+        debug_assert_eq!(entry.time, time);
+        Some((time, entry.event))
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn purge_cancelled(&mut self) {
+        while let Some(Reverse(Key(_, id))) = self.heap.peek() {
+            if self.cancelled.remove(id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.entries.len())
+            .field("scheduled_total", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 'c');
+        q.push(t(10), 'a');
+        q.push(t(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_pending() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        let b = q.push(t(2), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), 'b')));
+        assert!(!q.cancel(b), "cancel after pop must report false");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        let id = q.push(t(1), ());
+        assert_eq!(q.len(), 1);
+        q.cancel(id);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_cancel() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..50u64 {
+            ids.push(q.push(t(i % 7), i));
+        }
+        for id in ids.iter().step_by(3) {
+            q.cancel(*id);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = 0;
+        while let Some((time, v)) = q.pop() {
+            assert!(time >= last);
+            last = time;
+            assert!(v % 3 != 0, "cancelled event {v} popped");
+            seen += 1;
+        }
+        assert_eq!(seen, 50 - ids.iter().step_by(3).count());
+    }
+}

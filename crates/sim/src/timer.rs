@@ -1,0 +1,165 @@
+//! Helpers for periodic activities and restartable timeouts.
+//!
+//! These are bookkeeping helpers only: they compute *when* things should
+//! happen; the owner is responsible for scheduling events at those times.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A fixed-period tick schedule (e.g. vsync, governor sampling).
+///
+/// ```
+/// use eavs_sim::time::{SimDuration, SimTime};
+/// use eavs_sim::timer::Periodic;
+///
+/// let mut vsync = Periodic::starting_at(SimTime::from_millis(100), SimDuration::from_millis(16));
+/// assert_eq!(vsync.next(), SimTime::from_millis(100));
+/// assert_eq!(vsync.advance(), SimTime::from_millis(100));
+/// assert_eq!(vsync.next(), SimTime::from_millis(116));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Periodic {
+    next: SimTime,
+    period: SimDuration,
+    ticks: u64,
+}
+
+impl Periodic {
+    /// A schedule whose first tick is at `start` and repeats every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn starting_at(start: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "periodic timer with zero period");
+        Periodic {
+            next: start,
+            period,
+            ticks: 0,
+        }
+    }
+
+    /// The time of the next tick.
+    pub fn next(&self) -> SimTime {
+        self.next
+    }
+
+    /// The tick period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Number of ticks consumed so far.
+    pub fn ticks_elapsed(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Consumes the next tick, returning its time and advancing the schedule.
+    pub fn advance(&mut self) -> SimTime {
+        let t = self.next;
+        self.next += self.period;
+        self.ticks += 1;
+        t
+    }
+
+    /// The time of the `n`-th tick from now (0 = the next one).
+    pub fn tick_after(&self, n: u64) -> SimTime {
+        self.next + self.period * n
+    }
+}
+
+/// An inactivity timeout that restarts on each activity, as used by radio
+/// resource control (RRC) demotion timers.
+///
+/// ```
+/// use eavs_sim::time::{SimDuration, SimTime};
+/// use eavs_sim::timer::InactivityTimer;
+///
+/// let mut t1 = InactivityTimer::new(SimDuration::from_secs(4));
+/// t1.touch(SimTime::from_secs(10));
+/// assert_eq!(t1.deadline(), Some(SimTime::from_secs(14)));
+/// t1.touch(SimTime::from_secs(12));
+/// assert_eq!(t1.deadline(), Some(SimTime::from_secs(16)));
+/// assert!(t1.expired_by(SimTime::from_secs(16)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InactivityTimer {
+    timeout: SimDuration,
+    deadline: Option<SimTime>,
+}
+
+impl InactivityTimer {
+    /// Creates a stopped timer with the given timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        InactivityTimer {
+            timeout,
+            deadline: None,
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Restarts the timer at `now`.
+    pub fn touch(&mut self, now: SimTime) {
+        self.deadline = Some(now + self.timeout);
+    }
+
+    /// Stops the timer.
+    pub fn clear(&mut self) {
+        self.deadline = None;
+    }
+
+    /// The current expiry deadline, if running.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    /// `true` if the timer is running and `now` has reached its deadline.
+    pub fn expired_by(&self, now: SimTime) -> bool {
+        matches!(self.deadline, Some(d) if now >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_sequence() {
+        let mut p = Periodic::starting_at(SimTime::ZERO, SimDuration::from_millis(10));
+        let ticks: Vec<SimTime> = (0..4).map(|_| p.advance()).collect();
+        assert_eq!(
+            ticks,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+                SimTime::from_millis(30)
+            ]
+        );
+        assert_eq!(p.ticks_elapsed(), 4);
+        assert_eq!(p.tick_after(2), SimTime::from_millis(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_rejected() {
+        let _ = Periodic::starting_at(SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn inactivity_restart_and_expiry() {
+        let mut t = InactivityTimer::new(SimDuration::from_secs(2));
+        assert_eq!(t.deadline(), None);
+        assert!(!t.expired_by(SimTime::from_secs(100)));
+        t.touch(SimTime::from_secs(1));
+        assert!(!t.expired_by(SimTime::from_secs(2)));
+        assert!(t.expired_by(SimTime::from_secs(3)));
+        t.touch(SimTime::from_secs(2));
+        assert!(!t.expired_by(SimTime::from_secs(3)));
+        t.clear();
+        assert_eq!(t.deadline(), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Lightweight, optional event tracing for debugging simulations.
+//!
+//! A [`TraceLog`] is a bounded ring buffer of timestamped messages. Tracing
+//! is disabled by default so hot paths pay only a branch; experiments enable
+//! it when reconstructing timelines (e.g. figure F2's frequency timeline).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A single trace record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEntry {
+    /// When the record was emitted.
+    pub time: SimTime,
+    /// Which component emitted it (static string, e.g. `"cpu"`).
+    pub component: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.component, self.message)
+    }
+}
+
+/// A bounded ring buffer of trace records.
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a disabled log with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace log needs non-zero capacity");
+        TraceLog {
+            entries: VecDeque::new(),
+            capacity,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// `true` if recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a message if enabled; evicts the oldest entry when full.
+    pub fn record(&mut self, time: SimTime, component: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            component,
+            message: message.into(),
+        });
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes all entries (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new(16_384)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        let mut log = TraceLog::new(4);
+        log.record(SimTime::ZERO, "cpu", "ignored");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn records_when_enabled() {
+        let mut log = TraceLog::new(4);
+        log.set_enabled(true);
+        log.record(SimTime::from_secs(1), "cpu", "freq=1000");
+        assert_eq!(log.len(), 1);
+        let e = log.iter().next().unwrap();
+        assert_eq!(e.component, "cpu");
+        assert_eq!(e.message, "freq=1000");
+        assert_eq!(e.to_string(), "[1.000000s] cpu: freq=1000");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        log.set_enabled(true);
+        for i in 0..5 {
+            log.record(SimTime::from_secs(i), "x", format!("m{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let msgs: Vec<&str> = log.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = TraceLog::new(2);
+        log.set_enabled(true);
+        log.record(SimTime::ZERO, "a", "1");
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert!(log.is_enabled());
+    }
+}

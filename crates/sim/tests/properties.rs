@@ -1,0 +1,135 @@
+//! Property-based tests for the simulation kernel.
+
+use eavs_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Instant/duration arithmetic round-trips.
+    #[test]
+    fn time_add_then_sub_roundtrips(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    /// Duration addition is commutative and associative (absent overflow).
+    #[test]
+    fn duration_monoid(a in 0u64..1u64 << 60, b in 0u64..1u64 << 60, c in 0u64..1u64 << 60) {
+        let (a, b, c) = (
+            SimDuration::from_nanos(a >> 2),
+            SimDuration::from_nanos(b >> 2),
+            SimDuration::from_nanos(c >> 2),
+        );
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + SimDuration::ZERO, a);
+    }
+
+    /// Popping the queue yields events in non-decreasing time order, and
+    /// same-time events preserve insertion order.
+    #[test]
+    fn queue_pop_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated for same-time events");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Cancelled events never pop; exactly the survivors pop.
+    #[test]
+    fn queue_cancellation(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.push(SimTime::from_nanos(t), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// The engine's clock never moves backwards regardless of scheduling
+    /// pattern, and processes exactly the scheduled number of events.
+    #[test]
+    fn engine_clock_monotone(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        struct Chain {
+            remaining: Vec<u64>,
+            observed: Vec<SimTime>,
+        }
+        impl World for Chain {
+            type Event = ();
+            fn handle(&mut self, sched: &mut Scheduler<()>, _: ()) {
+                self.observed.push(sched.now());
+                if let Some(d) = self.remaining.pop() {
+                    sched.schedule_in(SimDuration::from_nanos(d), ());
+                }
+            }
+        }
+        let n = delays.len();
+        let mut sim = Simulation::new(Chain { remaining: delays, observed: Vec::new() });
+        sim.scheduler().schedule_at(SimTime::ZERO, ());
+        sim.run();
+        let observed = &sim.world().observed;
+        prop_assert_eq!(observed.len(), n + 1);
+        for w in observed.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// Forked RNG streams are reproducible.
+    #[test]
+    fn rng_fork_reproducible(seed in any::<u64>(), label in "[a-z]{1,8}") {
+        let mut a = SimRng::new(seed).fork(&label);
+        let mut b = SimRng::new(seed).fork(&label);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// uniform_u64 stays within bounds for arbitrary ranges.
+    #[test]
+    fn rng_uniform_u64_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..64 {
+            let v = r.uniform_u64(lo, lo + span);
+            prop_assert!(v >= lo && v < lo + span);
+        }
+    }
+
+    /// Periodic tick times are exactly start + k*period.
+    #[test]
+    fn periodic_exact(start in 0u64..1u64 << 40, period in 1u64..1u64 << 20, k in 0u64..64) {
+        let mut p = Periodic::starting_at(SimTime::from_nanos(start), SimDuration::from_nanos(period));
+        for i in 0..=k {
+            let t = p.advance();
+            prop_assert_eq!(t.as_nanos(), start + i * period);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Errors returned by the simulated sysfs interface.
+
+use std::fmt;
+
+/// An error from a sysfs read or write, mirroring the errno a real kernel
+/// interface would return.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SysfsError {
+    /// The path does not exist (`ENOENT`).
+    NotFound(String),
+    /// The file exists but cannot be written (`EACCES`).
+    NotWritable(String),
+    /// The written value was rejected (`EINVAL`).
+    InvalidValue {
+        /// File that rejected the write.
+        path: String,
+        /// The offending value.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The operation is not permitted in the current governor/policy state
+    /// (`EPERM`) — e.g. writing `scaling_setspeed` outside `userspace`.
+    NotPermitted {
+        /// File that rejected the operation.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SysfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysfsError::NotFound(p) => write!(f, "no such file: {p}"),
+            SysfsError::NotWritable(p) => write!(f, "file is read-only: {p}"),
+            SysfsError::InvalidValue {
+                path,
+                value,
+                reason,
+            } => write!(f, "invalid value {value:?} for {path}: {reason}"),
+            SysfsError::NotPermitted { path, reason } => {
+                write!(f, "operation not permitted on {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SysfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SysfsError::NotFound("x".into()).to_string(),
+            "no such file: x"
+        );
+        assert!(SysfsError::InvalidValue {
+            path: "f".into(),
+            value: "v".into(),
+            reason: "r".into()
+        }
+        .to_string()
+        .contains("invalid value"));
+        assert!(SysfsError::NotPermitted {
+            path: "f".into(),
+            reason: "r".into()
+        }
+        .to_string()
+        .contains("not permitted"));
+        assert!(SysfsError::NotWritable("f".into()).to_string().contains("read-only"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests: the sysfs surface never panics on arbitrary
+//! input, and its state machine mirrors kernel semantics.
+
+use eavs_cpu::soc::SocModel;
+use eavs_sim::time::SimTime;
+use eavs_sysfs::{CpufreqFs, SysfsError, AVAILABLE_GOVERNORS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary reads and writes to arbitrary paths/values return errors
+    /// rather than panicking, and never corrupt the policy (reads of the
+    /// core files still succeed afterwards).
+    #[test]
+    fn fuzz_never_panics(
+        ops in proptest::collection::vec(
+            (any::<bool>(), "[a-z_/]{0,24}", "[0-9a-z ]{0,12}"),
+            0..60
+        ),
+    ) {
+        let mut cluster = SocModel::MidRange.build_cluster();
+        let mut fs = CpufreqFs::new(&cluster);
+        let mut t_ms = 0u64;
+        for (is_write, path, value) in ops {
+            t_ms += 1;
+            let now = SimTime::from_millis(t_ms);
+            if is_write {
+                let _ = fs.write(&mut cluster, &path, &value, now);
+            } else {
+                let _ = fs.read(&cluster, &path, now);
+            }
+        }
+        let now = SimTime::from_millis(t_ms + 1);
+        prop_assert!(fs.read(&cluster, "scaling_cur_freq", now).is_ok());
+        prop_assert!(fs.read(&cluster, "scaling_governor", now).is_ok());
+        prop_assert!(fs.read(&cluster, "stats/time_in_state", now).is_ok());
+    }
+
+    /// Every listed file is readable; every advertised governor is
+    /// accepted by scaling_governor; everything else is rejected.
+    #[test]
+    fn listed_files_readable_and_governors_accepted(seed in any::<u64>()) {
+        let mut cluster = SocModel::Flagship2016.build_cluster();
+        let mut fs = CpufreqFs::new(&cluster);
+        let now = SimTime::from_millis(seed % 1000);
+        for file in fs.list() {
+            prop_assert!(
+                fs.read(&cluster, file, now).is_ok(),
+                "listed file {file} unreadable"
+            );
+        }
+        for gov in AVAILABLE_GOVERNORS {
+            prop_assert!(fs.write(&mut cluster, "scaling_governor", gov, now).is_ok());
+        }
+        let err = fs
+            .write(&mut cluster, "scaling_governor", "not-a-governor", now)
+            .unwrap_err();
+        let is_invalid = matches!(err, SysfsError::InvalidValue { .. });
+        prop_assert!(is_invalid);
+    }
+
+    /// Userspace setspeed accepts exactly the advertised frequencies.
+    #[test]
+    fn setspeed_accepts_exactly_available_frequencies(khz in 0u32..3_000_000) {
+        let mut cluster = SocModel::MidRange.build_cluster();
+        let mut fs = CpufreqFs::new(&cluster);
+        let now = SimTime::ZERO;
+        fs.write(&mut cluster, "scaling_governor", "userspace", now)
+            .unwrap();
+        let advertised: Vec<u32> = cluster
+            .opps()
+            .iter()
+            .map(|o| o.freq.khz())
+            .collect();
+        let result = fs.write(&mut cluster, "scaling_setspeed", &khz.to_string(), now);
+        prop_assert_eq!(result.is_ok(), advertised.contains(&khz));
+    }
+}

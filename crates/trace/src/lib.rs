@@ -1,0 +1,28 @@
+//! # eavs-trace — workload generation and trace formats
+//!
+//! Synthetic-but-structured workloads for the EAVS experiments:
+//!
+//! * [`content`] — content classes (animation/film/sport) with the
+//!   complexity and burstiness knobs that stress workload prediction.
+//! * [`video_gen`] — deterministic, position-addressable video generation
+//!   (same `(segment, rung)` is identical regardless of ABR path).
+//! * [`net_gen`] — Markov-modulated bandwidth presets (WiFi/LTE/HSPA).
+//! * [`format`](mod@format) — plain-text `.vtrace`/`.btrace` round-trip formats.
+//!
+//! Why synthetic: the paper uses commercial clips and drive traces we
+//! cannot redistribute; these generators reproduce the statistical
+//! structure that makes the problem hard (heavy-tailed I-frames,
+//! scene-change correlation, sticky network states). See DESIGN.md §2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod content;
+pub mod format;
+pub mod net_gen;
+pub mod video_gen;
+
+pub use content::ContentProfile;
+pub use format::{parse_bandwidth_trace, parse_video_trace, write_bandwidth_trace, write_video_trace, ParseError, VideoTrace};
+pub use net_gen::NetworkProfile;
+pub use video_gen::VideoGenerator;

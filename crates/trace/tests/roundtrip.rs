@@ -1,0 +1,96 @@
+//! Disk round-trip tests for the trace formats, plus property-based
+//! fuzzing of the parsers.
+
+use eavs_net::bandwidth::BandwidthTrace;
+use eavs_sim::time::{SimDuration, SimTime};
+use eavs_trace::content::ContentProfile;
+use eavs_trace::format::{
+    parse_bandwidth_trace, parse_video_trace, write_bandwidth_trace, write_video_trace,
+};
+use eavs_trace::net_gen::NetworkProfile;
+use eavs_trace::video_gen::VideoGenerator;
+use eavs_video::manifest::Manifest;
+use eavs_video::segment::Segment;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("eavs-trace-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn video_trace_survives_disk() {
+    let manifest = Manifest::single(3_000, 1280, 720, SimDuration::from_secs(6), 30);
+    let gen = VideoGenerator::new(manifest.clone(), ContentProfile::Sport, 77);
+    let frames = vec![gen
+        .all_segments(0)
+        .into_iter()
+        .flat_map(Segment::into_frames)
+        .collect::<Vec<_>>()];
+    let text = write_video_trace(&manifest, &frames);
+
+    let path = scratch("roundtrip.vtrace");
+    std::fs::write(&path, &text).expect("write");
+    let back = std::fs::read_to_string(&path).expect("read");
+    let parsed = parse_video_trace(&back).expect("parse");
+    assert_eq!(parsed.manifest, manifest);
+    assert_eq!(parsed.frames[0].len(), frames[0].len());
+    for (a, b) in parsed.frames[0].iter().zip(&frames[0]) {
+        assert_eq!(a.size_bytes, b.size_bytes);
+        assert_eq!(a.frame_type, b.frame_type);
+    }
+}
+
+#[test]
+fn bandwidth_trace_survives_disk() {
+    let trace = NetworkProfile::LteDrive.generate(SimDuration::from_secs(120), 5);
+    let path = scratch("roundtrip.btrace");
+    std::fs::write(&path, write_bandwidth_trace(&trace)).expect("write");
+    let back = std::fs::read_to_string(&path).expect("read");
+    let parsed = parse_bandwidth_trace(&back).expect("parse");
+    assert_eq!(parsed.points().len(), trace.points().len());
+    for t in [0u64, 30, 60, 119] {
+        let at = SimTime::from_secs(t);
+        let diff = (parsed.rate_at(at) - trace.rate_at(at)).abs();
+        assert!(diff < 1.0, "rate differs at {t}s by {diff}");
+    }
+}
+
+proptest! {
+    /// The parsers never panic on arbitrary input.
+    #[test]
+    fn parsers_never_panic(text in ".{0,400}") {
+        let _ = parse_video_trace(&text);
+        let _ = parse_bandwidth_trace(&text);
+    }
+
+    /// Generated bandwidth traces always round-trip through text.
+    #[test]
+    fn bandwidth_roundtrip_any_seed(seed in any::<u64>(), profile in 0u8..3) {
+        let profile = NetworkProfile::ALL[profile as usize];
+        let trace = profile.generate(SimDuration::from_secs(30), seed);
+        let parsed = parse_bandwidth_trace(&write_bandwidth_trace(&trace)).unwrap();
+        prop_assert_eq!(parsed.points().len(), trace.points().len());
+    }
+
+    /// Hand-built step traces round-trip exactly at change points.
+    #[test]
+    fn step_trace_roundtrip(steps in proptest::collection::vec((0u64..1000, 0.0f64..1e8), 1..20)) {
+        let mut points = Vec::new();
+        let mut t = 0u64;
+        for (i, &(dt, rate)) in steps.iter().enumerate() {
+            t += if i == 0 { 0 } else { dt.max(1) };
+            points.push((SimTime::from_secs(t), rate));
+        }
+        // Dedup equal times (construction requires strictly increasing).
+        points.dedup_by_key(|(time, _)| *time);
+        let trace = BandwidthTrace::from_points(points);
+        let parsed = parse_bandwidth_trace(&write_bandwidth_trace(&trace)).unwrap();
+        for (a, b) in parsed.points().iter().zip(trace.points()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert!((a.1 - b.1).abs() < 0.01);
+        }
+    }
+}

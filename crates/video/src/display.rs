@@ -1,0 +1,431 @@
+//! Playback / display state machine.
+//!
+//! Drives what happens at each vsync: display the next decoded frame, stall
+//! one refresh because the decoder is late (*deadline miss* — the paper's
+//! QoE metric for over-slow CPU scaling), or enter rebuffering because the
+//! network starved the pipeline entirely. The enclosing session schedules
+//! the vsync ticks; this type owns the decisions and the accounting.
+
+use crate::frame::Frame;
+use crate::pipeline::DecodePipeline;
+use eavs_sim::time::{SimDuration, SimTime};
+
+/// Playback lifecycle phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlaybackPhase {
+    /// Waiting for the initial buffer to fill; playback has not started.
+    Startup,
+    /// Displaying frames at vsync.
+    Playing,
+    /// Paused with an empty pipeline, waiting for the network.
+    Rebuffering,
+    /// All frames displayed.
+    Ended,
+}
+
+/// What happens when the due frame is not decoded in time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LatePolicy {
+    /// Freeze one refresh and display the frame when it arrives (playback
+    /// stretches; every late decode is visible). The conservative default
+    /// — it cannot hide governor slowness.
+    #[default]
+    Stall,
+    /// Stay on the wall-clock schedule and drop frames whose slot passed
+    /// (AVSync-style); content time never stretches but frames are lost.
+    Drop,
+}
+
+/// What happened at a vsync tick.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum VsyncOutcome {
+    /// A frame was displayed.
+    Displayed(Frame),
+    /// The decoder was late: no decoded frame, but media is buffered.
+    /// Playback freezes for this refresh (deadline miss).
+    DecoderLate,
+    /// The due frame's slot passed and was skipped (drop-late policy).
+    Dropped,
+    /// The pipeline is drained: transitioned to rebuffering.
+    Starved,
+    /// The stream finished with this tick.
+    Ended(Frame),
+}
+
+/// Playback state and QoE accounting.
+#[derive(Clone, Debug)]
+pub struct Playback {
+    phase: PlaybackPhase,
+    total_frames: u64,
+    startup_threshold_frames: usize,
+    resume_threshold_frames: usize,
+    frames_displayed: u64,
+    late_vsyncs: u64,
+    rebuffer_events: u64,
+    rebuffer_time: SimDuration,
+    stall_since: Option<SimTime>,
+    startup_delay: Option<SimDuration>,
+    policy: LatePolicy,
+    /// Next frame index due for display (drop policy advances this past
+    /// skipped frames).
+    next_display: u64,
+    frames_dropped: u64,
+}
+
+impl Playback {
+    /// Creates playback for a stream of `total_frames` frames.
+    ///
+    /// Playback starts once `startup_threshold_frames` are buffered and
+    /// resumes after rebuffering once `resume_threshold_frames` are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_frames == 0` or either threshold is zero.
+    pub fn new(
+        total_frames: u64,
+        startup_threshold_frames: usize,
+        resume_threshold_frames: usize,
+    ) -> Self {
+        assert!(total_frames > 0, "empty stream");
+        assert!(
+            startup_threshold_frames > 0 && resume_threshold_frames > 0,
+            "thresholds must be positive"
+        );
+        Playback {
+            phase: PlaybackPhase::Startup,
+            total_frames,
+            startup_threshold_frames,
+            resume_threshold_frames,
+            frames_displayed: 0,
+            late_vsyncs: 0,
+            rebuffer_events: 0,
+            rebuffer_time: SimDuration::ZERO,
+            stall_since: None,
+            startup_delay: None,
+            policy: LatePolicy::Stall,
+            next_display: 0,
+            frames_dropped: 0,
+        }
+    }
+
+    /// Selects the late-frame policy (builder style).
+    pub fn with_policy(mut self, policy: LatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The late-frame policy in force.
+    pub fn policy(&self) -> LatePolicy {
+        self.policy
+    }
+
+    /// Frames skipped under the drop-late policy.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// The index of the next frame due for display.
+    pub fn next_display(&self) -> u64 {
+        self.next_display
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> PlaybackPhase {
+        self.phase
+    }
+
+    /// Frames displayed so far.
+    pub fn frames_displayed(&self) -> u64 {
+        self.frames_displayed
+    }
+
+    /// Vsyncs missed because the decoder was late.
+    pub fn late_vsyncs(&self) -> u64 {
+        self.late_vsyncs
+    }
+
+    /// Rebuffering events (network starvation).
+    pub fn rebuffer_events(&self) -> u64 {
+        self.rebuffer_events
+    }
+
+    /// Total time spent rebuffering.
+    pub fn rebuffer_time(&self) -> SimDuration {
+        self.rebuffer_time
+    }
+
+    /// Time from session start to first displayed frame, once known.
+    pub fn startup_delay(&self) -> Option<SimDuration> {
+        self.startup_delay
+    }
+
+    /// Total frames in the stream.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Whether playback may start/resume given the pipeline's buffered
+    /// frame count (also counts frames the stream will never provide
+    /// again at end of stream, where thresholds can exceed what remains).
+    ///
+    /// Returns `true` and performs the phase transition when it fires.
+    pub fn maybe_start(&mut self, now: SimTime, buffered_frames: usize, downloads_done: bool) -> bool {
+        let threshold = match self.phase {
+            PlaybackPhase::Startup => self.startup_threshold_frames,
+            PlaybackPhase::Rebuffering => self.resume_threshold_frames,
+            PlaybackPhase::Playing | PlaybackPhase::Ended => return false,
+        };
+        let remaining = (self.total_frames - self.next_display) as usize;
+        let effective = threshold.min(remaining);
+        if buffered_frames >= effective || (downloads_done && buffered_frames > 0) {
+            if self.phase == PlaybackPhase::Rebuffering {
+                let since = self.stall_since.take().expect("rebuffering had a start");
+                self.rebuffer_time += now - since;
+            } else {
+                self.startup_delay = Some(now - SimTime::ZERO);
+            }
+            self.phase = PlaybackPhase::Playing;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Handles one vsync tick. Only valid while [`PlaybackPhase::Playing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called in any other phase.
+    pub fn on_vsync(&mut self, now: SimTime, pipeline: &mut DecodePipeline) -> VsyncOutcome {
+        assert_eq!(
+            self.phase,
+            PlaybackPhase::Playing,
+            "vsync outside of playback"
+        );
+        if self.policy == LatePolicy::Drop {
+            // Decoded frames whose slot already passed were counted as
+            // dropped at their vsync; discard them silently now.
+            pipeline.discard_decoded_before(self.next_display);
+        }
+        let due_is_decoded = match self.policy {
+            LatePolicy::Stall => pipeline.peek_decoded().is_some(),
+            LatePolicy::Drop => {
+                matches!(pipeline.peek_decoded(), Some(f) if f.index == self.next_display)
+            }
+        };
+        if due_is_decoded {
+            let frame = pipeline.take_decoded().expect("peeked");
+            self.frames_displayed += 1;
+            self.next_display = frame.index + 1;
+            return if self.playhead_done() {
+                self.phase = PlaybackPhase::Ended;
+                VsyncOutcome::Ended(frame)
+            } else {
+                VsyncOutcome::Displayed(frame)
+            };
+        }
+        if pipeline.is_drained() {
+            self.phase = PlaybackPhase::Rebuffering;
+            self.rebuffer_events += 1;
+            self.stall_since = Some(now);
+            return VsyncOutcome::Starved;
+        }
+        match self.policy {
+            LatePolicy::Stall => {
+                self.late_vsyncs += 1;
+                VsyncOutcome::DecoderLate
+            }
+            LatePolicy::Drop => {
+                self.frames_dropped += 1;
+                self.next_display += 1;
+                if self.playhead_done() {
+                    self.phase = PlaybackPhase::Ended;
+                }
+                VsyncOutcome::Dropped
+            }
+        }
+    }
+
+    /// `true` when the playhead has consumed every frame slot (displayed
+    /// or dropped).
+    fn playhead_done(&self) -> bool {
+        self.next_display >= self.total_frames
+    }
+
+    /// Finalizes accounting at session end (closes an open rebuffer
+    /// interval).
+    pub fn finalize(&mut self, now: SimTime) {
+        if let Some(since) = self.stall_since.take() {
+            self.rebuffer_time += now - since;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameType;
+    use eavs_cpu::freq::Cycles;
+
+    fn frame(index: u64) -> Frame {
+        Frame {
+            index,
+            frame_type: FrameType::P,
+            size_bytes: 100,
+            decode_cycles: Cycles::from_mega(1.0),
+            duration: SimDuration::from_nanos(33_333_333),
+        }
+    }
+
+    fn decoded_pipeline(n: u64) -> DecodePipeline {
+        let mut p = DecodePipeline::new(64);
+        p.push_frames((0..n).map(frame));
+        while p.can_start_decode() {
+            p.start_decode();
+            p.finish_decode();
+        }
+        p
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn startup_gates_on_threshold() {
+        let mut pb = Playback::new(100, 8, 4);
+        assert_eq!(pb.phase(), PlaybackPhase::Startup);
+        assert!(!pb.maybe_start(t(10), 7, false));
+        assert!(pb.maybe_start(t(20), 8, false));
+        assert_eq!(pb.phase(), PlaybackPhase::Playing);
+        assert_eq!(pb.startup_delay(), Some(SimDuration::from_millis(20)));
+    }
+
+    #[test]
+    fn displays_frames_and_ends() {
+        let mut pb = Playback::new(3, 1, 1);
+        let mut p = decoded_pipeline(3);
+        pb.maybe_start(t(0), 3, false);
+        assert!(matches!(pb.on_vsync(t(1), &mut p), VsyncOutcome::Displayed(f) if f.index == 0));
+        assert!(matches!(pb.on_vsync(t(2), &mut p), VsyncOutcome::Displayed(_)));
+        assert!(matches!(pb.on_vsync(t(3), &mut p), VsyncOutcome::Ended(_)));
+        assert_eq!(pb.phase(), PlaybackPhase::Ended);
+        assert_eq!(pb.frames_displayed(), 3);
+    }
+
+    #[test]
+    fn late_decoder_counts_misses() {
+        let mut pb = Playback::new(10, 1, 1);
+        let mut p = DecodePipeline::new(4);
+        p.push_frames([frame(0), frame(1)]);
+        pb.maybe_start(t(0), 2, false);
+        // Nothing decoded yet: decoder is late but media is buffered.
+        assert_eq!(pb.on_vsync(t(1), &mut p), VsyncOutcome::DecoderLate);
+        assert_eq!(pb.late_vsyncs(), 1);
+        assert_eq!(pb.phase(), PlaybackPhase::Playing);
+    }
+
+    #[test]
+    fn starvation_enters_rebuffering_and_resume_accounts_time() {
+        let mut pb = Playback::new(10, 1, 3);
+        let mut p = decoded_pipeline(1);
+        pb.maybe_start(t(0), 1, false);
+        assert!(matches!(pb.on_vsync(t(1), &mut p), VsyncOutcome::Displayed(_)));
+        assert_eq!(pb.on_vsync(t(2), &mut p), VsyncOutcome::Starved);
+        assert_eq!(pb.phase(), PlaybackPhase::Rebuffering);
+        assert_eq!(pb.rebuffer_events(), 1);
+        // Not enough to resume.
+        assert!(!pb.maybe_start(t(3), 2, false));
+        assert!(pb.maybe_start(t(52), 3, false));
+        assert_eq!(pb.rebuffer_time(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn resume_with_fewer_frames_at_end_of_stream() {
+        let mut pb = Playback::new(5, 4, 4);
+        // Only 2 frames will ever exist (end of stream): allow start when
+        // downloads are done.
+        assert!(pb.maybe_start(t(0), 2, true));
+    }
+
+    #[test]
+    fn finalize_closes_open_stall() {
+        let mut pb = Playback::new(10, 1, 4);
+        let mut p = decoded_pipeline(1);
+        pb.maybe_start(t(0), 1, false);
+        pb.on_vsync(t(1), &mut p);
+        pb.on_vsync(t(2), &mut p); // starved
+        pb.finalize(t(10));
+        assert_eq!(pb.rebuffer_time(), SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn drop_policy_skips_late_frames_and_stays_on_schedule() {
+        let mut pb = Playback::new(5, 1, 1).with_policy(LatePolicy::Drop);
+        assert_eq!(pb.policy(), LatePolicy::Drop);
+        let mut p = DecodePipeline::new(4);
+        // Frames 0..5 downloaded; only 0 decoded before vsyncs begin.
+        p.push_frames((0..5).map(frame));
+        p.start_decode();
+        p.finish_decode();
+        pb.maybe_start(t(0), 5, true);
+        assert!(matches!(pb.on_vsync(t(33), &mut p), VsyncOutcome::Displayed(f) if f.index == 0));
+        // Frame 1 still undecoded at its slot: dropped, playhead advances.
+        assert_eq!(pb.on_vsync(t(66), &mut p), VsyncOutcome::Dropped);
+        assert_eq!(pb.frames_dropped(), 1);
+        // Frame 1 finishes decode late; it is discarded, frame 2 shows.
+        p.start_decode();
+        p.finish_decode(); // frame 1 (stale)
+        p.start_decode();
+        p.finish_decode(); // frame 2 (due)
+        assert!(matches!(pb.on_vsync(t(99), &mut p), VsyncOutcome::Displayed(f) if f.index == 2));
+        // Decode the rest; 3 displays, 4 ends the stream.
+        p.start_decode();
+        p.finish_decode();
+        p.start_decode();
+        p.finish_decode();
+        assert!(matches!(pb.on_vsync(t(132), &mut p), VsyncOutcome::Displayed(f) if f.index == 3));
+        assert!(matches!(pb.on_vsync(t(165), &mut p), VsyncOutcome::Ended(f) if f.index == 4));
+        assert_eq!(pb.frames_displayed(), 4);
+        assert_eq!(pb.frames_dropped(), 1);
+    }
+
+    #[test]
+    fn drop_policy_ends_even_if_last_frame_drops() {
+        let mut pb = Playback::new(2, 1, 1).with_policy(LatePolicy::Drop);
+        let mut p = DecodePipeline::new(4);
+        p.push_frames((0..2).map(frame));
+        p.start_decode();
+        p.finish_decode();
+        pb.maybe_start(t(0), 2, true);
+        assert!(matches!(pb.on_vsync(t(1), &mut p), VsyncOutcome::Displayed(_)));
+        // Final frame still in the undecoded queue at its slot: dropped,
+        // and the playhead reaches the end of the stream.
+        assert_eq!(pb.on_vsync(t(2), &mut p), VsyncOutcome::Dropped);
+        assert_eq!(pb.phase(), PlaybackPhase::Ended);
+        assert_eq!(pb.frames_displayed(), 1);
+        assert_eq!(pb.frames_dropped(), 1);
+    }
+
+    #[test]
+    fn drop_policy_still_rebuffers_on_starvation() {
+        let mut pb = Playback::new(10, 1, 2).with_policy(LatePolicy::Drop);
+        let mut p = DecodePipeline::new(4);
+        p.push_frames([frame(0)]);
+        p.start_decode();
+        p.finish_decode();
+        pb.maybe_start(t(0), 1, false);
+        pb.on_vsync(t(1), &mut p);
+        // Nothing buffered at all: starvation, not a drop.
+        assert_eq!(pb.on_vsync(t(2), &mut p), VsyncOutcome::Starved);
+        assert_eq!(pb.frames_dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vsync outside of playback")]
+    fn vsync_before_start_panics() {
+        let mut pb = Playback::new(10, 1, 1);
+        let mut p = decoded_pipeline(1);
+        pb.on_vsync(t(0), &mut p);
+    }
+}

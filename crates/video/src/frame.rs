@@ -1,0 +1,105 @@
+//! Video frames.
+
+use eavs_cpu::freq::Cycles;
+use eavs_sim::time::SimDuration;
+use std::fmt;
+
+/// The coding type of a frame, which determines its size and decode cost
+/// distribution.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FrameType {
+    /// Intra-coded: largest, most expensive.
+    I,
+    /// Predicted: medium.
+    P,
+    /// Bi-predicted: smallest, cheapest.
+    B,
+}
+
+impl FrameType {
+    /// All frame types.
+    pub const ALL: [FrameType; 3] = [FrameType::I, FrameType::P, FrameType::B];
+
+    /// Dense index for per-type bookkeeping (I=0, P=1, B=2).
+    pub fn index(self) -> usize {
+        match self {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        }
+    }
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            FrameType::I => 'I',
+            FrameType::P => 'P',
+            FrameType::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// One coded video frame.
+///
+/// `size_bytes` is known to the player as soon as the containing segment is
+/// downloaded (it is in the container); `decode_cycles` is the *ground
+/// truth* cost the simulator charges — governors must predict it, they may
+/// not read it (the EAVS governor only receives it **after** the frame has
+/// been decoded, as feedback).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Frame {
+    /// Global decode-order index within the stream.
+    pub index: u64,
+    /// Coding type.
+    pub frame_type: FrameType,
+    /// Coded size in bytes (container metadata, visible to governors).
+    pub size_bytes: u32,
+    /// Ground-truth decode cost (hidden from governors until decoded).
+    pub decode_cycles: Cycles,
+    /// Presentation duration (1/fps).
+    pub duration: SimDuration,
+}
+
+impl Frame {
+    /// Media timestamp of this frame assuming constant frame duration from
+    /// stream start.
+    pub fn media_pts(&self) -> SimDuration {
+        SimDuration::from_nanos(self.duration.as_nanos() * self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for t in FrameType::ALL {
+            assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_single_letters() {
+        assert_eq!(FrameType::I.to_string(), "I");
+        assert_eq!(FrameType::P.to_string(), "P");
+        assert_eq!(FrameType::B.to_string(), "B");
+    }
+
+    #[test]
+    fn media_pts_accumulates_duration() {
+        let f = Frame {
+            index: 30,
+            frame_type: FrameType::P,
+            size_bytes: 1000,
+            decode_cycles: Cycles::from_mega(5.0),
+            duration: SimDuration::from_nanos(33_333_333),
+        };
+        assert_eq!(f.media_pts(), SimDuration::from_nanos(30 * 33_333_333));
+    }
+}

@@ -1,0 +1,150 @@
+//! Group-of-pictures structure.
+//!
+//! Determines the I/P/B pattern of a stream in decode order. Workload
+//! generators use it to assign frame types; the periodic I-frame spikes it
+//! produces are the main reason naive per-sample governors mispredict.
+
+use crate::frame::FrameType;
+
+/// A repeating GOP pattern.
+///
+/// A GOP of length `gop_length` starts with an I frame; the remainder
+/// alternates `b_per_p` B frames after each P frame (closed GOP, decode
+/// order), e.g. `gop_length=12, b_per_p=2` → `I P B B P B B P B B P B`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GopStructure {
+    gop_length: u32,
+    b_per_p: u32,
+}
+
+impl GopStructure {
+    /// Creates a structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gop_length == 0`.
+    pub fn new(gop_length: u32, b_per_p: u32) -> Self {
+        assert!(gop_length > 0, "GOP length must be positive");
+        GopStructure { gop_length, b_per_p }
+    }
+
+    /// A typical streaming GOP: 2-second GOP at 30 fps with 2 B frames.
+    pub fn streaming_default() -> Self {
+        GopStructure::new(60, 2)
+    }
+
+    /// An all-intra structure (e.g. editing codecs): every frame is I.
+    pub fn all_intra() -> Self {
+        GopStructure::new(1, 0)
+    }
+
+    /// A low-latency structure with no B frames: `I P P P ...`.
+    pub fn low_latency(gop_length: u32) -> Self {
+        GopStructure::new(gop_length, 0)
+    }
+
+    /// GOP length in frames.
+    pub fn gop_length(self) -> u32 {
+        self.gop_length
+    }
+
+    /// The frame type at global decode-order position `index`.
+    pub fn frame_type_at(self, index: u64) -> FrameType {
+        let pos = (index % u64::from(self.gop_length)) as u32;
+        if pos == 0 {
+            return FrameType::I;
+        }
+        if self.b_per_p == 0 {
+            return FrameType::P;
+        }
+        // After the I frame, repeat [P, B*b_per_p].
+        if (pos - 1).is_multiple_of(self.b_per_p + 1) {
+            FrameType::P
+        } else {
+            FrameType::B
+        }
+    }
+
+    /// The fraction of frames of each type over one GOP, indexed by
+    /// [`FrameType::index`].
+    pub fn type_mix(self) -> [f64; 3] {
+        let mut counts = [0u32; 3];
+        for i in 0..u64::from(self.gop_length) {
+            counts[self.frame_type_at(i).index()] += 1;
+        }
+        let total = f64::from(self.gop_length);
+        [
+            f64::from(counts[0]) / total,
+            f64::from(counts[1]) / total,
+            f64::from(counts[2]) / total,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_repeats_with_i_at_gop_start() {
+        let g = GopStructure::new(12, 2);
+        assert_eq!(g.frame_type_at(0), FrameType::I);
+        assert_eq!(g.frame_type_at(12), FrameType::I);
+        assert_eq!(g.frame_type_at(24), FrameType::I);
+        assert_eq!(g.frame_type_at(1), FrameType::P);
+        assert_eq!(g.frame_type_at(2), FrameType::B);
+        assert_eq!(g.frame_type_at(3), FrameType::B);
+        assert_eq!(g.frame_type_at(4), FrameType::P);
+    }
+
+    #[test]
+    fn no_b_frames_pattern() {
+        let g = GopStructure::low_latency(4);
+        let types: Vec<FrameType> = (0..8).map(|i| g.frame_type_at(i)).collect();
+        assert_eq!(
+            types,
+            vec![
+                FrameType::I,
+                FrameType::P,
+                FrameType::P,
+                FrameType::P,
+                FrameType::I,
+                FrameType::P,
+                FrameType::P,
+                FrameType::P
+            ]
+        );
+    }
+
+    #[test]
+    fn all_intra_is_all_i() {
+        let g = GopStructure::all_intra();
+        assert!((0..100).all(|i| g.frame_type_at(i) == FrameType::I));
+        assert_eq!(g.type_mix(), [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn type_mix_sums_to_one() {
+        for g in [
+            GopStructure::streaming_default(),
+            GopStructure::new(12, 2),
+            GopStructure::new(30, 1),
+        ] {
+            let mix = g.type_mix();
+            assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(mix[0] > 0.0, "every GOP has an I frame");
+        }
+    }
+
+    #[test]
+    fn streaming_default_mostly_b() {
+        let mix = GopStructure::streaming_default().type_mix();
+        assert!(mix[2] > mix[1] && mix[1] > mix[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gop_rejected() {
+        GopStructure::new(0, 2);
+    }
+}

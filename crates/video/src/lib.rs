@@ -1,0 +1,36 @@
+//! # eavs-video — video pipeline model
+//!
+//! The player-side substrate of the EAVS reproduction: coded frames with
+//! per-type decode costs, GOP structure, DASH-style manifests/segments, the
+//! decode pipeline with a bounded output queue, the vsync-driven playback
+//! state machine, and QoE accounting.
+//!
+//! Media time is frame-based (see [`manifest`]) so rounded per-frame
+//! durations never drift against segment boundaries.
+//!
+//! * [`frame`] — [`Frame`], [`FrameType`] with hidden ground-truth cycles.
+//! * [`gop`] — I/P/B patterns ([`GopStructure`]).
+//! * [`manifest`] — ladders and stream metadata ([`Manifest`]).
+//! * [`segment`] — the download unit ([`Segment`]).
+//! * [`pipeline`] — decode staging ([`DecodePipeline`]).
+//! * [`display`] — vsync outcomes, rebuffering ([`Playback`]).
+//! * [`qoe`] — aggregated metrics ([`QoeReport`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod frame;
+pub mod gop;
+pub mod manifest;
+pub mod pipeline;
+pub mod qoe;
+pub mod segment;
+
+pub use display::{Playback, PlaybackPhase, VsyncOutcome};
+pub use frame::{Frame, FrameType};
+pub use gop::GopStructure;
+pub use manifest::{Manifest, Representation};
+pub use pipeline::DecodePipeline;
+pub use qoe::QoeReport;
+pub use segment::Segment;

@@ -1,0 +1,276 @@
+//! DASH-style manifests: representation ladders and segment metadata.
+//!
+//! Media time is counted in *frames*: a segment is `frames_per_segment`
+//! frames, each lasting `frame_duration = round(1s / fps)`. All buffer and
+//! display math is frame-based, so sub-nanosecond rates (30 fps =
+//! 33 333 333.3 ns) introduce no drift anywhere in the pipeline — the
+//! clock is self-consistent by construction.
+
+use eavs_sim::time::SimDuration;
+use std::fmt;
+
+/// One encoding of the content (a rung of the ABR ladder).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Representation {
+    /// Ladder index (0 = lowest bitrate).
+    pub id: usize,
+    /// Average bitrate in kilobits per second.
+    pub bitrate_kbps: u32,
+    /// Luma width in pixels.
+    pub width: u32,
+    /// Luma height in pixels.
+    pub height: u32,
+}
+
+impl Representation {
+    /// Pixels per frame.
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Average bytes per segment of the given duration.
+    pub fn bytes_per_segment(&self, segment_duration: SimDuration) -> u64 {
+        (u64::from(self.bitrate_kbps) * 1000 / 8) * segment_duration.as_millis() / 1000
+    }
+}
+
+impl fmt::Display for Representation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}p@{}kbps", self.height, self.bitrate_kbps)
+    }
+}
+
+/// The stream manifest: the ladder plus timing metadata.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Manifest {
+    representations: Vec<Representation>,
+    /// Frames in each segment.
+    pub frames_per_segment: u64,
+    /// Total number of segments.
+    pub num_segments: u64,
+    /// Frames per second.
+    pub fps: u32,
+}
+
+impl Manifest {
+    /// Builds a manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, representation ids are not dense
+    /// indices, bitrates are not strictly increasing, `fps == 0`,
+    /// `frames_per_segment == 0`, or `num_segments == 0`.
+    pub fn new(
+        representations: Vec<Representation>,
+        frames_per_segment: u64,
+        num_segments: u64,
+        fps: u32,
+    ) -> Self {
+        assert!(!representations.is_empty(), "empty ladder");
+        assert!(fps > 0, "zero fps");
+        assert!(frames_per_segment > 0, "empty segments");
+        assert!(num_segments > 0, "zero-length stream");
+        for (i, r) in representations.iter().enumerate() {
+            assert_eq!(r.id, i, "representation ids must be dense ladder indices");
+            if i > 0 {
+                assert!(
+                    r.bitrate_kbps > representations[i - 1].bitrate_kbps,
+                    "ladder bitrates must strictly increase"
+                );
+            }
+        }
+        Manifest {
+            representations,
+            frames_per_segment,
+            num_segments,
+            fps,
+        }
+    }
+
+    /// A standard 5-rung ladder (360p → 1440p) with 2-second segments.
+    pub fn standard_ladder(duration: SimDuration, fps: u32) -> Self {
+        let frames_per_segment = u64::from(fps) * 2;
+        let seg = SimDuration::from_secs(2);
+        let num_segments = duration.as_nanos().div_ceil(seg.as_nanos()).max(1);
+        Manifest::new(
+            vec![
+                Representation {
+                    id: 0,
+                    bitrate_kbps: 700,
+                    width: 640,
+                    height: 360,
+                },
+                Representation {
+                    id: 1,
+                    bitrate_kbps: 1_500,
+                    width: 854,
+                    height: 480,
+                },
+                Representation {
+                    id: 2,
+                    bitrate_kbps: 3_000,
+                    width: 1280,
+                    height: 720,
+                },
+                Representation {
+                    id: 3,
+                    bitrate_kbps: 6_000,
+                    width: 1920,
+                    height: 1080,
+                },
+                Representation {
+                    id: 4,
+                    bitrate_kbps: 10_000,
+                    width: 2560,
+                    height: 1440,
+                },
+            ],
+            frames_per_segment,
+            num_segments,
+            fps,
+        )
+    }
+
+    /// A single-rung manifest at the given bitrate/resolution (fixed-quality
+    /// experiments), 2-second segments.
+    pub fn single(
+        bitrate_kbps: u32,
+        width: u32,
+        height: u32,
+        duration: SimDuration,
+        fps: u32,
+    ) -> Self {
+        let seg = SimDuration::from_secs(2);
+        let num_segments = duration.as_nanos().div_ceil(seg.as_nanos()).max(1);
+        Manifest::new(
+            vec![Representation {
+                id: 0,
+                bitrate_kbps,
+                width,
+                height,
+            }],
+            u64::from(fps) * 2,
+            num_segments,
+            fps,
+        )
+    }
+
+    /// The ladder, lowest bitrate first.
+    pub fn representations(&self) -> &[Representation] {
+        &self.representations
+    }
+
+    /// The representation with ladder index `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn representation(&self, id: usize) -> Representation {
+        self.representations[id]
+    }
+
+    /// Number of rungs.
+    pub fn num_representations(&self) -> usize {
+        self.representations.len()
+    }
+
+    /// Duration of one frame: `round(1 s / fps)`.
+    pub fn frame_duration(&self) -> SimDuration {
+        SimDuration::from_nanos((1_000_000_000 + u64::from(self.fps) / 2) / u64::from(self.fps))
+    }
+
+    /// Media duration of one segment (`frames_per_segment` frames).
+    pub fn segment_duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.frame_duration().as_nanos() * self.frames_per_segment)
+    }
+
+    /// Total content duration.
+    pub fn total_duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.segment_duration().as_nanos() * self.num_segments)
+    }
+
+    /// Total frame count.
+    pub fn total_frames(&self) -> u64 {
+        self.frames_per_segment * self.num_segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_ladder_is_valid_and_ascending() {
+        let m = Manifest::standard_ladder(SimDuration::from_secs(60), 30);
+        assert_eq!(m.num_representations(), 5);
+        assert_eq!(m.num_segments, 30);
+        assert_eq!(m.frames_per_segment, 60);
+        assert_eq!(m.total_frames(), 1800);
+        let rates: Vec<u32> = m.representations().iter().map(|r| r.bitrate_kbps).collect();
+        assert!(rates.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn representation_math() {
+        let r = Representation {
+            id: 0,
+            bitrate_kbps: 6_000,
+            width: 1920,
+            height: 1080,
+        };
+        assert_eq!(r.pixels(), 2_073_600);
+        // 6 Mbps × 2 s = 1.5 MB.
+        assert_eq!(r.bytes_per_segment(SimDuration::from_secs(2)), 1_500_000);
+        assert_eq!(r.to_string(), "1080p@6000kbps");
+    }
+
+    #[test]
+    fn single_rung_manifest() {
+        let m = Manifest::single(3_000, 1280, 720, SimDuration::from_secs(10), 30);
+        assert_eq!(m.num_representations(), 1);
+        assert_eq!(m.num_segments, 5);
+    }
+
+    #[test]
+    fn partial_final_segment_rounds_up() {
+        let m = Manifest::single(1_000, 640, 360, SimDuration::from_secs(5), 30);
+        assert_eq!(m.num_segments, 3);
+    }
+
+    #[test]
+    fn frame_duration_rounding() {
+        let m30 = Manifest::standard_ladder(SimDuration::from_secs(4), 30);
+        assert_eq!(m30.frame_duration(), SimDuration::from_nanos(33_333_333));
+        let m60 = Manifest::standard_ladder(SimDuration::from_secs(4), 60);
+        assert_eq!(m60.frame_duration(), SimDuration::from_nanos(16_666_667));
+        // Self-consistency: segment = frames × frame_duration exactly.
+        assert_eq!(
+            m60.segment_duration().as_nanos(),
+            m60.frame_duration().as_nanos() * m60.frames_per_segment
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_ascending_ladder_rejected() {
+        Manifest::new(
+            vec![
+                Representation {
+                    id: 0,
+                    bitrate_kbps: 2_000,
+                    width: 1280,
+                    height: 720,
+                },
+                Representation {
+                    id: 1,
+                    bitrate_kbps: 1_000,
+                    width: 640,
+                    height: 360,
+                },
+            ],
+            60,
+            10,
+            30,
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! The decode pipeline: downloaded frames → decoder → decoded-frame queue.
+//!
+//! Models the player's decode stage. Downloaded segments feed an undecoded
+//! queue; the decoder (one frame in flight, executing on a CPU core) moves
+//! frames into a small decoded-frame queue that the display drains at
+//! vsync. The decoded queue is bounded, as in real players (a handful of
+//! output surfaces), which is what creates the *slack* the EAVS governor
+//! exploits: the decoder only needs to stay ahead of vsync by the queue
+//! depth, not run flat out.
+
+use crate::frame::Frame;
+use std::collections::VecDeque;
+
+/// Decode-stage state machine.
+#[derive(Clone, Debug)]
+pub struct DecodePipeline {
+    undecoded: VecDeque<Frame>,
+    in_flight: Option<Frame>,
+    decoded: VecDeque<Frame>,
+    decoded_cap: usize,
+    frames_decoded: u64,
+}
+
+impl DecodePipeline {
+    /// Creates a pipeline whose decoded-frame queue holds `decoded_cap`
+    /// frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded_cap == 0`.
+    pub fn new(decoded_cap: usize) -> Self {
+        assert!(decoded_cap > 0, "decoded queue needs capacity");
+        DecodePipeline {
+            undecoded: VecDeque::new(),
+            in_flight: None,
+            decoded: VecDeque::new(),
+            decoded_cap,
+            frames_decoded: 0,
+        }
+    }
+
+    /// Enqueues a downloaded segment's frames.
+    pub fn push_frames(&mut self, frames: impl IntoIterator<Item = Frame>) {
+        self.undecoded.extend(frames);
+    }
+
+    /// `true` if a decode job can start now: a frame is waiting, nothing is
+    /// in flight, and there is room for the output.
+    pub fn can_start_decode(&self) -> bool {
+        self.in_flight.is_none()
+            && !self.undecoded.is_empty()
+            && self.decoded.len() < self.decoded_cap
+    }
+
+    /// Starts decoding the next frame, returning it (its ground-truth
+    /// `decode_cycles` sizes the CPU job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DecodePipeline::can_start_decode`] is false.
+    pub fn start_decode(&mut self) -> Frame {
+        assert!(self.can_start_decode(), "decode start while not ready");
+        let frame = self.undecoded.pop_front().expect("checked non-empty");
+        self.in_flight = Some(frame);
+        frame
+    }
+
+    /// Completes the in-flight decode, moving the frame to the decoded
+    /// queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight.
+    pub fn finish_decode(&mut self) -> Frame {
+        let frame = self.in_flight.take().expect("no decode in flight");
+        self.decoded.push_back(frame);
+        self.frames_decoded += 1;
+        frame
+    }
+
+    /// Pops the next decoded frame for display.
+    pub fn take_decoded(&mut self) -> Option<Frame> {
+        self.decoded.pop_front()
+    }
+
+    /// Peeks the next decoded frame without consuming it.
+    pub fn peek_decoded(&self) -> Option<&Frame> {
+        self.decoded.front()
+    }
+
+    /// Drop-mode decoder catch-up, mirroring what real players do when
+    /// running behind the display clock (`before` = next due index):
+    ///
+    /// 1. stale B-frames at the queue front are discarded *without
+    ///    decoding* (non-reference, cheap catch-up);
+    /// 2. if the front is then a stale P-frame, the decoder cannot catch
+    ///    up within this GOP (later frames reference the stale chain), so
+    ///    it resyncs: everything up to the next I-frame is discarded.
+    ///
+    /// Stale I-frames are kept — they must decode to anchor the GOP even
+    /// though their own display slot passed. Returns the number of frames
+    /// discarded undecoded.
+    pub fn catch_up(&mut self, before: u64) -> usize {
+        use crate::frame::FrameType;
+        let mut skipped = 0;
+        while matches!(
+            self.undecoded.front(),
+            Some(f) if f.index < before && f.frame_type == FrameType::B
+        ) {
+            self.undecoded.pop_front();
+            skipped += 1;
+        }
+        if matches!(
+            self.undecoded.front(),
+            Some(f) if f.index < before && f.frame_type == FrameType::P
+        ) {
+            while matches!(
+                self.undecoded.front(),
+                Some(f) if f.frame_type != FrameType::I
+            ) {
+                self.undecoded.pop_front();
+                skipped += 1;
+            }
+        }
+        skipped
+    }
+
+    /// Discards decoded frames with `index < before` (their display slot
+    /// already passed under a drop-late policy). Returns how many were
+    /// discarded.
+    pub fn discard_decoded_before(&mut self, before: u64) -> usize {
+        let mut discarded = 0;
+        while matches!(self.decoded.front(), Some(f) if f.index < before) {
+            self.decoded.pop_front();
+            discarded += 1;
+        }
+        discarded
+    }
+
+    /// Peeks upcoming undecoded frames (container metadata is visible to
+    /// the governor: sizes and types, *not* cycles).
+    pub fn peek_undecoded(&self, n: usize) -> impl Iterator<Item = &Frame> {
+        self.undecoded.iter().take(n)
+    }
+
+    /// The frame currently being decoded, if any.
+    pub fn in_flight(&self) -> Option<&Frame> {
+        self.in_flight.as_ref()
+    }
+
+    /// Frames waiting to be decoded.
+    pub fn undecoded_len(&self) -> usize {
+        self.undecoded.len()
+    }
+
+    /// Frames decoded and awaiting display.
+    pub fn decoded_len(&self) -> usize {
+        self.decoded.len()
+    }
+
+    /// Capacity of the decoded-frame queue.
+    pub fn decoded_cap(&self) -> usize {
+        self.decoded_cap
+    }
+
+    /// Total frames decoded so far.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Frames buffered anywhere in the pipeline (undecoded + in flight +
+    /// decoded) — the media the player holds beyond the playhead.
+    pub fn frames_buffered(&self) -> usize {
+        self.undecoded.len() + usize::from(self.in_flight.is_some()) + self.decoded.len()
+    }
+
+    /// `true` when every queue is empty.
+    pub fn is_drained(&self) -> bool {
+        self.frames_buffered() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameType;
+    use eavs_cpu::freq::Cycles;
+    use eavs_sim::time::SimDuration;
+
+    fn frame(index: u64) -> Frame {
+        Frame {
+            index,
+            frame_type: FrameType::P,
+            size_bytes: 1000,
+            decode_cycles: Cycles::from_mega(4.0),
+            duration: SimDuration::from_nanos(33_333_333),
+        }
+    }
+
+    #[test]
+    fn decode_flow() {
+        let mut p = DecodePipeline::new(2);
+        assert!(!p.can_start_decode(), "empty pipeline cannot start");
+        p.push_frames([frame(0), frame(1), frame(2)]);
+        assert_eq!(p.undecoded_len(), 3);
+        assert!(p.can_start_decode());
+
+        let f = p.start_decode();
+        assert_eq!(f.index, 0);
+        assert!(!p.can_start_decode(), "one decode at a time");
+        assert_eq!(p.in_flight().unwrap().index, 0);
+
+        p.finish_decode();
+        assert_eq!(p.decoded_len(), 1);
+        assert_eq!(p.frames_decoded(), 1);
+        assert!(p.can_start_decode());
+    }
+
+    #[test]
+    fn decoded_queue_capacity_blocks_decode() {
+        let mut p = DecodePipeline::new(1);
+        p.push_frames([frame(0), frame(1)]);
+        p.start_decode();
+        p.finish_decode();
+        assert_eq!(p.decoded_len(), 1);
+        assert!(!p.can_start_decode(), "decoded queue full");
+        let out = p.take_decoded().unwrap();
+        assert_eq!(out.index, 0);
+        assert!(p.can_start_decode(), "room again after display");
+    }
+
+    #[test]
+    fn frames_buffered_counts_all_stages() {
+        let mut p = DecodePipeline::new(4);
+        p.push_frames([frame(0), frame(1), frame(2)]);
+        p.start_decode();
+        p.finish_decode();
+        p.start_decode();
+        assert_eq!(p.frames_buffered(), 3);
+        assert!(!p.is_drained());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut p = DecodePipeline::new(2);
+        p.push_frames([frame(0), frame(1), frame(2)]);
+        let peeked: Vec<u64> = p.peek_undecoded(2).map(|f| f.index).collect();
+        assert_eq!(peeked, vec![0, 1]);
+        assert_eq!(p.undecoded_len(), 3);
+    }
+
+    #[test]
+    fn fifo_order_end_to_end() {
+        let mut p = DecodePipeline::new(8);
+        p.push_frames((0..5).map(frame));
+        let mut out = Vec::new();
+        while p.can_start_decode() {
+            p.start_decode();
+            p.finish_decode();
+        }
+        while let Some(f) = p.take_decoded() {
+            out.push(f.index);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(p.is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn start_without_frames_panics() {
+        DecodePipeline::new(2).start_decode();
+    }
+
+    #[test]
+    #[should_panic(expected = "no decode in flight")]
+    fn finish_without_start_panics() {
+        DecodePipeline::new(2).finish_decode();
+    }
+}

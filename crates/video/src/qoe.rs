@@ -1,0 +1,252 @@
+//! Quality-of-experience metrics.
+//!
+//! Aggregates playback statistics into the QoE measures the paper's
+//! evaluation reports next to energy: deadline misses, rebuffering,
+//! startup delay, delivered bitrate and ladder switches, plus a composite
+//! score in the style of the MPC/Pensieve QoE objective so schemes can be
+//! ranked on a single axis.
+
+use crate::display::Playback;
+use eavs_sim::time::SimDuration;
+use std::fmt;
+
+/// Aggregated QoE for one session.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QoeReport {
+    /// Frames displayed on time.
+    pub frames_displayed: u64,
+    /// Total frames in the stream.
+    pub total_frames: u64,
+    /// Vsync deadlines missed because decode was late (CPU too slow).
+    pub late_vsyncs: u64,
+    /// Frames skipped under the drop-late policy (also deadline misses).
+    pub frames_dropped: u64,
+    /// Rebuffering events (network starvation).
+    pub rebuffer_events: u64,
+    /// Total rebuffering time.
+    pub rebuffer_time: SimDuration,
+    /// Time to first frame.
+    pub startup_delay: SimDuration,
+    /// Mean delivered bitrate over displayed segments, kbps.
+    pub mean_bitrate_kbps: f64,
+    /// Number of ladder switches.
+    pub bitrate_switches: u64,
+    /// Wall-clock session length.
+    pub session_length: SimDuration,
+}
+
+impl QoeReport {
+    /// Builds a report from playback accounting plus the per-segment
+    /// bitrate history (kbps of each downloaded segment, in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_length` is zero.
+    pub fn from_playback(
+        playback: &Playback,
+        segment_bitrates_kbps: &[u32],
+        startup_delay: SimDuration,
+        session_length: SimDuration,
+    ) -> Self {
+        assert!(!session_length.is_zero(), "zero-length session");
+        let switches = segment_bitrates_kbps
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count() as u64;
+        let mean_bitrate = if segment_bitrates_kbps.is_empty() {
+            0.0
+        } else {
+            segment_bitrates_kbps.iter().map(|&b| f64::from(b)).sum::<f64>()
+                / segment_bitrates_kbps.len() as f64
+        };
+        QoeReport {
+            frames_displayed: playback.frames_displayed(),
+            total_frames: playback.total_frames(),
+            late_vsyncs: playback.late_vsyncs(),
+            frames_dropped: playback.frames_dropped(),
+            rebuffer_events: playback.rebuffer_events(),
+            rebuffer_time: playback.rebuffer_time(),
+            startup_delay,
+            mean_bitrate_kbps: mean_bitrate,
+            bitrate_switches: switches,
+            session_length,
+        }
+    }
+
+    /// Fraction of vsync deadlines missed due to late decode (stalled or
+    /// dropped), over all displayed-or-missed ticks.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let missed = self.late_vsyncs + self.frames_dropped;
+        let ticks = self.frames_displayed + missed;
+        if ticks == 0 {
+            0.0
+        } else {
+            missed as f64 / ticks as f64
+        }
+    }
+
+    /// Fraction of session time spent rebuffering.
+    pub fn rebuffer_ratio(&self) -> f64 {
+        self.rebuffer_time.as_secs_f64() / self.session_length.as_secs_f64()
+    }
+
+    /// Composite QoE score (higher is better): mean bitrate in Mbps,
+    /// minus 4.3 × rebuffer seconds per minute of session, minus 1 ×
+    /// switch count per minute, minus 2 × deadline-miss percentage.
+    ///
+    /// Coefficients follow the MPC-style linear QoE with an added
+    /// deadline-miss term (the paper's concern); the *ranking* of schemes
+    /// is insensitive to the exact weights for the workloads here.
+    pub fn score(&self) -> f64 {
+        let minutes = self.session_length.as_secs_f64() / 60.0;
+        let mbps = self.mean_bitrate_kbps / 1000.0;
+        let rebuf_per_min = self.rebuffer_time.as_secs_f64() / minutes.max(1e-9);
+        let switches_per_min = self.bitrate_switches as f64 / minutes.max(1e-9);
+        mbps - 4.3 * rebuf_per_min - 1.0 * switches_per_min
+            - 2.0 * (self.deadline_miss_rate() * 100.0)
+    }
+
+    /// `true` when playback was perfect: every frame on time, no
+    /// rebuffering.
+    pub fn is_perfect(&self) -> bool {
+        self.frames_displayed == self.total_frames
+            && self.late_vsyncs == 0
+            && self.frames_dropped == 0
+            && self.rebuffer_events == 0
+    }
+}
+
+impl fmt::Display for QoeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} frames, {} late ({:.2}%), {} rebuffer ({}), startup {}, {:.0} kbps, {} switches, score {:.2}",
+            self.frames_displayed,
+            self.total_frames,
+            self.late_vsyncs,
+            self.deadline_miss_rate() * 100.0,
+            self.rebuffer_events,
+            self.rebuffer_time,
+            self.startup_delay,
+            self.mean_bitrate_kbps,
+            self.bitrate_switches,
+            self.score()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DecodePipeline;
+    use crate::frame::{Frame, FrameType};
+    use eavs_cpu::freq::Cycles;
+    use eavs_sim::time::SimTime;
+
+    fn played_back(total: u64, display: u64) -> Playback {
+        let mut pb = Playback::new(total, 1, 1);
+        let mut p = DecodePipeline::new(1024);
+        p.push_frames((0..display).map(|index| Frame {
+            index,
+            frame_type: FrameType::P,
+            size_bytes: 100,
+            decode_cycles: Cycles::from_mega(1.0),
+            duration: SimDuration::from_nanos(33_333_333),
+        }));
+        while p.can_start_decode() {
+            p.start_decode();
+            p.finish_decode();
+        }
+        pb.maybe_start(SimTime::ZERO, display as usize, false);
+        for i in 0..display {
+            pb.on_vsync(SimTime::from_millis(i), &mut p);
+        }
+        pb
+    }
+
+    #[test]
+    fn perfect_session_scores_its_bitrate() {
+        let pb = played_back(10, 10);
+        let q = QoeReport::from_playback(
+            &pb,
+            &[3000, 3000],
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(60),
+        );
+        assert!(q.is_perfect());
+        assert_eq!(q.deadline_miss_rate(), 0.0);
+        assert_eq!(q.rebuffer_ratio(), 0.0);
+        assert!((q.score() - 3.0).abs() < 1e-9);
+        assert_eq!(q.bitrate_switches, 0);
+    }
+
+    #[test]
+    fn switches_counted_and_penalized() {
+        let pb = played_back(10, 10);
+        let q = QoeReport::from_playback(
+            &pb,
+            &[1000, 3000, 1000],
+            SimDuration::ZERO,
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(q.bitrate_switches, 2);
+        let q_stable = QoeReport::from_playback(
+            &pb,
+            &[1666, 1667, 1668],
+            SimDuration::ZERO,
+            SimDuration::from_secs(60),
+        );
+        // Similar mean bitrate, fewer switches -> at least as good.
+        assert!(q_stable.score() > q.score() - 1e-9);
+    }
+
+    #[test]
+    fn deadline_misses_reduce_score() {
+        let mut pb = played_back(10, 5);
+        // Simulate 5 late vsyncs by running vsync against an empty (but not
+        // drained) pipeline.
+        let mut p = DecodePipeline::new(4);
+        p.push_frames([Frame {
+            index: 5,
+            frame_type: FrameType::P,
+            size_bytes: 100,
+            decode_cycles: Cycles::from_mega(1.0),
+            duration: SimDuration::from_nanos(33_333_333),
+        }]);
+        p.start_decode(); // in flight, decoded queue empty
+        for i in 0..5 {
+            pb.on_vsync(SimTime::from_secs(1 + i), &mut p);
+        }
+        let q = QoeReport::from_playback(
+            &pb,
+            &[3000],
+            SimDuration::ZERO,
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(q.late_vsyncs, 5);
+        assert!((q.deadline_miss_rate() - 0.5).abs() < 1e-12);
+        assert!(q.score() < 0.0, "heavy missing should tank the score");
+        assert!(!q.is_perfect());
+    }
+
+    #[test]
+    fn empty_bitrate_history() {
+        let pb = played_back(10, 10);
+        let q = QoeReport::from_playback(&pb, &[], SimDuration::ZERO, SimDuration::from_secs(1));
+        assert_eq!(q.mean_bitrate_kbps, 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let pb = played_back(10, 10);
+        let q = QoeReport::from_playback(
+            &pb,
+            &[3000],
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(10),
+        );
+        let s = q.to_string();
+        assert!(s.contains("10/10 frames"));
+        assert!(s.contains("score"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Media segments: the unit of download.
+
+use crate::frame::Frame;
+use eavs_sim::time::SimDuration;
+
+/// One downloadable media segment: an ordered run of frames at one
+/// representation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Segment {
+    /// Segment index within the stream.
+    pub index: u64,
+    /// Ladder index this segment was encoded at.
+    pub representation_id: usize,
+    /// The frames, in decode order.
+    frames: Vec<Frame>,
+}
+
+impl Segment {
+    /// Builds a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or frame indices are not consecutive.
+    pub fn new(index: u64, representation_id: usize, frames: Vec<Frame>) -> Self {
+        assert!(!frames.is_empty(), "segment {index} has no frames");
+        for pair in frames.windows(2) {
+            assert_eq!(
+                pair[1].index,
+                pair[0].index + 1,
+                "segment {index}: frame indices must be consecutive"
+            );
+        }
+        Segment {
+            index,
+            representation_id,
+            frames,
+        }
+    }
+
+    /// The frames in decode order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Consumes the segment, yielding its frames.
+    pub fn into_frames(self) -> Vec<Frame> {
+        self.frames
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total coded size in bytes (what the downloader must transfer).
+    pub fn size_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| u64::from(f.size_bytes)).sum()
+    }
+
+    /// Media duration of the segment.
+    pub fn duration(&self) -> SimDuration {
+        self.frames.iter().map(|f| f.duration).sum()
+    }
+
+    /// Global index of the first frame.
+    pub fn first_frame_index(&self) -> u64 {
+        self.frames[0].index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameType;
+    use eavs_cpu::freq::Cycles;
+
+    fn frame(index: u64, size: u32) -> Frame {
+        Frame {
+            index,
+            frame_type: FrameType::P,
+            size_bytes: size,
+            decode_cycles: Cycles::from_mega(4.0),
+            duration: SimDuration::from_nanos(33_333_333),
+        }
+    }
+
+    #[test]
+    fn aggregates_size_and_duration() {
+        let s = Segment::new(0, 1, vec![frame(0, 100), frame(1, 200), frame(2, 300)]);
+        assert_eq!(s.num_frames(), 3);
+        assert_eq!(s.size_bytes(), 600);
+        assert_eq!(s.duration(), SimDuration::from_nanos(3 * 33_333_333));
+        assert_eq!(s.first_frame_index(), 0);
+        assert_eq!(s.representation_id, 1);
+    }
+
+    #[test]
+    fn into_frames_preserves_order() {
+        let s = Segment::new(2, 0, vec![frame(60, 10), frame(61, 20)]);
+        let frames = s.into_frames();
+        assert_eq!(frames[0].index, 60);
+        assert_eq!(frames[1].index, 61);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames")]
+    fn empty_segment_rejected() {
+        Segment::new(0, 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn gap_in_frames_rejected() {
+        Segment::new(0, 0, vec![frame(0, 1), frame(2, 1)]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the video pipeline.
+
+use eavs_cpu::freq::Cycles;
+use eavs_sim::time::{SimDuration, SimTime};
+use eavs_video::display::{Playback, PlaybackPhase, VsyncOutcome};
+use eavs_video::frame::{Frame, FrameType};
+use eavs_video::gop::GopStructure;
+use eavs_video::pipeline::DecodePipeline;
+use proptest::prelude::*;
+
+fn frame(index: u64) -> Frame {
+    Frame {
+        index,
+        frame_type: FrameType::P,
+        size_bytes: 1000,
+        decode_cycles: Cycles::from_mega(5.0),
+        duration: SimDuration::from_nanos(33_333_333),
+    }
+}
+
+proptest! {
+    /// Under any interleaving of pushes, decodes and displays the pipeline
+    /// (a) conserves frames, (b) never exceeds the decoded cap, and
+    /// (c) delivers frames in order.
+    #[test]
+    fn pipeline_invariants(
+        cap in 1usize..8,
+        ops in proptest::collection::vec(0u8..4, 0..200),
+    ) {
+        let mut p = DecodePipeline::new(cap);
+        let mut pushed = 0u64;
+        let mut displayed = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    p.push_frames((pushed..pushed + 3).map(frame));
+                    pushed += 3;
+                }
+                1 => {
+                    if p.can_start_decode() {
+                        p.start_decode();
+                    }
+                }
+                2 => {
+                    if p.in_flight().is_some() {
+                        p.finish_decode();
+                    }
+                }
+                _ => {
+                    if let Some(f) = p.take_decoded() {
+                        displayed.push(f.index);
+                    }
+                }
+            }
+            prop_assert!(p.decoded_len() <= cap);
+            let accounted = p.frames_buffered() as u64 + displayed.len() as u64;
+            prop_assert_eq!(accounted, pushed, "frame conservation violated");
+        }
+        // In-order delivery.
+        for w in displayed.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    /// Playback accounting: displayed + late + starved transitions never
+    /// exceed the number of vsync calls, and displayed never exceeds the
+    /// stream length.
+    #[test]
+    fn playback_accounting(
+        total in 1u64..60,
+        feed_pattern in proptest::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let mut playback = Playback::new(total, 1, 2);
+        let mut pipeline = DecodePipeline::new(4);
+        let mut next_frame = 0u64;
+        let mut vsyncs = 0u64;
+        let mut t = SimTime::ZERO;
+        for &feed in &feed_pattern {
+            t += SimDuration::from_millis(33);
+            if feed && next_frame < total {
+                pipeline.push_frames([frame(next_frame)]);
+                next_frame += 1;
+                while pipeline.can_start_decode() {
+                    pipeline.start_decode();
+                    pipeline.finish_decode();
+                }
+            }
+            match playback.phase() {
+                PlaybackPhase::Startup | PlaybackPhase::Rebuffering => {
+                    if pipeline.decoded_len() > 0 {
+                        playback.maybe_start(t, pipeline.frames_buffered(), next_frame >= total);
+                    }
+                }
+                PlaybackPhase::Playing => {
+                    vsyncs += 1;
+                    let out = playback.on_vsync(t, &mut pipeline);
+                    if matches!(out, VsyncOutcome::Ended(_)) {
+                        break;
+                    }
+                }
+                PlaybackPhase::Ended => break,
+            }
+        }
+        prop_assert!(playback.frames_displayed() <= total);
+        prop_assert!(playback.frames_displayed() + playback.late_vsyncs()
+            + playback.rebuffer_events() <= vsyncs + 1);
+        playback.finalize(t);
+        prop_assert!(playback.rebuffer_time() <= t - SimTime::ZERO);
+    }
+
+    /// GOP type mixes always sum to 1 and contain the right I fraction.
+    #[test]
+    fn gop_mix_consistency(gop_len in 1u32..120, b_per_p in 0u32..4) {
+        let g = GopStructure::new(gop_len, b_per_p);
+        let mix = g.type_mix();
+        prop_assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        prop_assert!((mix[0] - 1.0 / f64::from(gop_len)).abs() < 1e-12);
+        // Frame 0 of every GOP is I.
+        for k in 0..3u64 {
+            prop_assert_eq!(
+                g.frame_type_at(k * u64::from(gop_len)),
+                eavs_video::frame::FrameType::I
+            );
+        }
+    }
+}

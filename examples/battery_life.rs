@@ -1,0 +1,78 @@
+//! What the savings mean in battery life.
+//!
+//! Translates session energy into hours of continuous 1080p30 playback on
+//! a phone-class battery (3000 mAh at a nominal 3.85 V ≈ 41.6 kJ),
+//! charging the CPU, the radio and a fixed display+system floor — the
+//! bottom-line number a user would care about.
+//!
+//! ```text
+//! cargo run --release --example battery_life
+//! ```
+
+use eavs::metrics::table::Table;
+use eavs::scaling::governor::{EavsConfig, EavsGovernor};
+use eavs::scaling::predictor::Hybrid;
+use eavs::scaling::session::{GovernorChoice, StreamingSession};
+use eavs::sim::time::SimDuration;
+use eavs::video::manifest::Manifest;
+use eavs_governors::by_name;
+
+/// 3000 mAh × 3.85 V in joules.
+const BATTERY_J: f64 = 3.0 * 3.85 * 3600.0;
+/// Display + rest-of-system power during video playback, watts.
+const SYSTEM_FLOOR_W: f64 = 1.1;
+
+fn main() {
+    let mut table = Table::new(&[
+        "governor",
+        "cpu (W)",
+        "radio (W)",
+        "system (W)",
+        "total (W)",
+        "battery life (h)",
+        "extra minutes",
+    ]);
+    table.set_title("Battery life at continuous 1080p30 playback (3000 mAh @ 3.85 V)");
+
+    let mut baseline_hours = None;
+    for name in ["performance", "ondemand", "interactive", "eavs"] {
+        let gov = if name == "eavs" {
+            GovernorChoice::Eavs(EavsGovernor::new(
+                Box::new(Hybrid::default()),
+                EavsConfig::default(),
+            ))
+        } else {
+            GovernorChoice::Baseline(by_name(name).expect("baseline"))
+        };
+        let report = StreamingSession::builder(gov)
+            .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(60), 30))
+            .seed(42)
+            .run();
+        let secs = report.session_length.as_secs_f64();
+        let cpu_w = report.cpu_joules() / secs;
+        let radio_w = report.radio.energy_j / secs;
+        let total_w = cpu_w + radio_w + SYSTEM_FLOOR_W;
+        let hours = BATTERY_J / total_w / 3600.0;
+        let extra = baseline_hours.map_or(0.0, |base: f64| (hours - base) * 60.0);
+        if name == "ondemand" {
+            baseline_hours = Some(hours);
+        }
+        let extra_cell = if name == "performance" || name == "ondemand" {
+            "-".to_owned()
+        } else {
+            format!("{extra:+.0}")
+        };
+        table.row_owned(vec![
+            name.to_owned(),
+            format!("{cpu_w:.3}"),
+            format!("{radio_w:.3}"),
+            format!("{SYSTEM_FLOOR_W:.2}"),
+            format!("{total_w:.3}"),
+            format!("{hours:.2}"),
+            extra_cell,
+        ]);
+    }
+    println!("{}", table.render());
+    println!("The system floor (display, DRAM, audio) dilutes CPU-only percentages;");
+    println!("the extra-minutes column is the number a user would notice.");
+}

@@ -1,0 +1,82 @@
+//! Full governor comparison across content types.
+//!
+//! Streams the same 60-second video as animation, film and sport content
+//! under every governor (seven Linux baselines + EAVS) and prints the
+//! energy/QoE matrix — a command-line version of the paper's headline
+//! comparison (figures F5/F6).
+//!
+//! ```text
+//! cargo run --release --example governor_comparison
+//! ```
+
+use eavs::metrics::table::Table;
+use eavs::scaling::governor::{EavsConfig, EavsGovernor};
+use eavs::scaling::predictor::Hybrid;
+use eavs::scaling::session::{GovernorChoice, StreamingSession};
+use eavs::sim::time::SimDuration;
+use eavs::tracegen::content::ContentProfile;
+use eavs::video::manifest::Manifest;
+use eavs_governors::{by_name, BASELINE_NAMES};
+
+fn governor(name: &str) -> GovernorChoice {
+    if name == "eavs" {
+        GovernorChoice::Eavs(EavsGovernor::new(
+            Box::new(Hybrid::default()),
+            EavsConfig::default(),
+        ))
+    } else {
+        GovernorChoice::Baseline(by_name(name).expect("known baseline"))
+    }
+}
+
+fn main() {
+    let mut names: Vec<&str> = BASELINE_NAMES.to_vec();
+    names.push("eavs");
+
+    for content in ContentProfile::ALL {
+        let mut table = Table::new(&[
+            "governor",
+            "cpu (J)",
+            "vs ondemand",
+            "miss %",
+            "mean freq",
+            "session (s)",
+        ]);
+        table.set_title(format!("60 s of 1080p30 {content} on flagship2016"));
+        let mut ondemand_joules = 0.0;
+        let mut rows = Vec::new();
+        for name in &names {
+            let report = StreamingSession::builder(governor(name))
+                .manifest(Manifest::single(
+                    6_000,
+                    1920,
+                    1080,
+                    SimDuration::from_secs(60),
+                    30,
+                ))
+                .content(content)
+                .seed(42)
+                .run();
+            if *name == "ondemand" {
+                ondemand_joules = report.cpu_joules();
+            }
+            rows.push((*name, report));
+        }
+        for (name, report) in rows {
+            let delta = if ondemand_joules > 0.0 {
+                format!("{:+.1}%", (report.cpu_joules() / ondemand_joules - 1.0) * 100.0)
+            } else {
+                "-".to_owned()
+            };
+            table.row(&[
+                name,
+                &format!("{:.2}", report.cpu_joules()),
+                &delta,
+                &format!("{:.2}", report.qoe.deadline_miss_rate() * 100.0),
+                &report.mean_freq.to_string(),
+                &format!("{:.1}", report.session_length.as_secs_f64()),
+            ]);
+        }
+        println!("{}\n", table.render());
+    }
+}

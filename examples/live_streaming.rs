@@ -1,0 +1,84 @@
+//! Low-latency live streaming.
+//!
+//! Live sessions keep tiny buffers (seconds, not tens of seconds), so the
+//! decoder has far less slack than in VoD: the startup threshold is a few
+//! frames, the player cap is short, and the GOP has no B frames. This
+//! example compares EAVS against interactive under those constraints and
+//! shows that the savings shrink but QoE survives.
+//!
+//! ```text
+//! cargo run --release --example live_streaming
+//! ```
+
+use eavs::metrics::table::Table;
+use eavs::scaling::governor::{EavsConfig, EavsGovernor};
+use eavs::scaling::predictor::Hybrid;
+use eavs::scaling::session::{GovernorChoice, StreamingSession};
+use eavs::sim::time::SimDuration;
+use eavs::tracegen::content::ContentProfile;
+use eavs::video::manifest::Manifest;
+use eavs_governors::Interactive;
+
+fn main() {
+    // 60 s of 720p30 "live" content with a 4-second player cap and a
+    // 10-frame startup threshold.
+    let build = |gov: GovernorChoice| {
+        StreamingSession::builder(gov)
+            .manifest(Manifest::single(
+                3_000,
+                1280,
+                720,
+                SimDuration::from_secs(60),
+                30,
+            ))
+            .content(ContentProfile::Sport)
+            .max_buffer(SimDuration::from_secs(4))
+            .startup_frames(10)
+            .resume_frames(15)
+            .decoded_cap(3)
+            .seed(7)
+            .run()
+    };
+
+    let mut table = Table::new(&[
+        "governor",
+        "cpu (J)",
+        "startup (ms)",
+        "miss %",
+        "rebuffers",
+        "mean freq",
+    ]);
+    table.set_title("Live 720p30 sport: 4 s buffer cap, 10-frame startup");
+    let mut joules = Vec::new();
+    for (label, gov) in [
+        (
+            "interactive",
+            GovernorChoice::Baseline(Box::new(Interactive::new()) as Box<_>),
+        ),
+        (
+            "eavs",
+            GovernorChoice::Eavs(EavsGovernor::new(
+                Box::new(Hybrid::default()),
+                EavsConfig::default(),
+            )),
+        ),
+    ] {
+        let r = build(gov);
+        joules.push(r.cpu_joules());
+        table.row(&[
+            label,
+            &format!("{:.2}", r.cpu_joules()),
+            &format!("{:.0}", r.qoe.startup_delay.as_secs_f64() * 1e3),
+            &format!("{:.3}", r.qoe.deadline_miss_rate() * 100.0),
+            &r.qoe.rebuffer_events.to_string(),
+            &r.mean_freq.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Savings under live constraints: {:.1}%. The network buffer is tiny,\n\
+         but the slack EAVS harvests comes from the decoded-frame queue and\n\
+         vsync cadence, which live playback keeps.",
+        (1.0 - joules[1] / joules[0]) * 100.0
+    );
+}

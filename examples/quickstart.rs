@@ -1,0 +1,82 @@
+//! Quickstart: stream one 60-second 1080p30 video under the EAVS governor
+//! and the two stock Android-era governors, and compare energy and QoE.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eavs::metrics::table::Table;
+use eavs::scaling::governor::{EavsConfig, EavsGovernor};
+use eavs::scaling::predictor::Hybrid;
+use eavs::scaling::session::{GovernorChoice, StreamingSession};
+use eavs::sim::time::SimDuration;
+use eavs::video::manifest::Manifest;
+use eavs_governors::{Interactive, Ondemand, Performance};
+
+fn main() {
+    let manifest = || Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(60), 30);
+
+    let governors: Vec<(&str, GovernorChoice)> = vec![
+        (
+            "performance",
+            GovernorChoice::Baseline(Box::new(Performance)),
+        ),
+        ("ondemand", GovernorChoice::Baseline(Box::new(Ondemand::new()))),
+        (
+            "interactive",
+            GovernorChoice::Baseline(Box::new(Interactive::new())),
+        ),
+        (
+            "eavs",
+            GovernorChoice::Eavs(EavsGovernor::new(
+                Box::new(Hybrid::default()),
+                EavsConfig::default(),
+            )),
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "governor",
+        "cpu energy (J)",
+        "mean power (W)",
+        "mean freq",
+        "miss %",
+        "rebuffers",
+        "transitions",
+    ]);
+    table.set_title("Quickstart: 60 s of 1080p30 film on flagship2016 over 20 Mbps WiFi");
+
+    let mut baseline_joules = None;
+    for (label, gov) in governors {
+        let report = StreamingSession::builder(gov)
+            .manifest(manifest())
+            .seed(42)
+            .run();
+        if label == "ondemand" {
+            baseline_joules = Some(report.cpu_joules());
+        }
+        table.row(&[
+            label,
+            &format!("{:.2}", report.cpu_joules()),
+            &format!("{:.3}", report.mean_cpu_power()),
+            &report.mean_freq.to_string(),
+            &format!("{:.2}", report.qoe.deadline_miss_rate() * 100.0),
+            &report.qoe.rebuffer_events.to_string(),
+            &report.transitions.to_string(),
+        ]);
+        if label == "eavs" {
+            if let Some(base) = baseline_joules {
+                let saving = 1.0 - report.cpu_joules() / base;
+                println!("{}", table.render());
+                println!(
+                    "EAVS saves {:.1}% CPU energy vs ondemand with {:.2}% deadline misses.",
+                    saving * 100.0,
+                    report.qoe.deadline_miss_rate() * 100.0
+                );
+                return;
+            }
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,64 @@
+//! A tour of the simulated cpufreq sysfs interface.
+//!
+//! Walks the `/sys/devices/system/cpu/cpu0/cpufreq` file protocol exactly
+//! as a shell session on a rooted phone would: inspect the table, switch
+//! governors, pin a speed through `scaling_setspeed`, and read
+//! `stats/time_in_state` afterwards.
+//!
+//! ```text
+//! cargo run --release --example sysfs_tour
+//! ```
+
+use eavs::cpu::soc::SocModel;
+use eavs::sim::time::SimTime;
+use eavs::sysfs::CpufreqFs;
+
+fn main() {
+    let mut cluster = SocModel::Flagship2016.build_cluster();
+    let mut fs = CpufreqFs::new(&cluster);
+    let mut now = SimTime::ZERO;
+    let shell = |fs: &mut CpufreqFs,
+                     cluster: &mut eavs::cpu::cluster::Cluster,
+                     now: SimTime,
+                     cmd: &str,
+                     arg: Option<&str>| {
+        match arg {
+            Some(value) => {
+                println!("$ echo {value} > {cmd}");
+                match fs.write(cluster, cmd, value, now) {
+                    Ok(()) => {}
+                    Err(e) => println!("sh: {e}"),
+                }
+            }
+            None => {
+                println!("$ cat {cmd}");
+                match fs.read(cluster, cmd, now) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => println!("cat: {e}"),
+                }
+            }
+        }
+    };
+
+    shell(&mut fs, &mut cluster, now, "scaling_driver", None);
+    shell(&mut fs, &mut cluster, now, "scaling_available_frequencies", None);
+    shell(&mut fs, &mut cluster, now, "scaling_available_governors", None);
+    shell(&mut fs, &mut cluster, now, "scaling_governor", None);
+
+    // Writing setspeed under the wrong governor fails like on real hw.
+    shell(&mut fs, &mut cluster, now, "scaling_setspeed", Some("902000"));
+
+    shell(&mut fs, &mut cluster, now, "scaling_governor", Some("userspace"));
+    shell(&mut fs, &mut cluster, now, "scaling_setspeed", Some("902000"));
+
+    now = SimTime::from_secs(5);
+    cluster.advance(now);
+    shell(&mut fs, &mut cluster, now, "scaling_cur_freq", None);
+
+    shell(&mut fs, &mut cluster, now, "scaling_setspeed", Some("2150000"));
+    now = SimTime::from_secs(8);
+    cluster.advance(now);
+
+    shell(&mut fs, &mut cluster, now, "stats/time_in_state", None);
+    shell(&mut fs, &mut cluster, now, "stats/total_trans", None);
+}

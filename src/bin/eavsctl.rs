@@ -1,0 +1,19 @@
+//! `eavsctl` — run EAVS streaming-session simulations from the shell.
+//!
+//! See `eavsctl help` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match eavs::cli::parse(&args).and_then(eavs::cli::execute) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("eavsctl: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

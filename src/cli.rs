@@ -1,0 +1,503 @@
+//! Command-line interface for `eavsctl`.
+//!
+//! Argument parsing is separated from execution so it is unit-testable;
+//! the `eavsctl` binary is a thin wrapper around [`parse`] + [`execute`].
+
+use eavs_core::governor::{EavsConfig, EavsGovernor};
+use eavs_core::predictor::predictor_by_name;
+use eavs_core::report::SessionReport;
+use eavs_core::session::{ClusterSelect, GovernorChoice, StreamingSession};
+use eavs_cpu::soc::SocModel;
+use eavs_governors::by_name;
+use eavs_net::abr::{AbrAlgorithm, BufferBasedAbr, FixedAbr, RateBasedAbr};
+use eavs_net::bandwidth::BandwidthTrace;
+use eavs_net::radio::RadioModel;
+use eavs_sim::time::SimDuration;
+use eavs_trace::content::ContentProfile;
+use eavs_trace::net_gen::NetworkProfile;
+use eavs_video::manifest::Manifest;
+
+/// A parsed `eavsctl` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run one session and print the report.
+    Run(RunArgs),
+    /// Run the same workload under several governors and print a table.
+    Compare(RunArgs, Vec<String>),
+    /// Print the available names (governors, predictors, SoCs, …).
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Workload and scheme parameters shared by `run` and `compare`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// Governor name (`eavs` or a baseline).
+    pub governor: String,
+    /// Predictor for EAVS.
+    pub predictor: String,
+    /// Content profile name.
+    pub content: String,
+    /// SoC preset name.
+    pub soc: String,
+    /// `big` or `little`.
+    pub cluster: String,
+    /// Bitrate in kbps.
+    pub bitrate_kbps: u32,
+    /// Luma width.
+    pub width: u32,
+    /// Luma height.
+    pub height: u32,
+    /// Frames per second.
+    pub fps: u32,
+    /// Stream length in seconds.
+    pub duration_s: u64,
+    /// Network: `constant:<mbps>` or a preset name.
+    pub network: String,
+    /// Radio model: `wifi`, `lte` or `3g`.
+    pub radio: String,
+    /// ABR: `fixed`, `rate` or `buffer` (uses the standard ladder).
+    pub abr: Option<String>,
+    /// Workload seed.
+    pub seed: u64,
+    /// EAVS margin override (fraction).
+    pub margin: Option<f64>,
+    /// Drive EAVS through the simulated sysfs.
+    pub sysfs: bool,
+    /// Late-frame policy: `stall` (default) or `drop`.
+    pub late_policy: String,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            governor: "eavs".to_owned(),
+            predictor: "hybrid".to_owned(),
+            content: "film".to_owned(),
+            soc: "flagship2016".to_owned(),
+            cluster: "big".to_owned(),
+            bitrate_kbps: 6_000,
+            width: 1920,
+            height: 1080,
+            fps: 30,
+            duration_s: 60,
+            network: "constant:20".to_owned(),
+            radio: "wifi".to_owned(),
+            abr: None,
+            seed: 42,
+            margin: None,
+            sysfs: false,
+            late_policy: "stall".to_owned(),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+eavsctl — energy-aware video frequency scaling simulator
+
+USAGE:
+  eavsctl run [OPTIONS]              run one streaming session
+  eavsctl compare g1,g2,.. [OPTIONS] same workload under several governors
+  eavsctl list                       print available names
+  eavsctl help                       this text
+
+OPTIONS (with defaults):
+  --governor eavs         eavs | performance | powersave | userspace |
+                          ondemand | conservative | interactive | schedutil
+  --predictor hybrid      last | ewma | window-max | size-regression |
+                          hybrid | oracle
+  --content film          animation | film | sport
+  --soc flagship2016      biglittle2013 | flagship2016 | midrange
+  --cluster big           big | little | auto (eavs only)
+  --bitrate 6000          kbps
+  --width 1920 --height 1080 --fps 30
+  --duration 60           seconds
+  --network constant:20   constant:<mbps> | wifi_home | lte_drive | hspa_tram
+  --radio wifi            wifi | lte | 3g
+  --abr <none>            fixed | rate | buffer (switches to the 5-rung ladder)
+  --seed 42
+  --margin <default>      EAVS safety margin, e.g. 0.15
+  --sysfs                 drive EAVS through the simulated cpufreq sysfs
+  --late-policy stall     stall | drop (what happens to late frames)
+";
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown commands, unknown flags or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = match it.next() {
+        None => return Ok(Command::Help),
+        Some(c) => c.as_str(),
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "run" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Run(parse_run_args(&rest)?))
+        }
+        "compare" => {
+            let governors: Vec<String> = it
+                .next()
+                .ok_or("compare needs a comma-separated governor list")?
+                .split(',')
+                .map(str::to_owned)
+                .collect();
+            if governors.is_empty() {
+                return Err("compare needs at least one governor".to_owned());
+            }
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Compare(parse_run_args(&rest)?, governors))
+        }
+        other => Err(format!("unknown command {other:?}; try `eavsctl help`")),
+    }
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("--{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--governor" => out.governor = value("governor")?.clone(),
+            "--predictor" => out.predictor = value("predictor")?.clone(),
+            "--content" => out.content = value("content")?.clone(),
+            "--soc" => out.soc = value("soc")?.clone(),
+            "--cluster" => out.cluster = value("cluster")?.clone(),
+            "--bitrate" => out.bitrate_kbps = parse_num(value("bitrate")?, "bitrate")?,
+            "--width" => out.width = parse_num(value("width")?, "width")?,
+            "--height" => out.height = parse_num(value("height")?, "height")?,
+            "--fps" => out.fps = parse_num(value("fps")?, "fps")?,
+            "--duration" => out.duration_s = parse_num(value("duration")?, "duration")?,
+            "--network" => out.network = value("network")?.clone(),
+            "--radio" => out.radio = value("radio")?.clone(),
+            "--abr" => out.abr = Some(value("abr")?.clone()),
+            "--seed" => out.seed = parse_num(value("seed")?, "seed")?,
+            "--margin" => {
+                let raw = value("margin")?;
+                out.margin = Some(
+                    raw.parse::<f64>()
+                        .map_err(|_| format!("bad margin {raw:?}"))?,
+                );
+            }
+            "--sysfs" => out.sysfs = true,
+            "--late-policy" => out.late_policy = value("late-policy")?.clone(),
+            other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
+    raw.parse::<T>()
+        .map_err(|_| format!("bad value {raw:?} for --{name}"))
+}
+
+fn build_governor(args: &RunArgs, name: &str) -> Result<GovernorChoice, String> {
+    if name == "eavs" {
+        let predictor = predictor_by_name(&args.predictor)
+            .ok_or(format!("unknown predictor {:?}", args.predictor))?;
+        let mut config = EavsConfig::default();
+        if let Some(m) = args.margin {
+            if !(0.0..=2.0).contains(&m) {
+                return Err(format!("margin {m} outside [0, 2]"));
+            }
+            config.margin = m;
+        }
+        Ok(GovernorChoice::Eavs(EavsGovernor::new(predictor, config)))
+    } else {
+        by_name(name)
+            .map(GovernorChoice::Baseline)
+            .ok_or(format!("unknown governor {name:?}"))
+    }
+}
+
+fn build_soc(name: &str) -> Result<SocModel, String> {
+    SocModel::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or(format!("unknown soc {name:?}"))
+}
+
+fn build_content(name: &str) -> Result<ContentProfile, String> {
+    ContentProfile::ALL
+        .into_iter()
+        .find(|c| c.name() == name)
+        .ok_or(format!("unknown content {name:?}"))
+}
+
+fn build_network(spec: &str, duration: SimDuration, seed: u64) -> Result<BandwidthTrace, String> {
+    if let Some(mbps) = spec.strip_prefix("constant:") {
+        let mbps: f64 = mbps
+            .parse()
+            .map_err(|_| format!("bad constant rate {mbps:?}"))?;
+        if mbps <= 0.0 {
+            return Err("constant rate must be positive".to_owned());
+        }
+        return Ok(BandwidthTrace::constant(mbps * 1e6));
+    }
+    NetworkProfile::ALL
+        .into_iter()
+        .find(|p| p.name() == spec)
+        .map(|p| p.generate(duration * 3, seed))
+        .ok_or(format!("unknown network {spec:?}"))
+}
+
+fn build_radio(name: &str) -> Result<RadioModel, String> {
+    Ok(match name {
+        "wifi" => RadioModel::wifi(),
+        "lte" => RadioModel::lte(),
+        "3g" | "umts" => RadioModel::umts_3g(),
+        other => return Err(format!("unknown radio {other:?}")),
+    })
+}
+
+fn build_abr(name: &str) -> Result<Box<dyn AbrAlgorithm>, String> {
+    Ok(match name {
+        "fixed" => Box::new(FixedAbr::new(usize::MAX)), // top rung
+        "rate" => Box::new(RateBasedAbr::standard()),
+        "buffer" => Box::new(BufferBasedAbr::standard()),
+        other => return Err(format!("unknown abr {other:?}")),
+    })
+}
+
+/// Runs one session described by `args` under governor `name`.
+///
+/// # Errors
+///
+/// Returns a message for unknown names or invalid values.
+pub fn run_session(args: &RunArgs, governor_name: &str) -> Result<SessionReport, String> {
+    let duration = SimDuration::from_secs(args.duration_s.max(1));
+    let manifest = match &args.abr {
+        Some(_) => Manifest::standard_ladder(duration, args.fps.max(1)),
+        None => Manifest::single(
+            args.bitrate_kbps.max(1),
+            args.width.max(16),
+            args.height.max(16),
+            duration,
+            args.fps.max(1),
+        ),
+    };
+    let mut builder = StreamingSession::builder(build_governor(args, governor_name)?)
+        .soc(build_soc(&args.soc)?)
+        .content(build_content(&args.content)?)
+        .manifest(manifest)
+        .network(build_network(&args.network, duration, args.seed)?)
+        .radio(build_radio(&args.radio)?)
+        .seed(args.seed)
+        .drive_via_sysfs(args.sysfs)
+        .cluster(match args.cluster.as_str() {
+            "big" => ClusterSelect::Big,
+            "little" => ClusterSelect::Little,
+            "auto" => {
+                if governor_name != "eavs" {
+                    return Err("--cluster auto requires --governor eavs".to_owned());
+                }
+                ClusterSelect::Auto
+            }
+            other => return Err(format!("unknown cluster {other:?}")),
+        });
+    builder = builder.late_policy(match args.late_policy.as_str() {
+        "stall" => eavs_video::display::LatePolicy::Stall,
+        "drop" => eavs_video::display::LatePolicy::Drop,
+        other => return Err(format!("unknown late policy {other:?}")),
+    });
+    if let Some(abr) = &args.abr {
+        builder = builder.abr(build_abr(abr)?);
+    }
+    Ok(builder.run())
+}
+
+/// Executes a parsed command, writing human output to the returned string.
+///
+/// # Errors
+///
+/// Propagates session-construction errors.
+pub fn execute(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::List => {
+            let mut out = String::new();
+            out.push_str("governors: eavs performance powersave userspace ondemand conservative interactive schedutil\n");
+            out.push_str("predictors: last ewma window-max size-regression hybrid oracle\n");
+            out.push_str("contents: animation film sport\n");
+            out.push_str("socs: biglittle2013 flagship2016 midrange\n");
+            out.push_str("networks: constant:<mbps> wifi_home lte_drive hspa_tram\n");
+            out.push_str("radios: wifi lte 3g\n");
+            out.push_str("abr: fixed rate buffer\n");
+            Ok(out)
+        }
+        Command::Run(args) => {
+            let report = run_session(&args, &args.governor.clone())?;
+            Ok(format!("{report}\n"))
+        }
+        Command::Compare(args, governors) => {
+            let mut out = String::new();
+            for name in &governors {
+                let report = run_session(&args, name)?;
+                out.push_str(&report.summary());
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let cmd = parse(&argv("run")).unwrap();
+        match cmd {
+            Command::Run(args) => assert_eq!(args, RunArgs::default()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_with_flags() {
+        let cmd = parse(&argv(
+            "run --governor ondemand --content sport --bitrate 3000 --fps 60 --seed 7 --sysfs",
+        ))
+        .unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("not a run")
+        };
+        assert_eq!(args.governor, "ondemand");
+        assert_eq!(args.content, "sport");
+        assert_eq!(args.bitrate_kbps, 3000);
+        assert_eq!(args.fps, 60);
+        assert_eq!(args.seed, 7);
+        assert!(args.sysfs);
+    }
+
+    #[test]
+    fn compare_parses_governor_list() {
+        let cmd = parse(&argv("compare ondemand,eavs --duration 5")).unwrap();
+        let Command::Compare(args, governors) = cmd else {
+            panic!("not a compare")
+        };
+        assert_eq!(governors, vec!["ondemand", "eavs"]);
+        assert_eq!(args.duration_s, 5);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&argv("launch")).unwrap_err().contains("unknown command"));
+        assert!(parse(&argv("run --bitrate nope"))
+            .unwrap_err()
+            .contains("bad value"));
+        assert!(parse(&argv("run --margin"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&argv("run --frobnicate 1"))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn execute_list_and_help() {
+        let list = execute(Command::List).unwrap();
+        assert!(list.contains("eavs"));
+        assert!(list.contains("lte_drive"));
+        let help = execute(Command::Help).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn run_session_end_to_end() {
+        let args = RunArgs {
+            duration_s: 4,
+            bitrate_kbps: 1_500,
+            width: 854,
+            height: 480,
+            ..RunArgs::default()
+        };
+        let report = run_session(&args, "eavs").unwrap();
+        assert_eq!(report.qoe.frames_displayed, report.qoe.total_frames);
+        // Unknown names error out cleanly.
+        assert!(run_session(&args, "warp").is_err());
+        let bad = RunArgs {
+            soc: "quantum".to_owned(),
+            ..args.clone()
+        };
+        assert!(run_session(&bad, "eavs").is_err());
+    }
+
+    #[test]
+    fn compare_executes_multiple() {
+        let args = RunArgs {
+            duration_s: 4,
+            bitrate_kbps: 1_500,
+            width: 854,
+            height: 480,
+            ..RunArgs::default()
+        };
+        let out = execute(Command::Compare(args, vec!["powersave".into(), "eavs".into()]))
+            .unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("powersave"));
+        assert!(out.contains("eavs/hybrid"));
+    }
+
+    #[test]
+    fn cluster_auto_requires_eavs() {
+        let args = RunArgs {
+            cluster: "auto".to_owned(),
+            duration_s: 4,
+            bitrate_kbps: 1_500,
+            width: 854,
+            height: 480,
+            ..RunArgs::default()
+        };
+        assert!(run_session(&args, "ondemand")
+            .unwrap_err()
+            .contains("requires --governor eavs"));
+        let report = run_session(&args, "eavs").unwrap();
+        assert_eq!(report.cluster, "auto");
+    }
+
+    #[test]
+    fn late_policy_flag() {
+        let cmd = parse(&argv("run --late-policy drop --duration 4")).unwrap();
+        let Command::Run(args) = cmd else { panic!() };
+        assert_eq!(args.late_policy, "drop");
+        let bad = RunArgs {
+            late_policy: "freeze".to_owned(),
+            ..RunArgs::default()
+        };
+        assert!(run_session(&bad, "eavs").unwrap_err().contains("late policy"));
+    }
+
+    #[test]
+    fn abr_switches_to_ladder() {
+        let args = RunArgs {
+            duration_s: 6,
+            abr: Some("buffer".to_owned()),
+            ..RunArgs::default()
+        };
+        let report = run_session(&args, "eavs").unwrap();
+        assert!(report.segments_downloaded >= 3);
+    }
+}

