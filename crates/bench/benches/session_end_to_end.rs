@@ -10,7 +10,13 @@ use eavs_trace::content::ContentProfile;
 fn bench_sessions(c: &mut Criterion) {
     let mut group = c.benchmark_group("session_10s_720p30");
     group.sample_size(20);
-    for name in ["performance", "ondemand", "interactive", "schedutil", "eavs"] {
+    for name in [
+        "performance",
+        "ondemand",
+        "interactive",
+        "schedutil",
+        "eavs",
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let report = StreamingSession::builder(governor(name))

@@ -1,5 +1,13 @@
 //! Simulator kernel throughput: events per second through the engine and
 //! raw queue operations.
+//!
+//! The `legacy_*` benchmarks drive an inline copy of the pre-slab queue
+//! (`BinaryHeap` keys + `HashMap` payloads + `HashSet` tombstones) so the
+//! before/after effect of the slab rewrite stays measurable from this tree
+//! alone. Keep them in sync with nothing — they are a frozen baseline.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use eavs_sim::prelude::*;
@@ -16,6 +24,59 @@ impl World for PingPong {
             sched.schedule_in(SimDuration::from_micros(10), ());
         }
     }
+}
+
+/// The seed's hash-based event queue, frozen as a benchmark baseline.
+struct LegacyQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    entries: HashMap<u64, (SimTime, E)>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> LegacyQueue<E> {
+    fn new() -> Self {
+        LegacyQueue {
+            heap: BinaryHeap::new(),
+            entries: HashMap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, event: E) -> u64 {
+        let id = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(id, (time, event));
+        self.heap.push(Reverse((time, id)));
+        id
+    }
+
+    fn cancel(&mut self, id: u64) -> bool {
+        if self.entries.remove(&id).is_some() {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(&Reverse((_, id))) = self.heap.peek() {
+            if self.cancelled.remove(&id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        let Reverse((time, id)) = self.heap.pop()?;
+        let (_, event) = self.entries.remove(&id).expect("live entry");
+        Some((time, event))
+    }
+}
+
+fn pseudo_time(i: u64) -> SimTime {
+    SimTime::from_nanos((i.wrapping_mul(2_654_435_761)) % 1_000_000)
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -36,7 +97,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..10_000u64 {
-                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+                q.push(pseudo_time(i), i);
             }
             let mut acc = 0u64;
             while let Some((_, v)) = q.pop() {
@@ -45,7 +106,74 @@ fn bench_engine(c: &mut Criterion) {
             black_box(acc)
         })
     });
+
+    // Schedule-then-cancel churn: the pattern the session inner loop performs
+    // for every frame (decode timer re-armed, vsync timer cancelled/re-set).
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("queue_cancel_churn_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                let keep = q.push(pseudo_time(i), i);
+                let victim = q.push(pseudo_time(i + 7), i + 7);
+                assert!(q.cancel(victim));
+                if i % 2 == 0 {
+                    if let Some((_, v)) = q.pop() {
+                        acc = acc.wrapping_add(v);
+                    }
+                } else {
+                    black_box(keep);
+                }
+            }
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
     group.finish();
+
+    let mut legacy = c.benchmark_group("sim_legacy");
+    legacy.throughput(Throughput::Elements(10_000));
+    legacy.bench_function("queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = LegacyQueue::new();
+            for i in 0..10_000u64 {
+                q.push(pseudo_time(i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+
+    legacy.throughput(Throughput::Elements(10_000));
+    legacy.bench_function("queue_cancel_churn_10k", |b| {
+        b.iter(|| {
+            let mut q = LegacyQueue::new();
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                let keep = q.push(pseudo_time(i), i);
+                let victim = q.push(pseudo_time(i + 7), i + 7);
+                assert!(q.cancel(victim));
+                if i % 2 == 0 {
+                    if let Some((_, v)) = q.pop() {
+                        acc = acc.wrapping_add(v);
+                    }
+                } else {
+                    black_box(keep);
+                }
+            }
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    legacy.finish();
 }
 
 criterion_group!(benches, bench_engine);

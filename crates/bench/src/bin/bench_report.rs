@@ -1,0 +1,139 @@
+//! Machine-readable performance report for the simulator.
+//!
+//! Measures three headline numbers and writes them as `BENCH_sim.json`
+//! under the results directory (also printed to stdout):
+//!
+//! * `events_per_sec`   — raw engine throughput on a 100k self-rescheduling
+//!   event chain (same kernel as the `event_chain_100k` criterion bench).
+//! * `sessions_per_sec` — full 1080p30 streaming sessions simulated per
+//!   wall-clock second, fanned out through the shared work-stealing pool.
+//! * `run_all_wall_s`   — wall-clock seconds to regenerate the experiment
+//!   suite (a fixed subset in `--smoke` mode so CI stays under ~10 s).
+//!
+//! Usage: `bench_report [--smoke]`. `EAVS_JOBS` sizes the pool as usual.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use eavs_bench::harness::{self, governor, manifest_1080p30, SEED};
+use eavs_core::session::StreamingSession;
+use eavs_sim::prelude::*;
+
+struct PingPong {
+    remaining: u64,
+}
+
+impl World for PingPong {
+    type Event = ();
+    fn handle(&mut self, sched: &mut Scheduler<()>, _: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(SimDuration::from_micros(10), ());
+        }
+    }
+}
+
+/// Events per second through the full Simulation/Scheduler kernel.
+fn measure_events_per_sec(chain_len: u64, repeats: u32) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        let mut sim = Simulation::new(PingPong {
+            remaining: chain_len,
+        });
+        sim.scheduler().schedule_at(SimTime::ZERO, ());
+        sim.run();
+        std::hint::black_box(sim.now());
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    // +1 for the kick-off event.
+    (chain_len + 1) as f64 / best
+}
+
+/// Complete streaming sessions per second, run through the shared pool.
+fn measure_sessions_per_sec(sessions: usize, secs_each: u64) -> f64 {
+    let manifest = std::sync::Arc::new(manifest_1080p30(secs_each));
+    let started = Instant::now();
+    let reports = harness::run_parallel_labeled(
+        (0..sessions)
+            .map(|i| {
+                let manifest = std::sync::Arc::clone(&manifest);
+                let job = move || {
+                    StreamingSession::builder(governor("eavs"))
+                        .manifest(manifest)
+                        .seed(SEED + i as u64)
+                        .run()
+                };
+                (format!("bench session {i}"), job)
+            })
+            .collect(),
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(reports.len(), sessions);
+    sessions as f64 / elapsed
+}
+
+/// Wall-clock to regenerate experiments (all of them, or a smoke subset).
+fn measure_run_all(smoke: bool) -> (f64, usize) {
+    const SMOKE_IDS: &[&str] = &["t1_opp_table", "f1_power_curve", "f3_workload_variability"];
+    let jobs: Vec<_> = eavs_bench::all_experiments()
+        .into_iter()
+        .filter(|(id, _)| !smoke || SMOKE_IDS.contains(id))
+        .map(|(id, f)| {
+            let job = move || {
+                let table = f();
+                std::hint::black_box(table.to_csv().len())
+            };
+            (format!("bench_report {id}"), job)
+        })
+        .collect();
+    let count = jobs.len();
+    let started = Instant::now();
+    harness::run_parallel_labeled(jobs);
+    (started.elapsed().as_secs_f64(), count)
+}
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown argument {other:?}\nusage: bench_report [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let workers = eavs_bench::executor::pool().workers();
+
+    let (chain, chain_reps, sessions, session_secs) = if smoke {
+        (100_000u64, 2u32, workers.max(2), 10u64)
+    } else {
+        (100_000u64, 5u32, (workers * 4).max(8), 60u64)
+    };
+
+    eprintln!("bench_report: {workers} worker(s), smoke={smoke}");
+
+    let events_per_sec = measure_events_per_sec(chain, chain_reps);
+    eprintln!("  events/sec      {events_per_sec:.0}");
+
+    let sessions_per_sec = measure_sessions_per_sec(sessions, session_secs);
+    eprintln!("  sessions/sec    {sessions_per_sec:.2} ({sessions} x {session_secs} s sessions)");
+
+    let (run_all_wall_s, experiments) = measure_run_all(smoke);
+    eprintln!("  run_all wall    {run_all_wall_s:.2} s ({experiments} experiments)");
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"events_per_sec\": {events_per_sec:.0},\n  \"sessions_per_sec\": {sessions_per_sec:.3},\n  \"run_all_wall_s\": {run_all_wall_s:.3},\n  \"experiments\": {experiments},\n  \"workers\": {workers},\n  \"smoke\": {smoke},\n  \"unix_time\": {unix_time}\n}}\n"
+    );
+    println!("{json}");
+
+    let dir = harness::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_sim.json");
+    std::fs::write(&path, &json).expect("write BENCH_sim.json");
+    eprintln!("wrote {}", path.display());
+}

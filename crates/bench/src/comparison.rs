@@ -1,7 +1,11 @@
 //! Headline comparisons: F5 (energy by governor), F6 (deadline misses),
 //! T2 (full summary matrix).
 
-use crate::harness::{governor, manifest_1080p30, run_parallel, COMPARISON_GOVERNORS, SEED};
+use std::sync::Arc;
+
+use crate::harness::{
+    governor, manifest_1080p30, run_parallel_labeled, COMPARISON_GOVERNORS, SEED,
+};
 use eavs_core::report::SessionReport;
 use eavs_core::session::StreamingSession;
 use eavs_metrics::table::Table;
@@ -9,17 +13,20 @@ use eavs_trace::content::ContentProfile;
 
 /// Runs the comparison set on one content, 60 s of 1080p30, in parallel.
 pub fn run_comparison(content: ContentProfile) -> Vec<SessionReport> {
-    run_parallel(
+    let manifest = Arc::new(manifest_1080p30(60));
+    run_parallel_labeled(
         COMPARISON_GOVERNORS
             .iter()
             .map(|&name| {
-                move || {
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
                     StreamingSession::builder(governor(name))
-                        .manifest(manifest_1080p30(60))
+                        .manifest(manifest)
                         .content(content)
                         .seed(SEED)
                         .run()
-                }
+                };
+                (format!("comparison {name} {}", content.name()), job)
             })
             .collect(),
     )

@@ -2,7 +2,9 @@
 //! (thermal throttling), F16 (background load robustness) and T3
 //! (multi-seed confidence intervals).
 
-use crate::harness::{governor, manifest_1080p30, run_parallel, single_manifest, SEED};
+use std::sync::Arc;
+
+use crate::harness::{governor, manifest_1080p30, run_parallel_labeled, single_manifest, SEED};
 use eavs_core::session::StreamingSession;
 use eavs_cpu::thermal::{ThermalModel, ThrottleController};
 use eavs_metrics::ci::mean_confidence_interval;
@@ -21,13 +23,15 @@ use eavs_trace::content::ContentProfile;
 pub fn f15_thermal() -> Table {
     const THROTTLE_START_C: f64 = 58.0;
     let names = ["performance", "ondemand", "interactive", "eavs"];
-    let reports = run_parallel(
+    let manifest = Arc::new(single_manifest(6_000, 1920, 1080, 240, 60));
+    let reports = run_parallel_labeled(
         names
             .iter()
             .map(|&name| {
-                move || {
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
                     StreamingSession::builder(governor(name))
-                        .manifest(single_manifest(6_000, 1920, 1080, 240, 60))
+                        .manifest(manifest)
                         .content(ContentProfile::Film)
                         // tau ≈ 62 s: a 4-minute run reaches near-steady
                         // temperature.
@@ -37,7 +41,8 @@ pub fn f15_thermal() -> Table {
                         )
                         .seed(SEED)
                         .run()
-                }
+                };
+                (format!("f15 {name}"), job)
             })
             .collect(),
     );
@@ -83,15 +88,17 @@ pub fn f16_background() -> Table {
         "bg bursts",
     ]);
     t.set_title("F16: background-load robustness — 60 s of 1080p30 film + core-1 bursts");
+    let manifest = Arc::new(manifest_1080p30(60));
     let mut base: Vec<f64> = vec![0.0; names.len()];
     for duty in duties {
-        let reports = run_parallel(
+        let reports = run_parallel_labeled(
             names
                 .iter()
                 .map(|&name| {
-                    move || {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || {
                         let builder = StreamingSession::builder(governor(name))
-                            .manifest(manifest_1080p30(60))
+                            .manifest(manifest)
                             .seed(SEED);
                         let builder = if duty > 0.0 {
                             builder.background_load(duty, SimDuration::from_millis(50))
@@ -99,7 +106,8 @@ pub fn f16_background() -> Table {
                             builder
                         };
                         builder.run()
-                    }
+                    };
+                    (format!("f16 {name} duty {duty:.1}"), job)
                 })
                 .collect(),
         );
@@ -133,18 +141,21 @@ pub fn t3_confidence() -> Table {
         "mean miss %",
     ]);
     t.set_title("T3: 10-seed repetition — 60 s of 1080p30 film");
+    let manifest = Arc::new(manifest_1080p30(60));
     let mut stats_rows = Vec::new();
     for &name in &names {
-        let reports = run_parallel(
+        let reports = run_parallel_labeled(
             seeds
                 .iter()
                 .map(|&seed| {
-                    move || {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || {
                         StreamingSession::builder(governor(name))
-                            .manifest(manifest_1080p30(60))
+                            .manifest(manifest)
                             .seed(seed)
                             .run()
-                    }
+                    };
+                    (format!("t3 {name} seed {seed}"), job)
                 })
                 .collect(),
         );
@@ -205,17 +216,20 @@ pub fn f17_cluster_placement() -> Table {
     ]);
     t.set_title("F17: decode placement big vs LITTLE — 60 s film, EAVS governor");
     for (kbps, w, h, fps, label) in rungs {
-        let reports = run_parallel(
+        let manifest = Arc::new(single_manifest(kbps, w, h, 60, fps));
+        let reports = run_parallel_labeled(
             [ClusterSelect::Big, ClusterSelect::Little]
                 .iter()
                 .map(|&select| {
-                    move || {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || {
                         StreamingSession::builder(governor("eavs"))
-                            .manifest(single_manifest(kbps, w, h, 60, fps))
+                            .manifest(manifest)
                             .cluster(select)
                             .seed(SEED)
                             .run()
-                    }
+                    };
+                    (format!("f17 {label} {select:?}"), job)
                 })
                 .collect(),
         );
@@ -226,7 +240,10 @@ pub fn f17_cluster_placement() -> Table {
             &format!("{:.3}", big.qoe.deadline_miss_rate() * 100.0),
             &format!("{:.2}", little.cpu_joules()),
             &format!("{:.3}", little.qoe.deadline_miss_rate() * 100.0),
-            &format!("{:.1}%", (1.0 - little.cpu_joules() / big.cpu_joules()) * 100.0),
+            &format!(
+                "{:.1}%",
+                (1.0 - little.cpu_joules() / big.cpu_joules()) * 100.0
+            ),
         ]);
     }
     t
@@ -244,18 +261,21 @@ pub fn f18_queue_depth() -> Table {
         "ondemand (J)",
     ]);
     t.set_title("F18: decoded-frame queue depth — 60 s of 1080p30 film");
+    let manifest = Arc::new(manifest_1080p30(60));
     for cap in caps {
-        let reports = run_parallel(
+        let reports = run_parallel_labeled(
             ["eavs", "ondemand"]
                 .iter()
                 .map(|&name| {
-                    move || {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || {
                         StreamingSession::builder(governor(name))
-                            .manifest(manifest_1080p30(60))
+                            .manifest(manifest)
                             .decoded_cap(cap)
                             .seed(SEED)
                             .run()
-                    }
+                    };
+                    (format!("f18 {name} cap {cap}"), job)
                 })
                 .collect(),
         );
@@ -284,19 +304,22 @@ pub fn t4_soc_matrix() -> Table {
         "mean freq",
     ]);
     t.set_title("T4: governor comparison across SoC presets — 60 s of 1080p30 film");
+    let manifest = Arc::new(manifest_1080p30(60));
     for soc in SocModel::ALL {
         let names = ["ondemand", "interactive", "schedutil", "eavs"];
-        let reports = run_parallel(
+        let reports = run_parallel_labeled(
             names
                 .iter()
                 .map(|&name| {
-                    move || {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || {
                         StreamingSession::builder(governor(name))
                             .soc(soc)
-                            .manifest(manifest_1080p30(60))
+                            .manifest(manifest)
                             .seed(SEED)
                             .run()
-                    }
+                    };
+                    (format!("t4 {} {name}", soc.name()), job)
                 })
                 .collect(),
         );
@@ -327,16 +350,19 @@ pub fn f19_energy_breakdown() -> Table {
         "schedutil",
         "eavs",
     ];
-    let reports = run_parallel(
+    let manifest = Arc::new(manifest_1080p30(60));
+    let reports = run_parallel_labeled(
         names
             .iter()
             .map(|&name| {
-                move || {
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
                     StreamingSession::builder(governor(name))
-                        .manifest(manifest_1080p30(60))
+                        .manifest(manifest)
                         .seed(SEED)
                         .run()
-                }
+                };
+                (format!("f19 {name}"), job)
             })
             .collect(),
     );
@@ -407,14 +433,15 @@ pub fn f20_auto_placement() -> Table {
     ]);
     t.set_title("F20: automatic decode placement vs static — 120 s sessions");
     let duration = SimDuration::from_secs(120);
-    let trace = NetworkProfile::LteDrive.generate(duration * 3, SEED);
+    // One generated LTE trace shared by every Mixed job.
+    let trace = Arc::new(NetworkProfile::LteDrive.generate(duration * 3, SEED));
     for (wl_label, workload) in workloads {
-        let reports = run_parallel(
+        let reports = run_parallel_labeled(
             selects
                 .iter()
-                .map(|&(_, select)| {
-                    let trace = trace.clone();
-                    move || {
+                .map(|&(sel_label, select)| {
+                    let trace = Arc::clone(&trace);
+                    let job = move || {
                         let builder = match workload {
                             Workload::Light => StreamingSession::builder(governor("eavs"))
                                 .manifest(single_manifest(1_500, 854, 480, 120, 30))
@@ -430,7 +457,8 @@ pub fn f20_auto_placement() -> Table {
                                 .abr(Box::new(BufferBasedAbr::standard())),
                         };
                         builder.cluster(select).seed(SEED).run()
-                    }
+                    };
+                    (format!("f20 {wl_label} {sel_label}"), job)
                 })
                 .collect(),
         );
@@ -467,23 +495,36 @@ pub fn f21_late_policy() -> Table {
         "session (s)",
     ]);
     t.set_title("F21: stall vs drop late-frame policy — 60 s of 1080p30 film");
-    for name in ["powersave", "ondemand", "eavs"] {
-        for (label, policy) in [("stall", LatePolicy::Stall), ("drop", LatePolicy::Drop)] {
-            let r = StreamingSession::builder(governor(name))
-                .manifest(manifest_1080p30(60))
-                .late_policy(policy)
-                .seed(SEED)
-                .run();
-            t.row(&[
-                &r.governor,
-                label,
-                &format!("{:.2}", r.cpu_joules()),
-                &format!("{}/{}", r.qoe.frames_displayed, r.qoe.total_frames),
-                &r.qoe.frames_dropped.to_string(),
-                &r.qoe.late_vsyncs.to_string(),
-                &format!("{:.1}", r.session_length.as_secs_f64()),
-            ]);
-        }
+    let manifest = Arc::new(manifest_1080p30(60));
+    let policies = [("stall", LatePolicy::Stall), ("drop", LatePolicy::Drop)];
+    let jobs = ["powersave", "ondemand", "eavs"]
+        .iter()
+        .flat_map(|&name| {
+            let manifest = Arc::clone(&manifest);
+            policies.iter().map(move |&(label, policy)| {
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
+                    let r = StreamingSession::builder(governor(name))
+                        .manifest(manifest)
+                        .late_policy(policy)
+                        .seed(SEED)
+                        .run();
+                    (label, r)
+                };
+                (format!("f21 {name} {label}"), job)
+            })
+        })
+        .collect();
+    for (label, r) in run_parallel_labeled(jobs) {
+        t.row(&[
+            &r.governor,
+            label,
+            &format!("{:.2}", r.cpu_joules()),
+            &format!("{}/{}", r.qoe.frames_displayed, r.qoe.total_frames),
+            &r.qoe.frames_dropped.to_string(),
+            &r.qoe.late_vsyncs.to_string(),
+            &format!("{:.1}", r.session_length.as_secs_f64()),
+        ]);
     }
     t
 }
@@ -497,31 +538,28 @@ pub fn f21_late_policy() -> Table {
 /// feasible pin is within a few percent of EAVS, (c) EAVS gets there
 /// without the oracle knowledge and adapts when the content changes.
 pub fn f22_static_pinning() -> Table {
+    use eavs_core::session::GovernorChoice;
     use eavs_cpu::soc::SocModel;
     use eavs_governors::Userspace;
-    use eavs_core::session::GovernorChoice;
 
     let table = SocModel::Flagship2016.opp_table();
-    let mut t = Table::new(&[
-        "pin",
-        "cpu (J)",
-        "late vsyncs",
-        "miss %",
-        "session (s)",
-    ]);
+    let mut t = Table::new(&["pin", "cpu (J)", "late vsyncs", "miss %", "session (s)"]);
     t.set_title("F22: static frequency pins vs EAVS — 60 s of 1080p30 film");
+    let manifest = Arc::new(manifest_1080p30(60));
     let mut runs: Vec<(String, _)> = Vec::new();
-    let reports = run_parallel(
+    let reports = run_parallel_labeled(
         (0..table.len())
             .map(|idx| {
-                move || {
-                    StreamingSession::builder(GovernorChoice::Baseline(Box::new(
-                        Userspace::new(idx),
-                    )))
-                    .manifest(manifest_1080p30(60))
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
+                    StreamingSession::builder(GovernorChoice::Baseline(Box::new(Userspace::new(
+                        idx,
+                    ))))
+                    .manifest(manifest)
                     .seed(SEED)
                     .run()
-                }
+                };
+                (format!("f22 pin {}", table.freq(idx)), job)
             })
             .collect(),
     );
@@ -590,19 +628,29 @@ pub fn f23_baseline_tuning() -> Table {
         ));
     }
 
-    let mut t = Table::new(&["configuration", "cpu (J)", "late vsyncs", "miss %", "mean freq"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "cpu (J)",
+        "late vsyncs",
+        "miss %",
+        "mean freq",
+    ]);
     t.set_title("F23: tuned baselines vs EAVS — 60 s of 1080p30 film");
-    let reports = run_parallel(
+    let manifest = Arc::new(manifest_1080p30(60));
+    let reports = run_parallel_labeled(
         variants
             .into_iter()
             .map(|(label, gov)| {
-                move || {
+                let manifest = Arc::clone(&manifest);
+                let job_label = format!("f23 {label}");
+                let job = move || {
                     let r = StreamingSession::builder(GovernorChoice::Baseline(gov))
-                        .manifest(manifest_1080p30(60))
+                        .manifest(manifest)
                         .seed(SEED)
                         .run();
                     (label, r)
-                }
+                };
+                (job_label, job)
             })
             .collect(),
     );

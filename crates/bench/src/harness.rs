@@ -56,8 +56,20 @@ pub fn eavs_with(config: EavsConfig, predictor: &str) -> GovernorChoice {
 }
 
 /// The fixed-quality manifests used across figures.
-pub fn single_manifest(bitrate_kbps: u32, width: u32, height: u32, secs: u64, fps: u32) -> Manifest {
-    Manifest::single(bitrate_kbps, width, height, SimDuration::from_secs(secs), fps)
+pub fn single_manifest(
+    bitrate_kbps: u32,
+    width: u32,
+    height: u32,
+    secs: u64,
+    fps: u32,
+) -> Manifest {
+    Manifest::single(
+        bitrate_kbps,
+        width,
+        height,
+        SimDuration::from_secs(secs),
+        fps,
+    )
 }
 
 /// 1080p30 at 6 Mbps — the headline workload.
@@ -87,26 +99,7 @@ pub fn emit(id: &str, table: &Table) {
     }
 }
 
-/// Runs independent jobs on worker threads and returns their results in
-/// input order (each simulation is single-threaded and deterministic; the
-/// sweep parallelism never changes results).
-pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(move |_| job()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment job panicked"))
-            .collect()
-    })
-    .expect("thread scope")
-}
+pub use crate::executor::{run_parallel, run_parallel_labeled};
 
 #[cfg(test)]
 mod tests {

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod comparison;
+pub mod executor;
 pub mod extensions;
 pub mod harness;
 pub mod motivation;
@@ -58,7 +59,10 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("t1_opp_table", motivation::t1_opp_table),
         ("f1_power_curve", motivation::f1_power_curve),
         ("f2_freq_timeline", motivation::f2_freq_timeline),
-        ("f3_workload_variability", motivation::f3_workload_variability),
+        (
+            "f3_workload_variability",
+            motivation::f3_workload_variability,
+        ),
         ("f4_prediction", prediction::f4_prediction),
         ("f5_energy_by_governor", comparison::f5_energy_by_governor),
         ("f6_deadline_misses", comparison::f6_deadline_misses),

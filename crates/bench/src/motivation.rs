@@ -5,9 +5,9 @@ use crate::harness::{self, governor, manifest_1080p30, SEED};
 use eavs_core::session::StreamingSession;
 use eavs_cpu::power::PowerModel;
 use eavs_cpu::soc::SocModel;
+use eavs_metrics::quantile::Quantiles;
 use eavs_metrics::stats::OnlineStats;
 use eavs_metrics::table::Table;
-use eavs_metrics::quantile::Quantiles;
 use eavs_sim::time::{SimDuration, SimTime};
 use eavs_trace::content::ContentProfile;
 use eavs_trace::video_gen::VideoGenerator;
@@ -96,17 +96,20 @@ pub fn f1_power_curve() -> Table {
 /// the reactive governors into noise.
 pub fn f2_freq_timeline() -> Table {
     let names = ["ondemand", "interactive", "eavs"];
-    let reports: Vec<_> = harness::run_parallel(
+    let manifest = std::sync::Arc::new(manifest_1080p30(20));
+    let reports: Vec<_> = harness::run_parallel_labeled(
         names
             .iter()
             .map(|&name| {
-                move || {
+                let manifest = std::sync::Arc::clone(&manifest);
+                let job = move || {
                     StreamingSession::builder(governor(name))
-                        .manifest(manifest_1080p30(20))
+                        .manifest(manifest)
                         .seed(SEED)
                         .record_series(true)
                         .run()
-                }
+                };
+                (format!("f2 {name}"), job)
             })
             .collect(),
     );
@@ -120,9 +123,7 @@ pub fn f2_freq_timeline() -> Table {
         let mut row = vec![format!("{:.1}", bin_start.as_secs_f64())];
         for r in &reports {
             let series = r.freq_series.as_ref().expect("series recorded");
-            let mean = series
-                .time_weighted_mean(bin_start, bin_end)
-                .unwrap_or(0.0);
+            let mean = series.time_weighted_mean(bin_start, bin_end).unwrap_or(0.0);
             row.push(format!("{mean:.0}"));
         }
         t.row_owned(row);

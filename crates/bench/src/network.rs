@@ -1,6 +1,8 @@
 //! F9: variable networks with ABR — CPU + radio energy.
 
-use crate::harness::{governor, run_parallel, SEED};
+use std::sync::Arc;
+
+use crate::harness::{governor, run_parallel_labeled, SEED};
 use eavs_core::session::StreamingSession;
 use eavs_metrics::table::Table;
 use eavs_net::abr::BufferBasedAbr;
@@ -34,23 +36,27 @@ pub fn f9_network_abr() -> Table {
         "miss %",
     ]);
     t.set_title("F9: ABR streaming over variable networks — 120 s, buffer-based ABR");
+    let manifest = Arc::new(Manifest::standard_ladder(duration, 30));
     for profile in NetworkProfile::ALL {
-        let trace = profile.generate(duration * 3, SEED);
-        let reports = run_parallel(
+        // One generated trace per network profile, shared by every job.
+        let trace = Arc::new(profile.generate(duration * 3, SEED));
+        let reports = run_parallel_labeled(
             ["interactive", "eavs"]
                 .iter()
                 .map(|&name| {
-                    let trace = trace.clone();
-                    move || {
+                    let trace = Arc::clone(&trace);
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || {
                         StreamingSession::builder(governor(name))
-                            .manifest(Manifest::standard_ladder(duration, 30))
+                            .manifest(manifest)
                             .content(ContentProfile::Film)
                             .network(trace)
                             .radio(radio_for(profile))
                             .abr(Box::new(BufferBasedAbr::standard()))
                             .seed(SEED)
                             .run()
-                    }
+                    };
+                    (format!("f9 {} {name}", profile.name()), job)
                 })
                 .collect(),
         );

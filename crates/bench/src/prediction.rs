@@ -1,11 +1,14 @@
 //! F4: workload-prediction accuracy.
 
-use crate::harness::{manifest_1080p30, SEED};
+use std::sync::Arc;
+
+use crate::harness::{manifest_1080p30, run_parallel_labeled, SEED};
 use eavs_core::predictor::{predictor_by_name, FrameMeta, PREDICTOR_NAMES};
 use eavs_metrics::quantile::Quantiles;
 use eavs_metrics::table::Table;
 use eavs_trace::content::ContentProfile;
 use eavs_trace::video_gen::VideoGenerator;
+use eavs_video::manifest::Manifest;
 
 /// Per-(predictor, content) accuracy over a sequential replay of the
 /// decode stream: each frame is predicted *before* its actual cost is
@@ -29,7 +32,16 @@ pub struct PredictionRun {
 
 /// Replays one (predictor, content) pair over 120 s of 1080p30.
 pub fn replay(predictor_name: &'static str, content: ContentProfile) -> PredictionRun {
-    let generator = VideoGenerator::new(manifest_1080p30(120), content, SEED);
+    replay_with(Arc::new(manifest_1080p30(120)), predictor_name, content)
+}
+
+/// [`replay`] against a shared manifest, so sweeps reference one allocation.
+pub fn replay_with(
+    manifest: Arc<Manifest>,
+    predictor_name: &'static str,
+    content: ContentProfile,
+) -> PredictionRun {
+    let generator = VideoGenerator::new(manifest, content, SEED);
     let mut predictor = predictor_by_name(predictor_name).expect("known predictor");
     let mut ape = Quantiles::new();
     let mut ape_sum = 0.0;
@@ -58,7 +70,11 @@ pub fn replay(predictor_name: &'static str, content: ContentProfile) -> Predicti
         mape: ape_sum / n as f64,
         p95_ape: ape.quantile(0.95),
         underestimate_rate: under as f64 / n as f64,
-        mean_underestimate: if under > 0 { under_sum / under as f64 } else { 0.0 },
+        mean_underestimate: if under > 0 {
+            under_sum / under as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -73,18 +89,27 @@ pub fn f4_prediction() -> Table {
         "mean underest %",
     ]);
     t.set_title("F4: per-frame decode-cost prediction accuracy (online replay, 120 s @1080p30)");
-    for name in PREDICTOR_NAMES {
-        for content in ContentProfile::ALL {
-            let run = replay(name, content);
-            t.row(&[
-                name,
-                content.name(),
-                &format!("{:.2}", run.mape * 100.0),
-                &format!("{:.2}", run.p95_ape * 100.0),
-                &format!("{:.1}", run.underestimate_rate * 100.0),
-                &format!("{:.2}", run.mean_underestimate * 100.0),
-            ]);
-        }
+    let manifest = Arc::new(manifest_1080p30(120));
+    let jobs = PREDICTOR_NAMES
+        .iter()
+        .flat_map(|&name| {
+            let manifest = Arc::clone(&manifest);
+            ContentProfile::ALL.into_iter().map(move |content| {
+                let manifest = Arc::clone(&manifest);
+                let job = move || replay_with(manifest, name, content);
+                (format!("f4 {name} {}", content.name()), job)
+            })
+        })
+        .collect();
+    for run in run_parallel_labeled(jobs) {
+        t.row(&[
+            run.predictor,
+            run.content.name(),
+            &format!("{:.2}", run.mape * 100.0),
+            &format!("{:.2}", run.p95_ape * 100.0),
+            &format!("{:.1}", run.underestimate_rate * 100.0),
+            &format!("{:.2}", run.mean_underestimate * 100.0),
+        ]);
     }
     t
 }

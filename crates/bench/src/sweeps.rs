@@ -1,8 +1,10 @@
 //! Parameter sweeps: F7 (bitrate/resolution), F8 (frame rate), F10
 //! (safety margin) and F13 (design ablations).
 
+use std::sync::Arc;
+
 use crate::harness::{
-    eavs_with, governor, manifest_1080p30, run_parallel, single_manifest, SEED,
+    eavs_with, governor, manifest_1080p30, run_parallel_labeled, single_manifest, SEED,
 };
 use eavs_core::governor::EavsConfig;
 use eavs_core::predictor::PREDICTOR_NAMES;
@@ -22,7 +24,11 @@ const RUNGS: [(u32, u32, u32, &str); 5] = [
 
 const SWEEP_GOVERNORS: [&str; 4] = ["performance", "ondemand", "interactive", "eavs"];
 
-fn run_one(gov: &str, manifest: Manifest, content: ContentProfile) -> eavs_core::SessionReport {
+fn run_one(
+    gov: &str,
+    manifest: Arc<Manifest>,
+    content: ContentProfile,
+) -> eavs_core::SessionReport {
     StreamingSession::builder(governor(gov))
         .manifest(manifest)
         .content(content)
@@ -43,10 +49,15 @@ pub fn f7_bitrate_sweep() -> Table {
     ]);
     t.set_title("F7: CPU energy across the quality ladder — 60 s film @30fps");
     for (kbps, w, h, label) in RUNGS {
-        let reports = run_parallel(
+        let manifest = Arc::new(single_manifest(kbps, w, h, 60, 30));
+        let reports = run_parallel_labeled(
             SWEEP_GOVERNORS
                 .iter()
-                .map(|&g| move || run_one(g, single_manifest(kbps, w, h, 60, 30), ContentProfile::Film))
+                .map(|&g| {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || run_one(g, manifest, ContentProfile::Film);
+                    (format!("f7 {label} {g}"), job)
+                })
                 .collect(),
         );
         let ondemand = reports[1].cpu_joules();
@@ -76,11 +87,14 @@ pub fn f8_framerate_sweep() -> Table {
     ]);
     t.set_title("F8: frame-rate sweep — 60 s of 1080p film at 24/30/60 fps");
     for fps in [24u32, 30, 60] {
-        let reports = run_parallel(
+        let manifest = Arc::new(single_manifest(6_000, 1920, 1080, 60, fps));
+        let reports = run_parallel_labeled(
             SWEEP_GOVERNORS
                 .iter()
                 .map(|&g| {
-                    move || run_one(g, single_manifest(6_000, 1920, 1080, 60, fps), ContentProfile::Film)
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || run_one(g, manifest, ContentProfile::Film);
+                    (format!("f8 {fps}fps {g}"), job)
                 })
                 .collect(),
         );
@@ -105,21 +119,24 @@ pub fn f10_margin_sweep() -> Table {
     let margins = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50];
     let mut t = Table::new(&["margin", "cpu (J)", "late vsyncs", "miss %", "transitions"]);
     t.set_title("F10: EAVS safety-margin sweep — 60 s of 1080p30 sport");
-    let reports = run_parallel(
+    let manifest = Arc::new(manifest_1080p30(60));
+    let reports = run_parallel_labeled(
         margins
             .iter()
             .map(|&margin| {
-                move || {
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
                     let cfg = EavsConfig {
                         margin,
                         ..EavsConfig::default()
                     };
                     StreamingSession::builder(eavs_with(cfg, "hybrid"))
-                        .manifest(manifest_1080p30(60))
+                        .manifest(manifest)
                         .content(ContentProfile::Sport)
                         .seed(SEED)
                         .run()
-                }
+                };
+                (format!("f10 margin {margin:.2}"), job)
             })
             .collect(),
     );
@@ -241,20 +258,23 @@ pub fn f13_ablations() -> Table {
         },
     });
 
+    let manifest = Arc::new(manifest_1080p30(60));
     for content in [ContentProfile::Sport, ContentProfile::Animation] {
-        let reports = run_parallel(
+        let reports = run_parallel_labeled(
             variants
                 .iter()
                 .map(|v| {
                     let predictor = v.predictor;
                     let config = v.config;
-                    move || {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || {
                         StreamingSession::builder(eavs_with(config, predictor))
-                            .manifest(manifest_1080p30(60))
+                            .manifest(manifest)
                             .content(content)
                             .seed(SEED)
                             .run()
-                    }
+                    };
+                    (format!("f13 {} {}", v.label, content.name()), job)
                 })
                 .collect(),
         );

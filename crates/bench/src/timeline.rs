@@ -1,6 +1,10 @@
 //! Timeline figures: F11 (buffer occupancy) and F12 (frequency residency).
 
-use crate::harness::{governor, manifest_1080p30, run_parallel, COMPARISON_GOVERNORS, SEED};
+use std::sync::Arc;
+
+use crate::harness::{
+    governor, manifest_1080p30, run_parallel_labeled, COMPARISON_GOVERNORS, SEED,
+};
 use eavs_core::session::StreamingSession;
 use eavs_metrics::table::Table;
 use eavs_sim::time::{SimDuration, SimTime};
@@ -9,17 +13,20 @@ use eavs_sim::time::{SimDuration, SimTime};
 /// must not disturb buffer health).
 pub fn f11_buffer_timeline() -> Table {
     let names = ["ondemand", "eavs"];
-    let reports = run_parallel(
+    let manifest = Arc::new(manifest_1080p30(60));
+    let reports = run_parallel_labeled(
         names
             .iter()
             .map(|&name| {
-                move || {
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
                     StreamingSession::builder(governor(name))
-                        .manifest(manifest_1080p30(60))
+                        .manifest(manifest)
                         .seed(SEED)
                         .record_series(true)
                         .run()
-                }
+                };
+                (format!("f11 {name}"), job)
             })
             .collect(),
     );
@@ -28,10 +35,11 @@ pub fn f11_buffer_timeline() -> Table {
     let series: Vec<_> = reports
         .iter()
         .map(|r| {
-            r.buffer_series
-                .as_ref()
-                .expect("recorded")
-                .resample(SimTime::ZERO, SimTime::from_secs(60), SimDuration::from_secs(2))
+            r.buffer_series.as_ref().expect("recorded").resample(
+                SimTime::ZERO,
+                SimTime::from_secs(60),
+                SimDuration::from_secs(2),
+            )
         })
         .collect();
     for (a, b) in series[0].iter().zip(&series[1]) {
@@ -46,16 +54,19 @@ pub fn f11_buffer_timeline() -> Table {
 
 /// F12: wall-clock frequency residency (time_in_state) by governor.
 pub fn f12_residency() -> Table {
-    let reports = run_parallel(
+    let manifest = Arc::new(manifest_1080p30(60));
+    let reports = run_parallel_labeled(
         COMPARISON_GOVERNORS
             .iter()
             .map(|&name| {
-                move || {
+                let manifest = Arc::clone(&manifest);
+                let job = move || {
                     StreamingSession::builder(governor(name))
-                        .manifest(manifest_1080p30(60))
+                        .manifest(manifest)
                         .seed(SEED)
                         .run()
-                }
+                };
+                (format!("f12 {name}"), job)
             })
             .collect(),
     );

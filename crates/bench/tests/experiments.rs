@@ -9,7 +9,10 @@ fn every_experiment_produces_rows() {
         let table = f();
         assert!(table.num_rows() > 0, "{id}: empty table");
         let csv = table.to_csv();
-        assert!(csv.lines().count() == table.num_rows() + 1, "{id}: csv mismatch");
+        assert!(
+            csv.lines().count() == table.num_rows() + 1,
+            "{id}: csv mismatch"
+        );
         let rendered = table.render();
         assert!(rendered.contains("=="), "{id}: missing title");
     }
@@ -39,4 +42,48 @@ fn experiments_are_deterministic() {
             .expect("registered");
         assert_eq!(f().to_csv(), f().to_csv(), "{id} not deterministic");
     }
+}
+
+#[test]
+fn pool_execution_matches_serial() {
+    // The work-stealing pool must not change results: a sweep of sessions
+    // run through `run_parallel_labeled` is byte-identical (Debug repr of
+    // the full report) to the same sessions run serially, in the same order.
+    use eavs_bench::harness::{governor, manifest_1080p30, run_parallel_labeled, SEED};
+    use eavs_core::session::StreamingSession;
+    use std::sync::Arc;
+
+    let names = ["ondemand", "interactive", "schedutil", "eavs"];
+    let manifest = Arc::new(manifest_1080p30(15));
+
+    let run_one = |name: &str, seed: u64, manifest: Arc<_>| {
+        StreamingSession::builder(governor(name))
+            .manifest(manifest)
+            .seed(seed)
+            .run()
+    };
+
+    let serial: Vec<String> = names
+        .iter()
+        .flat_map(|&name| {
+            let manifest = Arc::clone(&manifest);
+            (0..3u64).map(move |k| format!("{:?}", run_one(name, SEED + k, Arc::clone(&manifest))))
+        })
+        .collect();
+
+    let pooled: Vec<String> = run_parallel_labeled(
+        names
+            .iter()
+            .flat_map(|&name| {
+                let manifest = Arc::clone(&manifest);
+                (0..3u64).map(move |k| {
+                    let manifest = Arc::clone(&manifest);
+                    let job = move || format!("{:?}", run_one(name, SEED + k, manifest));
+                    (format!("determinism {name} seed {k}"), job)
+                })
+            })
+            .collect(),
+    );
+
+    assert_eq!(serial, pooled, "pool execution changed session results");
 }

@@ -397,8 +397,7 @@ pub fn predictor_by_name(name: &str) -> Option<Box<dyn WorkloadPredictor>> {
 }
 
 /// All predictor names, in F4/F13 presentation order.
-pub const PREDICTOR_NAMES: [&str; 5] =
-    ["last", "ewma", "window-max", "size-regression", "hybrid"];
+pub const PREDICTOR_NAMES: [&str; 5] = ["last", "ewma", "window-max", "size-regression", "hybrid"];
 
 #[cfg(test)]
 mod tests {

@@ -96,7 +96,11 @@ impl SessionReport {
 
 impl fmt::Display for SessionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "session: {} on {} ({})", self.governor, self.soc, self.content)?;
+        writeln!(
+            f,
+            "session: {} on {} ({})",
+            self.governor, self.soc, self.content
+        )?;
         writeln!(
             f,
             "  energy: cpu {:.2} J (busy {:.2} / idle {:.2} / static {:.2} / trans {:.3}), radio {:.2} J",

@@ -57,7 +57,11 @@ pub fn required_hz(now: SimTime, items: &[DemandItem]) -> f64 {
 /// governor should never select an OPP below it while work is pending;
 /// racing to the critical speed and sleeping deeply dominates. This is
 /// the energy floor the EAVS governor clamps to (ablated in F13).
-pub fn critical_speed_index(table: &OppTable, power: &dyn PowerModel, deep_idle_w: f64) -> OppIndex {
+pub fn critical_speed_index(
+    table: &OppTable,
+    power: &dyn PowerModel,
+    deep_idle_w: f64,
+) -> OppIndex {
     let mut best = 0;
     let mut best_e = f64::INFINITY;
     for (i, opp) in table.iter().enumerate() {
@@ -159,7 +163,6 @@ impl OppSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn table() -> OppTable {
         OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap()
@@ -295,8 +298,7 @@ mod tests {
             let mut tight = OppSelector::new(0.0, 1);
             let mut safe = OppSelector::new(0.3, 1);
             assert!(
-                safe.select(&tbl, limits, 0, required)
-                    >= tight.select(&tbl, limits, 0, required)
+                safe.select(&tbl, limits, 0, required) >= tight.select(&tbl, limits, 0, required)
             );
         }
     }

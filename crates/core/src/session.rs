@@ -43,6 +43,7 @@ use eavs_video::manifest::Manifest;
 use eavs_video::pipeline::DecodePipeline;
 use eavs_video::qoe::QoeReport;
 use eavs_video::segment::Segment;
+use std::sync::Arc;
 
 /// Which governor drives the session.
 pub enum GovernorChoice {
@@ -92,8 +93,8 @@ pub struct SessionBuilder {
     governor: GovernorChoice,
     soc: SocModel,
     content: ContentProfile,
-    manifest: Manifest,
-    network: BandwidthTrace,
+    manifest: Arc<Manifest>,
+    network: Arc<BandwidthTrace>,
     radio: RadioModel,
     abr: Box<dyn AbrAlgorithm>,
     seed: u64,
@@ -146,8 +147,14 @@ impl SessionBuilder {
             governor,
             soc: SocModel::Flagship2016,
             content: ContentProfile::Film,
-            manifest: Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(60), 30),
-            network: BandwidthTrace::constant(20e6),
+            manifest: Arc::new(Manifest::single(
+                6_000,
+                1920,
+                1080,
+                SimDuration::from_secs(60),
+                30,
+            )),
+            network: Arc::new(BandwidthTrace::constant(20e6)),
             radio: RadioModel::wifi(),
             abr: Box::new(FixedAbr::new(0)),
             seed: 1,
@@ -210,15 +217,17 @@ impl SessionBuilder {
         self
     }
 
-    /// Replaces the manifest (ladder, duration, fps).
-    pub fn manifest(mut self, manifest: Manifest) -> Self {
-        self.manifest = manifest;
+    /// Replaces the manifest (ladder, duration, fps). Accepts an owned
+    /// `Manifest` or a shared `Arc<Manifest>`; sweeps pass the `Arc` so every
+    /// job references one allocation.
+    pub fn manifest(mut self, manifest: impl Into<Arc<Manifest>>) -> Self {
+        self.manifest = manifest.into();
         self
     }
 
     /// Replaces the bandwidth trace.
-    pub fn network(mut self, network: BandwidthTrace) -> Self {
-        self.network = network;
+    pub fn network(mut self, network: impl Into<Arc<BandwidthTrace>>) -> Self {
+        self.network = network.into();
         self
     }
 
@@ -333,15 +342,10 @@ impl StreamingSession {
         };
         let fs = CpufreqFs::new(&cluster);
         let generator = VideoGenerator::new(b.manifest.clone(), b.content, b.seed);
-        let playback = Playback::new(
-            b.manifest.total_frames(),
-            b.startup_frames,
-            b.resume_frames,
-        )
-        .with_policy(b.late_policy);
-        let max_buffer_frames = (b.max_buffer.as_nanos()
-            / b.manifest.frame_duration().as_nanos())
-        .max(b.manifest.frames_per_segment * 2) as usize;
+        let playback = Playback::new(b.manifest.total_frames(), b.startup_frames, b.resume_frames)
+            .with_policy(b.late_policy);
+        let max_buffer_frames = (b.max_buffer.as_nanos() / b.manifest.frame_duration().as_nanos())
+            .max(b.manifest.frames_per_segment * 2) as usize;
         let world = SessionWorld {
             monitor: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
             monitor_bg: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
@@ -411,7 +415,12 @@ impl StreamingSession {
             if world.drive_via_sysfs {
                 world
                     .fs
-                    .write(&mut world.cluster, "scaling_governor", "userspace", sched_now)
+                    .write(
+                        &mut world.cluster,
+                        "scaling_governor",
+                        "userspace",
+                        sched_now,
+                    )
                     .expect("userspace governor available");
                 let khz = world.cluster.opps().freq(initial).khz().to_string();
                 world
@@ -469,7 +478,7 @@ struct SessionWorld {
     downloader: Downloader,
     abr: Box<dyn AbrAlgorithm>,
     generator: VideoGenerator,
-    manifest: Manifest,
+    manifest: Arc<Manifest>,
     soc: SocModel,
     content: ContentProfile,
     radio: RadioModel,
@@ -542,8 +551,7 @@ impl SessionWorld {
         let ctx = AbrContext {
             manifest: &self.manifest,
             buffer_level: SimDuration::from_nanos(
-                self.manifest.frame_duration().as_nanos()
-                    * self.pipeline.frames_buffered() as u64,
+                self.manifest.frame_duration().as_nanos() * self.pipeline.frames_buffered() as u64,
             ),
             throughput: self.downloader.samples(),
             next_segment: self.next_segment,
@@ -679,8 +687,8 @@ impl SessionWorld {
                 self.govern(sched, now);
             }
             VsyncOutcome::Starved => {
-                let downloads_done = self.next_segment >= self.manifest.num_segments
-                    && !self.downloader.is_busy();
+                let downloads_done =
+                    self.next_segment >= self.manifest.num_segments && !self.downloader.is_busy();
                 if downloads_done && self.pipeline.is_drained() {
                     // Nothing will ever arrive again (possible under the
                     // drop policy when the stream's tail was skipped):
@@ -733,8 +741,7 @@ impl SessionWorld {
         let standby = self.standby.as_mut().expect("checked above");
         // Which of the two tables is LITTLE? The one with the lower top
         // frequency.
-        let active_is_little =
-            self.cluster.opps().max_freq() < standby.opps().max_freq();
+        let active_is_little = self.cluster.opps().max_freq() < standby.opps().max_freq();
         let little_top_hz = if active_is_little {
             self.cluster.opps().max_freq().hz() as f64
         } else {
@@ -873,11 +880,7 @@ impl SessionWorld {
     fn snapshot(&self, now: SimTime) -> PipelineSnapshot {
         let in_flight = self.pipeline.in_flight().map(|frame| {
             let initial = self.decode_initial.expect("in-flight implies initial");
-            let remaining = self
-                .cluster
-                .core(0)
-                .remaining()
-                .unwrap_or(Cycles::ZERO);
+            let remaining = self.cluster.core(0).remaining().unwrap_or(Cycles::ZERO);
             InFlightMeta {
                 meta: FrameMeta::from(frame),
                 executed: initial.saturating_sub(remaining),
@@ -921,10 +924,7 @@ impl SessionWorld {
             if let Some(s) = &mut self.freq_series {
                 s.set(
                     now,
-                    self.cluster
-                        .opps()
-                        .freq(self.cluster.target_index())
-                        .mhz() as f64,
+                    self.cluster.opps().freq(self.cluster.target_index()).mhz() as f64,
                 );
             }
             self.reschedule_decode(sched, now);
@@ -972,11 +972,13 @@ impl SessionWorld {
                 .sum::<f64>()
                 / total.as_secs_f64()
         };
-        let startup_delay = self
-            .playback
-            .startup_delay()
-            .unwrap_or(session_length);
-        let qoe = QoeReport::from_playback(&self.playback, &self.bitrates, startup_delay, session_length);
+        let startup_delay = self.playback.startup_delay().unwrap_or(session_length);
+        let qoe = QoeReport::from_playback(
+            &self.playback,
+            &self.bitrates,
+            startup_delay,
+            session_length,
+        );
         SessionReport {
             governor: self.governor.report_name(),
             soc: self.soc,
@@ -1066,7 +1068,13 @@ mod tests {
     #[test]
     fn powersave_misses_deadlines_on_heavy_content() {
         let r = StreamingSession::builder(GovernorChoice::Baseline(Box::new(Powersave)))
-            .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(10), 30))
+            .manifest(Manifest::single(
+                6_000,
+                1920,
+                1080,
+                SimDuration::from_secs(10),
+                30,
+            ))
             .seed(3)
             .run();
         assert!(
@@ -1100,10 +1108,7 @@ mod tests {
             .run();
         assert_eq!(direct.cpu_joules(), via_sysfs.cpu_joules());
         assert_eq!(direct.transitions, via_sysfs.transitions);
-        assert_eq!(
-            direct.qoe.frames_displayed,
-            via_sysfs.qoe.frames_displayed
-        );
+        assert_eq!(direct.qoe.frames_displayed, via_sysfs.qoe.frames_displayed);
     }
 
     #[test]
@@ -1137,7 +1142,13 @@ mod tests {
         // 480p on the LITTLE cluster: cheaper than on big.
         let light = |select: ClusterSelect| {
             StreamingSession::builder(eavs())
-                .manifest(Manifest::single(1_500, 854, 480, SimDuration::from_secs(10), 30))
+                .manifest(Manifest::single(
+                    1_500,
+                    854,
+                    480,
+                    SimDuration::from_secs(10),
+                    30,
+                ))
                 .cluster(select)
                 .seed(3)
                 .run()
@@ -1155,7 +1166,13 @@ mod tests {
         // 1080p60 sport (~1.7 Gcyc/s sustained) exceeds the LITTLE
         // ceiling (1.59 GHz): misses are unavoidable.
         let heavy = StreamingSession::builder(eavs())
-            .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(10), 60))
+            .manifest(Manifest::single(
+                6_000,
+                1920,
+                1080,
+                SimDuration::from_secs(10),
+                60,
+            ))
             .content(ContentProfile::Sport)
             .cluster(ClusterSelect::Little)
             .seed(3)
@@ -1211,7 +1228,13 @@ mod tests {
         // automatic placement does no worse than the static big baseline.
         let run_with = |select: ClusterSelect| {
             StreamingSession::builder(eavs())
-                .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(10), 60))
+                .manifest(Manifest::single(
+                    6_000,
+                    1920,
+                    1080,
+                    SimDuration::from_secs(10),
+                    60,
+                ))
                 .content(ContentProfile::Sport)
                 .cluster(select)
                 .seed(3)
@@ -1239,8 +1262,7 @@ mod tests {
     #[test]
     fn drop_policy_trades_frames_for_schedule() {
         use eavs_video::display::LatePolicy;
-        let manifest =
-            || Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(15), 30);
+        let manifest = || Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(15), 30);
         let run_ps = |policy| {
             StreamingSession::builder(GovernorChoice::Baseline(Box::new(Powersave)))
                 .manifest(manifest())
@@ -1274,7 +1296,13 @@ mod tests {
         // An aggressive throttle window so even a short session trips it
         // under the performance governor.
         let hot = StreamingSession::builder(GovernorChoice::Baseline(Box::new(Performance)))
-            .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(20), 30))
+            .manifest(Manifest::single(
+                6_000,
+                1920,
+                1080,
+                SimDuration::from_secs(20),
+                30,
+            ))
             .thermal(
                 ThermalModel::new(25.0, 20.0, 0.5), // tiny capacitance: fast heating
                 ThrottleController::new(35.0, 90.0),
@@ -1289,7 +1317,13 @@ mod tests {
         );
         // The same workload under EAVS stays cooler.
         let cool = StreamingSession::builder(eavs())
-            .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(20), 30))
+            .manifest(Manifest::single(
+                6_000,
+                1920,
+                1080,
+                SimDuration::from_secs(20),
+                30,
+            ))
             .thermal(
                 ThermalModel::new(25.0, 20.0, 0.5),
                 ThrottleController::new(35.0, 90.0),
@@ -1318,7 +1352,13 @@ mod tests {
     fn background_load_costs_baselines_more_than_eavs() {
         let run_bg = |gov: GovernorChoice| {
             StreamingSession::builder(gov)
-                .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(15), 30))
+                .manifest(Manifest::single(
+                    6_000,
+                    1920,
+                    1080,
+                    SimDuration::from_secs(15),
+                    30,
+                ))
                 .background_load(0.35, SimDuration::from_millis(50))
                 .seed(3)
                 .run()

@@ -17,7 +17,7 @@ use crate::core::{CoreState, CpuCore};
 use crate::cstate::CStateTable;
 use crate::freq::{Cycles, Frequency};
 use crate::opp::{OppIndex, OppTable};
-use crate::power::PowerModel;
+use crate::power::{PowerLut, PowerModel};
 use eavs_metrics::residency::ResidencyTracker;
 use eavs_sim::time::{SimDuration, SimTime};
 
@@ -90,6 +90,9 @@ pub struct Cluster {
     name: &'static str,
     opps: OppTable,
     power: Box<dyn PowerModel>,
+    /// Per-OPP watts precomputed from `power` at construction; the per-frame
+    /// energy integration reads this instead of re-evaluating the model.
+    lut: PowerLut,
     cstates: CStateTable,
     cores: Vec<CpuCore>,
     cur: OppIndex,
@@ -132,11 +135,13 @@ impl Cluster {
             .map(|id| CpuCore::new(id, start))
             .collect();
         let residency = ResidencyTracker::new(config.opps.len(), config.initial_index, start);
+        let lut = PowerLut::derive(config.power.as_ref(), &config.opps);
         Cluster {
             name: config.name,
             limits: PolicyLimits::full(&config.opps),
             opps: config.opps,
             power: config.power,
+            lut,
             cstates: config.cstates,
             cores,
             cur: config.initial_index,
@@ -304,12 +309,12 @@ impl Cluster {
             return; // rail off: no energy, no progress
         }
         let freq = self.opps.freq(self.cur);
-        let active_p = self.power.active_power(self.opps.opp(self.cur));
+        let active_p = self.lut.active_at(self.cur);
         for core in &mut self.cores {
             let out = core.advance_segment(start, end, freq);
             self.energy.busy_j += active_p * out.busy.as_secs_f64();
         }
-        self.energy.static_j += self.power.domain_static_power() * (end - start).as_secs_f64();
+        self.energy.static_j += self.lut.static_w() * (end - start).as_secs_f64();
     }
 
     /// Requests a frequency change to `index`, clamped to the policy
@@ -325,7 +330,7 @@ impl Cluster {
             return idx;
         }
         self.transitions += 1;
-        self.energy.transition_j += self.power.transition_energy();
+        self.energy.transition_j += self.lut.transition_j();
         if self.transition_latency.is_zero() {
             self.apply_switch(now, idx);
         } else {

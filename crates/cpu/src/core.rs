@@ -273,7 +273,11 @@ mod tests {
         assert_eq!(c.idle_total(), SimDuration::from_millis(5));
         c.start_job(Cycles::from_mega(1.0), t(7));
         assert_eq!(c.idle_total(), SimDuration::from_millis(7));
-        assert_eq!(c.flush_idle(t(9)), SimDuration::ZERO, "busy core has no idle");
+        assert_eq!(
+            c.flush_idle(t(9)),
+            SimDuration::ZERO,
+            "busy core has no idle"
+        );
     }
 
     #[test]

@@ -215,6 +215,61 @@ impl PowerModel for BoundTablePowerModel {
     }
 }
 
+/// Per-OPP power lookup table derived once from a [`PowerModel`].
+///
+/// The energy-integration hot path runs for every frame of every simulated
+/// session; evaluating an analytic model (`Ceff·V²·f + leak·V`) or a
+/// dyn-dispatched table probe per segment is wasted work when the OPP table
+/// is fixed at cluster construction. `PowerLut::derive` evaluates the model
+/// once per operating point and the tick then reads plain `f64`s by index.
+#[derive(Clone, Debug)]
+pub struct PowerLut {
+    active_w: Vec<f64>,
+    idle_w: Vec<f64>,
+    static_w: f64,
+    transition_j: f64,
+}
+
+impl PowerLut {
+    /// Evaluates `model` at every operating point of `opps`.
+    pub fn derive(model: &dyn PowerModel, opps: &OppTable) -> Self {
+        PowerLut {
+            active_w: opps.iter().map(|&o| model.active_power(o)).collect(),
+            idle_w: opps.iter().map(|&o| model.idle_power(o)).collect(),
+            static_w: model.domain_static_power(),
+            transition_j: model.transition_energy(),
+        }
+    }
+
+    /// Active power of one core at OPP index `idx`, in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the derived table.
+    pub fn active_at(&self, idx: usize) -> f64 {
+        self.active_w[idx]
+    }
+
+    /// Idle (clock-gated) power of one core at OPP index `idx`, in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the derived table.
+    pub fn idle_at(&self, idx: usize) -> f64 {
+        self.idle_w[idx]
+    }
+
+    /// Always-on domain power, in watts.
+    pub fn static_w(&self) -> f64 {
+        self.static_w
+    }
+
+    /// Energy cost of one frequency transition, in joules.
+    pub fn transition_j(&self) -> f64 {
+        self.transition_j
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,7 +312,12 @@ mod tests {
         // deadline window has an interior optimum; verify at least that the
         // fastest OPP is not energy-optimal for the active+idle sum.
         let m = CmosPowerModel::new(0.9e-9, 0.12, 0.05);
-        let opps = [opp(500, 900), opp(1000, 1000), opp(1500, 1100), opp(2000, 1250)];
+        let opps = [
+            opp(500, 900),
+            opp(1000, 1000),
+            opp(1500, 1100),
+            opp(2000, 1250),
+        ];
         let cycles = 5e8; // 0.5 Gcycle job
         let window = 1.0; // 1 s deadline window
         let energy = |o: Opp| {
@@ -301,5 +361,20 @@ mod tests {
     fn default_transition_energy_is_small() {
         let m = CmosPowerModel::new(1e-9, 0.1, 0.0);
         assert!(m.transition_energy() < 1e-3);
+    }
+
+    #[test]
+    fn lut_matches_model_at_every_opp() {
+        let opps =
+            OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap();
+        let m = CmosPowerModel::new(0.9e-9, 0.12, 0.05);
+        let lut = PowerLut::derive(&m, &opps);
+        for idx in 0..opps.len() {
+            let o = opps.opp(idx);
+            assert_eq!(lut.active_at(idx), m.active_power(o), "active @ {idx}");
+            assert_eq!(lut.idle_at(idx), m.idle_power(o), "idle @ {idx}");
+        }
+        assert_eq!(lut.static_w(), m.domain_static_power());
+        assert_eq!(lut.transition_j(), m.transition_energy());
     }
 }

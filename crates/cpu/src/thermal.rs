@@ -60,10 +60,7 @@ impl ThermalModel {
     ///
     /// Panics if `power_w` is negative or NaN.
     pub fn update(&mut self, power_w: f64, dt: SimDuration) {
-        assert!(
-            power_w.is_finite() && power_w >= 0.0,
-            "bad power {power_w}"
-        );
+        assert!(power_w.is_finite() && power_w >= 0.0, "bad power {power_w}");
         let target = self.steady_state(power_w);
         let tau = self.r_c_per_w * self.c_j_per_c;
         let alpha = (-dt.as_secs_f64() / tau).exp();
@@ -156,8 +153,8 @@ mod tests {
 
     #[test]
     fn throttle_mapping() {
-        let table = OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)])
-            .unwrap();
+        let table =
+            OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap();
         let ctl = ThrottleController::new(70.0, 90.0);
         assert_eq!(ctl.max_index(25.0, &table), 3);
         assert_eq!(ctl.max_index(70.0, &table), 3);

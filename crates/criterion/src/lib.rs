@@ -1,0 +1,213 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! This workspace builds hermetically with no registry access, so the upstream
+//! crate cannot be fetched. The shim keeps the same bench-source syntax
+//! (`criterion_group!` / `criterion_main!`, `Criterion`, benchmark groups,
+//! `Throughput`, `black_box`) and implements a simple but honest measurement
+//! loop: a warm-up to size the batch, then fixed-iteration timed batches,
+//! reporting the mean, the best batch, and derived element throughput.
+//!
+//! Not implemented (not used in this repo): statistical regression analysis,
+//! HTML reports, parameterised benches, async benching.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(80);
+/// Warm-up budget per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(60);
+
+/// Units for normalising reported timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmarked body processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmarked body processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Drives individual timing loops inside a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, calling it `self.iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_count, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_count: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Normalise reported timings by this per-iteration workload size.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_count, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (reports are printed eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: find an iteration count whose batch lands near BATCH_TARGET.
+    let mut iters: u64 = 1;
+    let warmup_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher {
+            iters,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        per_iter = b.elapsed.checked_div(iters as u32).unwrap_or(per_iter);
+        if warmup_start.elapsed() >= WARMUP_TARGET || b.elapsed >= BATCH_TARGET {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    let batch_iters = (BATCH_TARGET.as_nanos() / per_iter_ns).clamp(1, u64::MAX as u128) as u64;
+
+    // Measurement: `samples` batches of `batch_iters` iterations.
+    let mut mean_ns = 0.0f64;
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: batch_iters,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / batch_iters as f64;
+        mean_ns += ns / samples as f64;
+        best_ns = best_ns.min(ns);
+    }
+
+    let mut line = format!(
+        "{name:<44} time: [{} mean, {} best] ({batch_iters} iters x {samples})",
+        fmt_ns(mean_ns),
+        fmt_ns(best_ns),
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / (mean_ns / 1e9);
+        line.push_str(&format!("  thrpt: {} {unit}", fmt_si(rate)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Bundle bench functions into a named group runner (shim for upstream macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups (shim for upstream macro).
+///
+/// Ignores harness CLI arguments (`--bench`, filters) passed by `cargo bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -7,8 +7,8 @@
 //! additional pipeline hooks; comparing the two information models is the
 //! point of the paper.
 
-use eavs_cpu::load::LoadSample;
 use eavs_cpu::cluster::PolicyLimits;
+use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::{OppIndex, OppTable};
 use eavs_sim::time::SimDuration;
 
@@ -56,8 +56,8 @@ mod tests {
 
     #[test]
     fn lowest_index_respects_limits() {
-        let table = OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)])
-            .unwrap();
+        let table =
+            OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap();
         let full = PolicyLimits::full(&table);
         assert_eq!(lowest_index_for_khz(&table, full, 0.0), 0);
         assert_eq!(lowest_index_for_khz(&table, full, 600_000.0), 1);

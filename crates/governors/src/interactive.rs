@@ -128,8 +128,7 @@ impl CpufreqGovernor for Interactive {
         let hispeed = self.hispeed_index(table, limits);
 
         // Desired frequency so the CPU would run at target_load.
-        let desired_khz =
-            load / self.tunables.target_load * sample.cur_freq.khz() as f64;
+        let desired_khz = load / self.tunables.target_load * sample.cur_freq.khz() as f64;
         let mut target = lowest_index_for_khz(table, limits, desired_khz);
 
         // Hispeed burst logic.
@@ -161,7 +160,6 @@ impl CpufreqGovernor for Interactive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn table() -> OppTable {
         OppTable::from_mhz_mv(&[(500, 900), (1000, 1000), (1500, 1100), (2000, 1250)]).unwrap()

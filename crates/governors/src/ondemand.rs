@@ -60,7 +60,10 @@ impl Ondemand {
             tunables.up_threshold > 0.0 && tunables.up_threshold <= 100.0,
             "bad up_threshold"
         );
-        assert!(tunables.sampling_down_factor > 0, "bad sampling_down_factor");
+        assert!(
+            tunables.sampling_down_factor > 0,
+            "bad sampling_down_factor"
+        );
         Ondemand {
             tunables,
             down_skip: 0,

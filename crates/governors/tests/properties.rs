@@ -5,8 +5,8 @@
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::OppTable;
-use eavs_governors::{by_name, Conservative, Ondemand, BASELINE_NAMES};
 use eavs_governors::governor::CpufreqGovernor;
+use eavs_governors::{by_name, Conservative, Ondemand, BASELINE_NAMES};
 use eavs_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 

@@ -123,7 +123,11 @@ impl fmt::Display for Histogram {
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
         for (lo, hi, count) in self.iter() {
             let width = (count * 40 / max) as usize;
-            writeln!(f, "[{lo:>10.2}, {hi:>10.2}) {count:>8} {}", "#".repeat(width))?;
+            writeln!(
+                f,
+                "[{lo:>10.2}, {hi:>10.2}) {count:>8} {}",
+                "#".repeat(width)
+            )?;
         }
         Ok(())
     }

@@ -315,7 +315,12 @@ mod tests {
             p2.push(x);
         }
         let truth = exact.quantile(0.9);
-        assert!((p2.estimate() - truth).abs() < 0.01, "p2={} exact={}", p2.estimate(), truth);
+        assert!(
+            (p2.estimate() - truth).abs() < 0.01,
+            "p2={} exact={}",
+            p2.estimate(),
+            truth
+        );
     }
 
     #[test]

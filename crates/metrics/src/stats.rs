@@ -211,7 +211,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_computation() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let s: OnlineStats = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
         let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;

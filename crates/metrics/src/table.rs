@@ -83,7 +83,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -222,7 +223,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(3.45678, 2), "3.46");
         assert_eq!(fmt_pct(-0.234), "-23.4%");
         assert_eq!(fmt_pct(0.05), "+5.0%");
     }

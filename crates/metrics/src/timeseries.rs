@@ -208,10 +208,7 @@ mod tests {
     fn resample_grid() {
         let series: StepSeries = [(s(0), 1.0), (s(5), 2.0)].into_iter().collect();
         let pts = series.resample(s(0), s(10), SimDuration::from_secs(5));
-        assert_eq!(
-            pts,
-            vec![(s(0), 1.0), (s(5), 2.0), (s(10), 2.0)]
-        );
+        assert_eq!(pts, vec![(s(0), 1.0), (s(5), 2.0), (s(10), 2.0)]);
     }
 
     #[test]

@@ -195,8 +195,11 @@ mod tests {
         let bytes = tr.bytes_between(s(1), s(9));
         let done = tr.completion_time(s(1), bytes).unwrap();
         assert!(
-            done.checked_duration_since(s(9)).is_none_or(|d| d < SimDuration::from_micros(1))
-                && s(9).checked_duration_since(done).is_none_or(|d| d < SimDuration::from_micros(1)),
+            done.checked_duration_since(s(9))
+                .is_none_or(|d| d < SimDuration::from_micros(1))
+                && s(9)
+                    .checked_duration_since(done)
+                    .is_none_or(|d| d < SimDuration::from_micros(1)),
             "done={done}"
         );
     }

@@ -7,6 +7,8 @@
 //! completion event per segment. Activity intervals are recorded for radio
 //! energy accounting, and per-segment throughput samples feed the ABR.
 
+use std::sync::Arc;
+
 use crate::bandwidth::BandwidthTrace;
 use crate::radio::ActivityInterval;
 use eavs_sim::time::{SimDuration, SimTime};
@@ -39,9 +41,13 @@ struct InFlight {
 }
 
 /// Sequential segment downloader over a bandwidth trace.
+///
+/// The trace is held behind an [`Arc`]: generated traces can be large
+/// (per-second samples over long sessions), and parallel sweeps share one
+/// copy across jobs instead of deep-cloning per session.
 #[derive(Clone, Debug)]
 pub struct Downloader {
-    trace: BandwidthTrace,
+    trace: Arc<BandwidthTrace>,
     rtt: SimDuration,
     in_flight: Option<InFlight>,
     activity: Vec<ActivityInterval>,
@@ -51,9 +57,10 @@ pub struct Downloader {
 
 impl Downloader {
     /// Creates a downloader over `trace` with the given request RTT.
-    pub fn new(trace: BandwidthTrace, rtt: SimDuration) -> Self {
+    /// Accepts either an owned `BandwidthTrace` or a shared `Arc`.
+    pub fn new(trace: impl Into<Arc<BandwidthTrace>>, rtt: SimDuration) -> Self {
         Downloader {
-            trace,
+            trace: trace.into(),
             rtt,
             in_flight: None,
             activity: Vec::new(),

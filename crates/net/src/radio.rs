@@ -125,7 +125,11 @@ impl RadioModel {
     /// A new promotion is charged whenever activity begins while the radio
     /// has fully demoted to idle (gap since previous activity exceeding
     /// `tail1 + tail2`).
-    pub fn account(&self, activity: Vec<ActivityInterval>, session_len: SimDuration) -> RadioReport {
+    pub fn account(
+        &self,
+        activity: Vec<ActivityInterval>,
+        session_len: SimDuration,
+    ) -> RadioReport {
         let end_of_session = SimTime::ZERO + session_len;
         let merged = merge_intervals(activity);
         let mut report = RadioReport::default();
@@ -158,8 +162,8 @@ impl RadioModel {
             let t1 = gap.min(self.tail1);
             let t2 = gap.saturating_sub(self.tail1).min(self.tail2);
             report.tail_time += t1 + t2;
-            report.energy_j += self.tail1_power_w * t1.as_secs_f64()
-                + self.tail2_power_w * t2.as_secs_f64();
+            report.energy_j +=
+                self.tail1_power_w * t1.as_secs_f64() + self.tail2_power_w * t2.as_secs_f64();
             prev_end = Some(iv_end);
         }
 

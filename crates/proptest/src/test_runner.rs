@@ -1,0 +1,129 @@
+//! Deterministic case runner and RNG backing the [`proptest!`](crate::proptest)
+//! macro.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration; mirrors the fields of upstream's `ProptestConfig`
+/// that this repo uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required before the test succeeds.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like upstream; override with the `PROPTEST_CASES` env var.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was violated; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic splitmix64 generator. Each test gets a seed derived from its
+/// name, so failures reproduce run-to-run without recording a seed file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded from an arbitrary string (FNV-1a of the test name).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drive one property: sample inputs until `config.cases` cases pass, a case
+/// fails, or the rejection budget is exhausted.
+///
+/// The failing input is printed (`Debug`) before the panic so it can be turned
+/// into a regression test; sampling is deterministic per test name.
+pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = config.cases as u64 * 20 + 1000;
+    while passed < config.cases {
+        let input = strategy.sample(&mut rng);
+        let shown = format!("{input:?}");
+        match catch_unwind(AssertUnwindSafe(|| body(input))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejections for {passed} passes)"
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest '{name}' failed after {passed} passing case(s): {msg}\n\
+                     failing input: {shown}"
+                );
+            }
+            Err(payload) => {
+                eprintln!("proptest '{name}': case panicked; failing input: {shown}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}

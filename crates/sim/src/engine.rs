@@ -259,8 +259,10 @@ mod tests {
     #[test]
     fn runs_events_in_order_and_advances_clock() {
         let mut sim = Simulation::new(Recorder::new());
-        sim.scheduler().schedule_at(SimTime::from_millis(20), Ev::Boom);
-        sim.scheduler().schedule_at(SimTime::from_millis(10), Ev::Tick);
+        sim.scheduler()
+            .schedule_at(SimTime::from_millis(20), Ev::Boom);
+        sim.scheduler()
+            .schedule_at(SimTime::from_millis(10), Ev::Tick);
         assert_eq!(sim.run(), RunOutcome::QueueEmpty);
         assert_eq!(
             sim.world().log,
@@ -346,7 +348,8 @@ mod tests {
     fn events_processed_counter() {
         let mut sim = Simulation::new(Recorder::new());
         for i in 0..10 {
-            sim.scheduler().schedule_at(SimTime::from_millis(i), Ev::Tick);
+            sim.scheduler()
+                .schedule_at(SimTime::from_millis(i), Ev::Tick);
         }
         sim.run();
         assert_eq!(sim.scheduler().events_processed(), 10);

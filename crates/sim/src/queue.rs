@@ -1,46 +1,66 @@
 //! The pending-event queue.
 //!
-//! A binary-heap priority queue keyed on `(time, sequence)` so that events
-//! scheduled for the same instant pop in FIFO order — a property several
-//! state machines in the simulator rely on (e.g. "frequency applied" must be
-//! observed before a decode-completion check scheduled afterwards at the same
-//! instant).
+//! A slab-backed, generation-tagged indexed priority queue. Event payloads
+//! live in a `Vec` slab; the binary heap holds only compact `(time, seq,
+//! slot)` keys, so scheduling, cancellation and popping never touch a hash
+//! table. Events scheduled for the same instant pop in FIFO order (ordered by
+//! the monotonically increasing `seq`) — a property several state machines in
+//! the simulator rely on (e.g. "frequency applied" must be observed before a
+//! decode-completion check scheduled afterwards at the same instant).
 //!
-//! Cancellation is *lazy*: [`EventQueue::cancel`] marks the event id and the
-//! entry is dropped when it reaches the top of the heap. This keeps both
-//! scheduling and cancellation `O(log n)` amortized.
+//! [`EventId`] carries `(slot, generation)`. The generation is bumped every
+//! time a slot is vacated, so a stale id — one whose event already fired or
+//! was cancelled — can never cancel an unrelated event that happens to reuse
+//! the same slot.
+//!
+//! Cancellation is an *O(1)* tombstone write: the slab entry is cleared and
+//! the heap key is left behind, to be purged lazily when it surfaces at the
+//! top of the heap (a key is stale when its `seq` no longer matches the
+//! slot's live entry). This keeps `push` and `pop` `O(log n)` amortized and
+//! `cancel` `O(1)`, with zero per-event hashing anywhere.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::time::SimTime;
 
 /// A handle identifying a scheduled event, usable for cancellation.
+///
+/// Packs the slab slot and its generation at scheduling time; both must still
+/// match for [`EventQueue::cancel`] to take effect, so ids are immune to slot
+/// reuse.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 impl EventId {
-    /// The raw sequence number. Mostly useful for logging.
+    /// The raw packed representation (`generation << 32 | slot`). Mostly
+    /// useful for logging.
     pub fn as_u64(self) -> u64 {
-        self.0
+        (self.gen as u64) << 32 | self.slot as u64
     }
 }
 
 impl fmt::Display for EventId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ev#{}", self.0)
+        write!(f, "ev#{}g{}", self.slot, self.gen)
     }
 }
 
-struct Entry<E> {
-    time: SimTime,
-    event: E,
+/// One slab cell. `gen` counts how many times the cell has been vacated.
+struct Slot<E> {
+    gen: u32,
+    entry: Option<SlotEntry<E>>,
 }
 
-/// Orders entries by `(time, id)`; wrapped in `Reverse` for min-heap usage.
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct Key(SimTime, EventId);
+struct SlotEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
 
 /// A time-ordered queue of pending simulation events.
 ///
@@ -57,12 +77,15 @@ struct Key(SimTime, EventId);
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    // The heap holds only ordering keys; the payloads live in `entries` so
-    // that `E` needs no `Ord` bound and cancellation can reclaim memory.
-    heap: BinaryHeap<Reverse<Key>>,
-    entries: HashMap<EventId, Entry<E>>,
-    cancelled: HashSet<EventId>,
+    /// Min-heap (via `Reverse`) of `(time, seq, slot)`. `seq` is unique and
+    /// monotonic, so ties at the same time break FIFO; `slot` is never
+    /// reached during comparison and merely locates the payload.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    slab: Vec<Slot<E>>,
+    /// Vacated slots available for reuse, most recently freed last.
+    free: Vec<u32>,
     next_seq: u64,
+    live: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -70,71 +93,109 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            entries: HashMap::new(),
-            cancelled: HashSet::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
+            live: 0,
         }
     }
 
     /// Schedules `event` at absolute time `time`, returning its id.
     pub fn push(&mut self, time: SimTime, event: E) -> EventId {
-        let id = EventId(self.next_seq);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.insert(id, Entry { time, event });
-        self.heap.push(Reverse(Key(time, id)));
-        id
+        let entry = SlotEntry { time, seq, event };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize].entry = Some(entry);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("event slab exceeded u32 slots");
+                self.slab.push(Slot {
+                    gen: 0,
+                    entry: Some(entry),
+                });
+                slot
+            }
+        };
+        self.heap.push(Reverse((time, seq, slot)));
+        self.live += 1;
+        EventId {
+            slot,
+            gen: self.slab[slot as usize].gen,
+        }
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1).
     ///
     /// Returns `true` if the event was still pending, `false` if it had
-    /// already fired or been cancelled.
+    /// already fired or been cancelled (including when its slot has since
+    /// been reused by a newer event — the generation tag disambiguates).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.entries.remove(&id).is_some() {
-            self.cancelled.insert(id);
-            true
-        } else {
-            false
+        match self.slab.get_mut(id.slot as usize) {
+            Some(slot) if slot.gen == id.gen && slot.entry.is_some() => {
+                slot.entry = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(id.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// `true` if `id` still names a pending (not fired, not cancelled)
+    /// event. Stale ids whose slot has been recycled report `false`.
+    pub fn contains(&self, id: EventId) -> bool {
+        matches!(
+            self.slab.get(id.slot as usize),
+            Some(slot) if slot.gen == id.gen && slot.entry.is_some()
+        )
     }
 
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.purge_cancelled();
-        self.heap.peek().map(|Reverse(Key(t, _))| *t)
+        while let Some(&Reverse((time, seq, slot))) = self.heap.peek() {
+            if self.key_is_live(seq, slot) {
+                return Some(time);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.purge_cancelled();
-        let Reverse(Key(time, id)) = self.heap.pop()?;
-        let entry = self
-            .entries
-            .remove(&id)
-            .expect("heap key without live entry after purge");
-        debug_assert_eq!(entry.time, time);
-        Some((time, entry.event))
+        while let Some(Reverse((time, seq, slot))) = self.heap.pop() {
+            if !self.key_is_live(seq, slot) {
+                continue; // stale key: cancelled, or the slot was reused
+            }
+            let cell = &mut self.slab[slot as usize];
+            let entry = cell.entry.take().expect("live key without slab entry");
+            cell.gen = cell.gen.wrapping_add(1);
+            self.free.push(slot);
+            self.live -= 1;
+            debug_assert_eq!(entry.time, time);
+            return Some((time, entry.event));
+        }
+        None
     }
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// `true` if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Drops cancelled entries sitting at the top of the heap.
-    fn purge_cancelled(&mut self) {
-        while let Some(Reverse(Key(_, id))) = self.heap.peek() {
-            if self.cancelled.remove(id) {
-                self.heap.pop();
-            } else {
-                break;
-            }
-        }
+    /// A heap key is live iff the slot still holds the entry it was pushed
+    /// for; `seq` is globally unique, so one comparison settles it.
+    fn key_is_live(&self, seq: u64, slot: u32) -> bool {
+        matches!(&self.slab[slot as usize].entry, Some(e) if e.seq == seq)
     }
 }
 
@@ -147,8 +208,9 @@ impl<E> Default for EventQueue<E> {
 impl<E> fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
-            .field("live", &self.entries.len())
+            .field("live", &self.live)
             .field("scheduled_total", &self.next_seq)
+            .field("slab_slots", &self.slab.len())
             .finish()
     }
 }
@@ -233,5 +295,44 @@ mod tests {
             seen += 1;
         }
         assert_eq!(seen, 50 - ids.iter().step_by(3).count());
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "old");
+        assert!(q.cancel(a));
+        // The vacated slot is reused immediately, but with a bumped
+        // generation: the stale id must bounce off the new tenant.
+        let b = q.push(t(2), "new");
+        assert_ne!(a, b);
+        assert_ne!(a.as_u64(), b.as_u64());
+        assert!(!q.cancel(a), "stale id cancelled a reused slot");
+        assert_eq!(q.pop(), Some((t(2), "new")));
+    }
+
+    #[test]
+    fn popped_slot_reuse_bumps_generation() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1u32);
+        assert_eq!(q.pop(), Some((t(1), 1)));
+        let b = q.push(t(2), 2u32);
+        assert!(!q.cancel(a), "id of a popped event cancelled its successor");
+        assert!(q.cancel(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_reused_not_grown() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            let ids: Vec<_> = (0..8).map(|i| q.push(t(round * 10 + i), i)).collect();
+            for id in ids {
+                q.cancel(id);
+            }
+        }
+        // 80 events total but never more than 8 alive at once.
+        assert!(q.slab.len() <= 8, "slab grew to {} slots", q.slab.len());
+        assert!(q.is_empty());
     }
 }

@@ -91,7 +91,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -173,7 +176,10 @@ impl SimRng {
     ///
     /// Panics unless both parameters are positive.
     pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
-        assert!(scale > 0.0 && shape > 0.0, "bad pareto scale={scale} shape={shape}");
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "bad pareto scale={scale} shape={shape}"
+        );
         scale / (1.0 - self.next_f64()).powf(1.0 / shape)
     }
 

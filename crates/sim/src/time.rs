@@ -367,7 +367,10 @@ mod tests {
 
     #[test]
     fn constructors_agree() {
-        assert_eq!(SimTime::from_secs(2), SimTime::from_nanos(2 * NANOS_PER_SEC));
+        assert_eq!(
+            SimTime::from_secs(2),
+            SimTime::from_nanos(2 * NANOS_PER_SEC)
+        );
         assert_eq!(SimTime::from_millis(5), SimTime::from_micros(5_000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
         assert_eq!(

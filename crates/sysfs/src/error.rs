@@ -71,6 +71,8 @@ mod tests {
         }
         .to_string()
         .contains("not permitted"));
-        assert!(SysfsError::NotWritable("f".into()).to_string().contains("read-only"));
+        assert!(SysfsError::NotWritable("f".into())
+            .to_string()
+            .contains("read-only"));
     }
 }

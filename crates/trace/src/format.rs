@@ -126,11 +126,18 @@ pub fn parse_video_trace(text: &str) -> Result<VideoTrace, ParseError> {
                     return Err(err(lineno, "duplicate video header"));
                 }
                 if rest.len() != 3 {
-                    return Err(err(lineno, "video needs: fps frames_per_segment num_segments"));
+                    return Err(err(
+                        lineno,
+                        "video needs: fps frames_per_segment num_segments",
+                    ));
                 }
                 let fps = rest[0].parse().map_err(|_| err(lineno, "bad fps"))?;
-                let fseg = rest[1].parse().map_err(|_| err(lineno, "bad frames_per_segment"))?;
-                let nseg = rest[2].parse().map_err(|_| err(lineno, "bad num_segments"))?;
+                let fseg = rest[1]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad frames_per_segment"))?;
+                let nseg = rest[2]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad num_segments"))?;
                 header = Some((fps, fseg, nseg));
             }
             "rep" => {
@@ -139,7 +146,10 @@ pub fn parse_video_trace(text: &str) -> Result<VideoTrace, ParseError> {
                 }
                 let id: usize = rest[0].parse().map_err(|_| err(lineno, "bad rep id"))?;
                 if id != reps.len() {
-                    return Err(err(lineno, format!("rep ids must be dense, expected {}", reps.len())));
+                    return Err(err(
+                        lineno,
+                        format!("rep ids must be dense, expected {}", reps.len()),
+                    ));
                 }
                 reps.push(Representation {
                     id,
@@ -150,8 +160,7 @@ pub fn parse_video_trace(text: &str) -> Result<VideoTrace, ParseError> {
                 frames.push(Vec::new());
             }
             "frame" => {
-                let (fps, _, _) =
-                    header.ok_or_else(|| err(lineno, "frame before video header"))?;
+                let (fps, _, _) = header.ok_or_else(|| err(lineno, "frame before video header"))?;
                 if rest.len() != 5 {
                     return Err(err(lineno, "frame needs: rep_id index type size cycles"));
                 }
@@ -202,7 +211,10 @@ pub fn parse_video_trace(text: &str) -> Result<VideoTrace, ParseError> {
         }
         for (j, f) in fs.iter().enumerate() {
             if f.index != j as u64 {
-                return Err(err(0, format!("rep {rep_id}: frame indices not dense at {j}")));
+                return Err(err(
+                    0,
+                    format!("rep {rep_id}: frame indices not dense at {j}"),
+                ));
             }
         }
     }
@@ -318,7 +330,8 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let tr = parse_bandwidth_trace("# header\n\nbw 0 1000000.0\n  \nbw 1000000000 2e6\n").unwrap();
+        let tr =
+            parse_bandwidth_trace("# header\n\nbw 0 1000000.0\n  \nbw 1000000000 2e6\n").unwrap();
         assert_eq!(tr.points().len(), 2);
     }
 }

@@ -23,6 +23,9 @@ pub mod net_gen;
 pub mod video_gen;
 
 pub use content::ContentProfile;
-pub use format::{parse_bandwidth_trace, parse_video_trace, write_bandwidth_trace, write_video_trace, ParseError, VideoTrace};
+pub use format::{
+    parse_bandwidth_trace, parse_video_trace, write_bandwidth_trace, write_video_trace, ParseError,
+    VideoTrace,
+};
 pub use net_gen::NetworkProfile;
 pub use video_gen::VideoGenerator;

@@ -15,6 +15,8 @@
 //! between governors workload-identical even when buffer dynamics shift
 //! download order.
 
+use std::sync::Arc;
+
 use crate::content::ContentProfile;
 use eavs_cpu::freq::Cycles;
 use eavs_sim::rng::SimRng;
@@ -50,9 +52,13 @@ fn cycle_factor(t: FrameType) -> f64 {
 }
 
 /// Deterministic synthetic video source for one title.
+///
+/// The manifest is held behind an [`Arc`] so parallel sweeps can share one
+/// allocation across hundreds of sessions instead of deep-cloning the ladder
+/// per job.
 #[derive(Clone, Debug)]
 pub struct VideoGenerator {
-    manifest: Manifest,
+    manifest: Arc<Manifest>,
     profile: ContentProfile,
     gop: GopStructure,
     root: SimRng,
@@ -60,11 +66,12 @@ pub struct VideoGenerator {
 
 impl VideoGenerator {
     /// Creates a generator for `manifest` with the given content profile
-    /// and seed.
-    pub fn new(manifest: Manifest, profile: ContentProfile, seed: u64) -> Self {
+    /// and seed. Accepts either an owned `Manifest` or a shared
+    /// `Arc<Manifest>`.
+    pub fn new(manifest: impl Into<Arc<Manifest>>, profile: ContentProfile, seed: u64) -> Self {
         let root = SimRng::new(seed).fork("video-gen");
         VideoGenerator {
-            manifest,
+            manifest: manifest.into(),
             profile,
             gop: GopStructure::streaming_default(),
             root,
@@ -209,7 +216,9 @@ mod tests {
         let g = generator(ContentProfile::Film);
         let m = g.manifest().clone();
         for rep in m.representations() {
-            let total: u64 = (0..m.num_segments).map(|i| g.segment(i, rep.id).size_bytes()).sum();
+            let total: u64 = (0..m.num_segments)
+                .map(|i| g.segment(i, rep.id).size_bytes())
+                .sum();
             let expected = rep.bytes_per_segment(SimDuration::from_secs(2)) * m.num_segments;
             let ratio = total as f64 / expected as f64;
             assert!(

@@ -169,7 +169,12 @@ impl Playback {
     /// again at end of stream, where thresholds can exceed what remains).
     ///
     /// Returns `true` and performs the phase transition when it fires.
-    pub fn maybe_start(&mut self, now: SimTime, buffered_frames: usize, downloads_done: bool) -> bool {
+    pub fn maybe_start(
+        &mut self,
+        now: SimTime,
+        buffered_frames: usize,
+        downloads_done: bool,
+    ) -> bool {
         let threshold = match self.phase {
             PlaybackPhase::Startup => self.startup_threshold_frames,
             PlaybackPhase::Rebuffering => self.resume_threshold_frames,
@@ -307,7 +312,10 @@ mod tests {
         let mut p = decoded_pipeline(3);
         pb.maybe_start(t(0), 3, false);
         assert!(matches!(pb.on_vsync(t(1), &mut p), VsyncOutcome::Displayed(f) if f.index == 0));
-        assert!(matches!(pb.on_vsync(t(2), &mut p), VsyncOutcome::Displayed(_)));
+        assert!(matches!(
+            pb.on_vsync(t(2), &mut p),
+            VsyncOutcome::Displayed(_)
+        ));
         assert!(matches!(pb.on_vsync(t(3), &mut p), VsyncOutcome::Ended(_)));
         assert_eq!(pb.phase(), PlaybackPhase::Ended);
         assert_eq!(pb.frames_displayed(), 3);
@@ -330,7 +338,10 @@ mod tests {
         let mut pb = Playback::new(10, 1, 3);
         let mut p = decoded_pipeline(1);
         pb.maybe_start(t(0), 1, false);
-        assert!(matches!(pb.on_vsync(t(1), &mut p), VsyncOutcome::Displayed(_)));
+        assert!(matches!(
+            pb.on_vsync(t(1), &mut p),
+            VsyncOutcome::Displayed(_)
+        ));
         assert_eq!(pb.on_vsync(t(2), &mut p), VsyncOutcome::Starved);
         assert_eq!(pb.phase(), PlaybackPhase::Rebuffering);
         assert_eq!(pb.rebuffer_events(), 1);
@@ -398,7 +409,10 @@ mod tests {
         p.start_decode();
         p.finish_decode();
         pb.maybe_start(t(0), 2, true);
-        assert!(matches!(pb.on_vsync(t(1), &mut p), VsyncOutcome::Displayed(_)));
+        assert!(matches!(
+            pb.on_vsync(t(1), &mut p),
+            VsyncOutcome::Displayed(_)
+        ));
         // Final frame still in the undecoded queue at its slot: dropped,
         // and the playhead reaches the end of the stream.
         assert_eq!(pb.on_vsync(t(2), &mut p), VsyncOutcome::Dropped);

@@ -25,7 +25,10 @@ impl GopStructure {
     /// Panics if `gop_length == 0`.
     pub fn new(gop_length: u32, b_per_p: u32) -> Self {
         assert!(gop_length > 0, "GOP length must be positive");
-        GopStructure { gop_length, b_per_p }
+        GopStructure {
+            gop_length,
+            b_per_p,
+        }
     }
 
     /// A typical streaming GOP: 2-second GOP at 30 fps with 2 B frames.

@@ -56,7 +56,10 @@ impl QoeReport {
         let mean_bitrate = if segment_bitrates_kbps.is_empty() {
             0.0
         } else {
-            segment_bitrates_kbps.iter().map(|&b| f64::from(b)).sum::<f64>()
+            segment_bitrates_kbps
+                .iter()
+                .map(|&b| f64::from(b))
+                .sum::<f64>()
                 / segment_bitrates_kbps.len() as f64
         };
         QoeReport {
@@ -102,7 +105,8 @@ impl QoeReport {
         let mbps = self.mean_bitrate_kbps / 1000.0;
         let rebuf_per_min = self.rebuffer_time.as_secs_f64() / minutes.max(1e-9);
         let switches_per_min = self.bitrate_switches as f64 / minutes.max(1e-9);
-        mbps - 4.3 * rebuf_per_min - 1.0 * switches_per_min
+        mbps - 4.3 * rebuf_per_min
+            - 1.0 * switches_per_min
             - 2.0 * (self.deadline_miss_rate() * 100.0)
     }
 
@@ -138,8 +142,8 @@ impl fmt::Display for QoeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::DecodePipeline;
     use crate::frame::{Frame, FrameType};
+    use crate::pipeline::DecodePipeline;
     use eavs_cpu::freq::Cycles;
     use eavs_sim::time::SimTime;
 
@@ -217,12 +221,8 @@ mod tests {
         for i in 0..5 {
             pb.on_vsync(SimTime::from_secs(1 + i), &mut p);
         }
-        let q = QoeReport::from_playback(
-            &pb,
-            &[3000],
-            SimDuration::ZERO,
-            SimDuration::from_secs(60),
-        );
+        let q =
+            QoeReport::from_playback(&pb, &[3000], SimDuration::ZERO, SimDuration::from_secs(60));
         assert_eq!(q.late_vsyncs, 5);
         assert!((q.deadline_miss_rate() - 0.5).abs() < 1e-12);
         assert!(q.score() < 0.0, "heavy missing should tank the score");

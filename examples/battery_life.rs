@@ -45,7 +45,13 @@ fn main() {
             GovernorChoice::Baseline(by_name(name).expect("baseline"))
         };
         let report = StreamingSession::builder(gov)
-            .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(60), 30))
+            .manifest(Manifest::single(
+                6_000,
+                1920,
+                1080,
+                SimDuration::from_secs(60),
+                30,
+            ))
             .seed(42)
             .run();
         let secs = report.session_length.as_secs_f64();

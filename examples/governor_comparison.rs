@@ -64,7 +64,10 @@ fn main() {
         }
         for (name, report) in rows {
             let delta = if ondemand_joules > 0.0 {
-                format!("{:+.1}%", (report.cpu_joules() / ondemand_joules - 1.0) * 100.0)
+                format!(
+                    "{:+.1}%",
+                    (report.cpu_joules() / ondemand_joules - 1.0) * 100.0
+                )
             } else {
                 "-".to_owned()
             };

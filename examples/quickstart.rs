@@ -22,7 +22,10 @@ fn main() {
             "performance",
             GovernorChoice::Baseline(Box::new(Performance)),
         ),
-        ("ondemand", GovernorChoice::Baseline(Box::new(Ondemand::new()))),
+        (
+            "ondemand",
+            GovernorChoice::Baseline(Box::new(Ondemand::new())),
+        ),
         (
             "interactive",
             GovernorChoice::Baseline(Box::new(Interactive::new())),

@@ -18,10 +18,10 @@ fn main() {
     let mut fs = CpufreqFs::new(&cluster);
     let mut now = SimTime::ZERO;
     let shell = |fs: &mut CpufreqFs,
-                     cluster: &mut eavs::cpu::cluster::Cluster,
-                     now: SimTime,
-                     cmd: &str,
-                     arg: Option<&str>| {
+                 cluster: &mut eavs::cpu::cluster::Cluster,
+                 now: SimTime,
+                 cmd: &str,
+                 arg: Option<&str>| {
         match arg {
             Some(value) => {
                 println!("$ echo {value} > {cmd}");
@@ -41,21 +41,57 @@ fn main() {
     };
 
     shell(&mut fs, &mut cluster, now, "scaling_driver", None);
-    shell(&mut fs, &mut cluster, now, "scaling_available_frequencies", None);
-    shell(&mut fs, &mut cluster, now, "scaling_available_governors", None);
+    shell(
+        &mut fs,
+        &mut cluster,
+        now,
+        "scaling_available_frequencies",
+        None,
+    );
+    shell(
+        &mut fs,
+        &mut cluster,
+        now,
+        "scaling_available_governors",
+        None,
+    );
     shell(&mut fs, &mut cluster, now, "scaling_governor", None);
 
     // Writing setspeed under the wrong governor fails like on real hw.
-    shell(&mut fs, &mut cluster, now, "scaling_setspeed", Some("902000"));
+    shell(
+        &mut fs,
+        &mut cluster,
+        now,
+        "scaling_setspeed",
+        Some("902000"),
+    );
 
-    shell(&mut fs, &mut cluster, now, "scaling_governor", Some("userspace"));
-    shell(&mut fs, &mut cluster, now, "scaling_setspeed", Some("902000"));
+    shell(
+        &mut fs,
+        &mut cluster,
+        now,
+        "scaling_governor",
+        Some("userspace"),
+    );
+    shell(
+        &mut fs,
+        &mut cluster,
+        now,
+        "scaling_setspeed",
+        Some("902000"),
+    );
 
     now = SimTime::from_secs(5);
     cluster.advance(now);
     shell(&mut fs, &mut cluster, now, "scaling_cur_freq", None);
 
-    shell(&mut fs, &mut cluster, now, "scaling_setspeed", Some("2150000"));
+    shell(
+        &mut fs,
+        &mut cluster,
+        now,
+        "scaling_setspeed",
+        Some("2150000"),
+    );
     now = SimTime::from_secs(8);
     cluster.advance(now);
 

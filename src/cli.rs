@@ -404,7 +404,9 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse(&argv("launch")).unwrap_err().contains("unknown command"));
+        assert!(parse(&argv("launch"))
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(parse(&argv("run --bitrate nope"))
             .unwrap_err()
             .contains("bad value"));
@@ -454,8 +456,11 @@ mod tests {
             height: 480,
             ..RunArgs::default()
         };
-        let out = execute(Command::Compare(args, vec!["powersave".into(), "eavs".into()]))
-            .unwrap();
+        let out = execute(Command::Compare(
+            args,
+            vec!["powersave".into(), "eavs".into()],
+        ))
+        .unwrap();
         assert_eq!(out.lines().count(), 2);
         assert!(out.contains("powersave"));
         assert!(out.contains("eavs/hybrid"));
@@ -487,7 +492,9 @@ mod tests {
             late_policy: "freeze".to_owned(),
             ..RunArgs::default()
         };
-        assert!(run_session(&bad, "eavs").unwrap_err().contains("late policy"));
+        assert!(run_session(&bad, "eavs")
+            .unwrap_err()
+            .contains("late policy"));
     }
 
     #[test]

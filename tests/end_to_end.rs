@@ -117,7 +117,11 @@ fn powersave_brackets_the_energy_floor_but_wrecks_qoe() {
     );
     let eavs_r = run(eavs(), manifest_1080p(15), ContentProfile::Film);
     // powersave at the floor cannot decode 1080p in real time.
-    assert!(ps.qoe.late_vsyncs > 50, "powersave misses: {}", ps.qoe.late_vsyncs);
+    assert!(
+        ps.qoe.late_vsyncs > 50,
+        "powersave misses: {}",
+        ps.qoe.late_vsyncs
+    );
     assert!(eavs_r.qoe.late_vsyncs <= 2);
     // But per unit time its *power* is the floor.
     assert!(eavs_r.mean_cpu_power() >= ps.mean_cpu_power() * 0.8);
@@ -239,7 +243,10 @@ fn recorded_series_are_consistent_with_report() {
     // Buffer level is never negative and bounded by the player cap.
     let buffer = report.buffer_series.as_ref().expect("series");
     for (_, level) in buffer.iter() {
-        assert!((0.0..=31.0).contains(&level), "buffer {level}s out of range");
+        assert!(
+            (0.0..=31.0).contains(&level),
+            "buffer {level}s out of range"
+        );
     }
 }
 

@@ -3,11 +3,11 @@
 //! exercised together and checked for determinism.
 
 use eavs::cli;
+use eavs::cpu::thermal::{ThermalModel, ThrottleController};
 use eavs::net::radio::RadioModel;
 use eavs::scaling::governor::{EavsConfig, EavsGovernor};
 use eavs::scaling::predictor::Hybrid;
 use eavs::scaling::session::{ClusterSelect, GovernorChoice, StreamingSession};
-use eavs::cpu::thermal::{ThermalModel, ThrottleController};
 use eavs::sim::time::SimDuration;
 use eavs::tracegen::content::ContentProfile;
 use eavs::tracegen::net_gen::NetworkProfile;
@@ -70,9 +70,18 @@ fn auto_placement_beats_wrong_static_choice_on_light_content() {
 #[test]
 fn thermal_and_background_compose_with_eavs() {
     let report = StreamingSession::builder(eavs())
-        .manifest(Manifest::single(6_000, 1920, 1080, SimDuration::from_secs(15), 30))
+        .manifest(Manifest::single(
+            6_000,
+            1920,
+            1080,
+            SimDuration::from_secs(15),
+            30,
+        ))
         .content(ContentProfile::Film)
-        .thermal(ThermalModel::phone_default(), ThrottleController::phone_default())
+        .thermal(
+            ThermalModel::phone_default(),
+            ThrottleController::phone_default(),
+        )
         .background_load(0.25, SimDuration::from_millis(80))
         .seed(9)
         .run();
@@ -119,7 +128,10 @@ fn cli_layer_matches_direct_builder() {
         .manifest(manifest_480p(10))
         .seed(21)
         .run();
-    assert_eq!(via_cli.cpu_joules().to_bits(), direct.cpu_joules().to_bits());
+    assert_eq!(
+        via_cli.cpu_joules().to_bits(),
+        direct.cpu_joules().to_bits()
+    );
     assert_eq!(via_cli.transitions, direct.transitions);
 }
 
