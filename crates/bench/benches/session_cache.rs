@@ -1,0 +1,49 @@
+//! Session-cache microbenchmarks: what a warm hit costs versus the cold
+//! miss it replaces, and how fast the builder fingerprint itself hashes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eavs_bench::cache::run_session;
+use eavs_bench::harness::{governor, single_manifest, SEED};
+use eavs_core::session::StreamingSession;
+use eavs_trace::content::ContentProfile;
+
+fn builder(seed: u64) -> eavs_core::session::SessionBuilder {
+    StreamingSession::builder(governor("eavs"))
+        .manifest(single_manifest(3_000, 1280, 720, 10, 30))
+        .content(ContentProfile::Film)
+        .seed(seed)
+}
+
+/// Fingerprint hashing throughput: the fixed cost every cached lookup pays.
+fn bench_fingerprint(c: &mut Criterion) {
+    c.bench_function("session_fingerprint", |b| {
+        let built = builder(SEED);
+        b.iter(|| black_box(built.fingerprint().expect("cacheable builder")))
+    });
+}
+
+/// Cold miss (simulate + insert) vs warm hit (fingerprint + map lookup).
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_cache");
+    group.sample_size(20);
+
+    // Distinct seeds per iteration: every lookup misses and simulates.
+    group.bench_function("cold_miss", |b| {
+        let mut seed = 1_000_000u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_session(builder(seed)).cpu_joules())
+        })
+    });
+
+    // One seed, pre-seeded cache: every lookup is a hit.
+    run_session(builder(SEED));
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| black_box(run_session(builder(SEED)).cpu_joules()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fingerprint, bench_cache);
+criterion_main!(benches);

@@ -1,22 +1,61 @@
 //! Machine-readable performance report for the simulator.
 //!
-//! Measures three headline numbers and writes them as `BENCH_sim.json`
+//! Measures the headline numbers and writes them as `BENCH_sim.json`
 //! under the results directory (also printed to stdout):
 //!
 //! * `events_per_sec`   — raw engine throughput on a 100k self-rescheduling
 //!   event chain (same kernel as the `event_chain_100k` criterion bench).
 //! * `sessions_per_sec` — full 1080p30 streaming sessions simulated per
 //!   wall-clock second, fanned out through the shared work-stealing pool.
-//! * `run_all_wall_s`   — wall-clock seconds to regenerate the experiment
-//!   suite (a fixed subset in `--smoke` mode so CI stays under ~10 s).
+//!   Sessions here use distinct seeds and bypass the session cache so the
+//!   number reflects simulation, not memoization.
+//! * `allocations_per_session` — heap allocations per simulated session,
+//!   counted by the binary's global allocator during the same run.
+//! * `run_all_wall_s` / `run_all_warm_wall_s` — wall-clock seconds to
+//!   regenerate the experiment suite cold (empty session cache) and again
+//!   warm (every session memoized). A fixed subset runs in `--smoke` mode
+//!   so CI stays under ~10 s.
+//! * `session_cache` / `segment_cache` / `trace_cache` — hit/miss counters
+//!   of the content-addressed caches after both passes.
+//!
+//! `--smoke` writes `BENCH_sim.smoke.json` instead, so a quick CI pass
+//! never clobbers the full-mode report.
 //!
 //! Usage: `bench_report [--smoke]`. `EAVS_JOBS` sizes the pool as usual.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use eavs_bench::harness::{self, governor, manifest_1080p30, SEED};
 use eavs_core::session::StreamingSession;
 use eavs_sim::prelude::*;
+
+/// System allocator wrapper that counts allocation calls, so the report
+/// can state allocations-per-session for the hot path.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct PingPong {
     remaining: u64,
@@ -50,8 +89,20 @@ fn measure_events_per_sec(chain_len: u64, repeats: u32) -> f64 {
 }
 
 /// Complete streaming sessions per second, run through the shared pool.
-fn measure_sessions_per_sec(sessions: usize, secs_each: u64) -> f64 {
+/// Deliberately uncached (distinct seeds, direct `.run()`) so it measures
+/// simulation throughput; also returns allocations per session.
+fn measure_sessions_per_sec(sessions: usize, secs_each: u64) -> (f64, f64) {
     let manifest = std::sync::Arc::new(manifest_1080p30(secs_each));
+    // Pre-generate the shared segments so the allocation count reflects
+    // the session hot path, not one-time trace generation.
+    {
+        let warmup = StreamingSession::builder(governor("eavs"))
+            .manifest(std::sync::Arc::clone(&manifest))
+            .seed(SEED)
+            .run();
+        std::hint::black_box(warmup.events_processed);
+    }
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
     let started = Instant::now();
     let reports = harness::run_parallel_labeled(
         (0..sessions)
@@ -68,13 +119,21 @@ fn measure_sessions_per_sec(sessions: usize, secs_each: u64) -> f64 {
             .collect(),
     );
     let elapsed = started.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
     assert_eq!(reports.len(), sessions);
-    sessions as f64 / elapsed
+    (sessions as f64 / elapsed, allocs as f64 / sessions as f64)
 }
 
 /// Wall-clock to regenerate experiments (all of them, or a smoke subset).
 fn measure_run_all(smoke: bool) -> (f64, usize) {
-    const SMOKE_IDS: &[&str] = &["t1_opp_table", "f1_power_curve", "f3_workload_variability"];
+    // f12 runs real sessions, so even the smoke report exercises (and
+    // reports on) the session cache across the cold/warm passes.
+    const SMOKE_IDS: &[&str] = &[
+        "t1_opp_table",
+        "f1_power_curve",
+        "f3_workload_variability",
+        "f12_residency",
+    ];
     let jobs: Vec<_> = eavs_bench::all_experiments()
         .into_iter()
         .filter(|(id, _)| !smoke || SMOKE_IDS.contains(id))
@@ -116,24 +175,95 @@ fn main() {
     let events_per_sec = measure_events_per_sec(chain, chain_reps);
     eprintln!("  events/sec      {events_per_sec:.0}");
 
-    let sessions_per_sec = measure_sessions_per_sec(sessions, session_secs);
+    let (sessions_per_sec, allocations_per_session) =
+        measure_sessions_per_sec(sessions, session_secs);
     eprintln!("  sessions/sec    {sessions_per_sec:.2} ({sessions} x {session_secs} s sessions)");
+    eprintln!("  allocs/session  {allocations_per_session:.0}");
 
     let (run_all_wall_s, experiments) = measure_run_all(smoke);
-    eprintln!("  run_all wall    {run_all_wall_s:.2} s ({experiments} experiments)");
+    eprintln!("  run_all cold    {run_all_wall_s:.2} s ({experiments} experiments)");
+
+    // Second pass over the same suite: every cacheable session is now
+    // memoized, so this measures the warm-cache speedup.
+    let (run_all_warm_wall_s, _) = measure_run_all(smoke);
+    let warm_speedup = run_all_wall_s / run_all_warm_wall_s.max(1e-9);
+    eprintln!("  run_all warm    {run_all_warm_wall_s:.2} s ({warm_speedup:.1}x)");
+
+    let session = eavs_bench::cache::stats();
+    let segment = eavs_trace::memo::segment_cache_stats();
+    let trace = eavs_trace::memo::trace_cache_stats();
+    eprintln!(
+        "  session cache   {} hits / {} misses / {} uncacheable ({:.0}% hit, {:.1} MiB)",
+        session.hits,
+        session.misses,
+        session.uncacheable,
+        session.hit_rate() * 100.0,
+        session.bytes as f64 / (1024.0 * 1024.0),
+    );
+    eprintln!(
+        "  segment cache   {} hits / {} misses; trace cache {} hits / {} misses",
+        segment.hits, segment.misses, trace.hits, trace.misses,
+    );
 
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"events_per_sec\": {events_per_sec:.0},\n  \"sessions_per_sec\": {sessions_per_sec:.3},\n  \"run_all_wall_s\": {run_all_wall_s:.3},\n  \"experiments\": {experiments},\n  \"workers\": {workers},\n  \"smoke\": {smoke},\n  \"unix_time\": {unix_time}\n}}\n"
+        concat!(
+            "{{\n",
+            "  \"events_per_sec\": {events_per_sec:.0},\n",
+            "  \"sessions_per_sec\": {sessions_per_sec:.3},\n",
+            "  \"allocations_per_session\": {allocations_per_session:.0},\n",
+            "  \"run_all_wall_s\": {run_all_wall_s:.3},\n",
+            "  \"run_all_warm_wall_s\": {run_all_warm_wall_s:.3},\n",
+            "  \"warm_speedup\": {warm_speedup:.2},\n",
+            "  \"session_cache\": {{\n",
+            "    \"hits\": {session_hits},\n",
+            "    \"misses\": {session_misses},\n",
+            "    \"uncacheable\": {session_uncacheable},\n",
+            "    \"bytes\": {session_bytes},\n",
+            "    \"hit_rate\": {session_hit_rate:.4}\n",
+            "  }},\n",
+            "  \"segment_cache\": {{ \"hits\": {segment_hits}, \"misses\": {segment_misses} }},\n",
+            "  \"trace_cache\": {{ \"hits\": {trace_hits}, \"misses\": {trace_misses} }},\n",
+            "  \"experiments\": {experiments},\n",
+            "  \"workers\": {workers},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"unix_time\": {unix_time}\n",
+            "}}\n",
+        ),
+        events_per_sec = events_per_sec,
+        sessions_per_sec = sessions_per_sec,
+        allocations_per_session = allocations_per_session,
+        run_all_wall_s = run_all_wall_s,
+        run_all_warm_wall_s = run_all_warm_wall_s,
+        warm_speedup = warm_speedup,
+        session_hits = session.hits,
+        session_misses = session.misses,
+        session_uncacheable = session.uncacheable,
+        session_bytes = session.bytes,
+        session_hit_rate = session.hit_rate(),
+        segment_hits = segment.hits,
+        segment_misses = segment.misses,
+        trace_hits = trace.hits,
+        trace_misses = trace.misses,
+        experiments = experiments,
+        workers = workers,
+        smoke = smoke,
+        unix_time = unix_time,
     );
     println!("{json}");
 
     let dir = harness::results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_sim.json");
-    std::fs::write(&path, &json).expect("write BENCH_sim.json");
+    // Smoke runs get their own file so CI never clobbers the full report.
+    let name = if smoke {
+        "BENCH_sim.smoke.json"
+    } else {
+        "BENCH_sim.json"
+    };
+    let path = dir.join(name);
+    std::fs::write(&path, &json).expect("write bench report");
     eprintln!("wrote {}", path.display());
 }

@@ -5,9 +5,14 @@
 //! jobs; each experiment's internal sweep fans out through the same pool, so
 //! the whole suite interleaves without per-figure barriers. Results are
 //! printed and written in presentation order regardless of completion order.
+//!
+//! `run_all --twice` regenerates the suite a second time in the same
+//! process — the first pass fills the content-addressed session cache, the
+//! second is served from it. The warm pass writes its CSVs under
+//! `<results>/warm/` so CI can byte-compare cold against warm output, and
+//! both wall times plus the speedup are printed for the record.
 
-fn main() {
-    let started = std::time::Instant::now();
+fn regenerate() -> Vec<(&'static str, eavs_metrics::table::Table)> {
     let jobs = eavs_bench::all_experiments()
         .into_iter()
         .map(|(id, f)| {
@@ -19,11 +24,42 @@ fn main() {
             (id.to_string(), job)
         })
         .collect();
-    for (id, table) in eavs_bench::harness::run_parallel_labeled(jobs) {
+    eavs_bench::harness::run_parallel_labeled(jobs)
+}
+
+fn main() {
+    let mut twice = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--twice" => twice = true,
+            other => {
+                eprintln!("error: unknown argument {other:?}\nusage: run_all [--twice]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let started = std::time::Instant::now();
+    for (id, table) in regenerate() {
         eavs_bench::harness::emit(id, &table);
     }
-    eprintln!(
-        "all experiments regenerated in {:.1} s",
-        started.elapsed().as_secs_f64()
-    );
+    let cold_s = started.elapsed().as_secs_f64();
+    eprintln!("all experiments regenerated in {cold_s:.1} s");
+
+    if twice {
+        let warm_dir = eavs_bench::harness::results_dir().join("warm");
+        let started = std::time::Instant::now();
+        for (id, table) in regenerate() {
+            eavs_bench::harness::emit_into(&warm_dir, id, &table);
+        }
+        let warm_s = started.elapsed().as_secs_f64();
+        let stats = eavs_bench::cache::stats();
+        eprintln!(
+            "warm pass in {warm_s:.1} s ({:.1}x; session cache {} hits / {} misses / {} uncacheable)",
+            cold_s / warm_s.max(1e-9),
+            stats.hits,
+            stats.misses,
+            stats.uncacheable,
+        );
+    }
 }

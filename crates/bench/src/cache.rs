@@ -1,0 +1,163 @@
+//! Content-addressed session memoization.
+//!
+//! Sessions are deterministic: [`SessionBuilder::fingerprint`] digests
+//! every input that influences the outcome, so a process-wide map from
+//! fingerprint to `Arc<SessionReport>` lets every figure module (and a
+//! second `run_all` pass) reuse sessions instead of re-simulating them.
+//! Builders whose components carry learned state fingerprint as `None`
+//! and always run.
+//!
+//! The session runs *outside* the lock: two workers racing on the same
+//! fingerprint may both simulate, but determinism makes the results
+//! identical, so whichever insert wins is indistinguishable.
+
+use eavs_core::report::SessionReport;
+use eavs_core::session::SessionBuilder;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters of the session cache since process start.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct SessionCacheStats {
+    /// Sessions served from the cache.
+    pub hits: u64,
+    /// Sessions that had to be simulated (and were then cached).
+    pub misses: u64,
+    /// Sessions that could not be fingerprinted (pre-warmed components)
+    /// and ran uncached.
+    pub uncacheable: u64,
+    /// Approximate resident bytes of the cached reports.
+    pub bytes: u64,
+}
+
+impl SessionCacheStats {
+    /// Fraction of cacheable lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static UNCACHEABLE: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn map() -> &'static Mutex<HashMap<u128, Arc<SessionReport>>> {
+    static MAP: OnceLock<Mutex<HashMap<u128, Arc<SessionReport>>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Approximate heap + inline footprint of one cached report.
+fn approx_bytes(r: &SessionReport) -> u64 {
+    let mut bytes = std::mem::size_of::<SessionReport>();
+    bytes += r.governor.len() + r.cluster.len();
+    bytes += std::mem::size_of_val(r.time_in_state.as_slice());
+    // A StepSeries point is (time, value): 16 bytes.
+    for series in r.freq_series.iter().chain(r.buffer_series.iter()) {
+        bytes += series.len() * 16;
+    }
+    bytes as u64
+}
+
+/// Runs `builder` through the process-wide session cache: a hit returns
+/// the shared report without simulating; a miss simulates, caches and
+/// returns it; an unfingerprintable builder runs uncached.
+pub fn run_session(builder: SessionBuilder) -> Arc<SessionReport> {
+    let Some(fp) = builder.fingerprint() else {
+        UNCACHEABLE.fetch_add(1, Ordering::Relaxed);
+        return Arc::new(builder.run());
+    };
+    if let Some(r) = map().lock().expect("session cache poisoned").get(&fp.0) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(r);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let report = Arc::new(builder.run());
+    BYTES.fetch_add(approx_bytes(&report), Ordering::Relaxed);
+    Arc::clone(
+        map()
+            .lock()
+            .expect("session cache poisoned")
+            .entry(fp.0)
+            .or_insert(report),
+    )
+}
+
+/// Counters of the session cache.
+pub fn stats() -> SessionCacheStats {
+    SessionCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        uncacheable: UNCACHEABLE.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{eavs_default, governor, manifest_1080p30};
+    use eavs_core::session::StreamingSession;
+
+    fn builder() -> SessionBuilder {
+        StreamingSession::builder(eavs_default())
+            .manifest(manifest_1080p30(4))
+            .seed(7)
+    }
+
+    #[test]
+    fn identical_builders_share_one_report() {
+        // A seed no other test uses, so the first run is a genuine miss.
+        let mk = || {
+            StreamingSession::builder(eavs_default())
+                .manifest(manifest_1080p30(4))
+                .seed(777)
+        };
+        let before = stats();
+        let a = run_session(mk());
+        let b = run_session(mk());
+        assert!(Arc::ptr_eq(&a, &b), "second run must be a cache hit");
+        let after = stats();
+        assert!(after.hits > before.hits);
+        assert!(after.bytes > before.bytes);
+    }
+
+    #[test]
+    fn different_seeds_do_not_collide() {
+        let a = run_session(builder());
+        let b = run_session(
+            StreamingSession::builder(eavs_default())
+                .manifest(manifest_1080p30(4))
+                .seed(8),
+        );
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.cpu_joules(), b.cpu_joules());
+    }
+
+    #[test]
+    fn cached_report_matches_direct_run() {
+        let cached = run_session(builder());
+        let direct = builder().run();
+        assert_eq!(cached.cpu_joules(), direct.cpu_joules());
+        assert_eq!(cached.transitions, direct.transitions);
+        assert_eq!(cached.events_processed, direct.events_processed);
+    }
+
+    #[test]
+    fn baseline_governors_are_cacheable() {
+        let mk = || {
+            StreamingSession::builder(governor("ondemand"))
+                .manifest(manifest_1080p30(4))
+                .seed(11)
+        };
+        let a = run_session(mk());
+        let b = run_session(mk());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

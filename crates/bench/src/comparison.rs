@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use crate::harness::{
-    governor, manifest_1080p30, run_parallel_labeled, COMPARISON_GOVERNORS, SEED,
+    governor, manifest_1080p30, run_parallel_labeled, run_session, COMPARISON_GOVERNORS, SEED,
 };
 use eavs_core::report::SessionReport;
 use eavs_core::session::StreamingSession;
@@ -12,7 +12,9 @@ use eavs_metrics::table::Table;
 use eavs_trace::content::ContentProfile;
 
 /// Runs the comparison set on one content, 60 s of 1080p30, in parallel.
-pub fn run_comparison(content: ContentProfile) -> Vec<SessionReport> {
+/// Sessions go through the process-wide cache, so the figures sharing
+/// this set (F5, F6, T2) simulate each governor × content pair once.
+pub fn run_comparison(content: ContentProfile) -> Vec<Arc<SessionReport>> {
     let manifest = Arc::new(manifest_1080p30(60));
     run_parallel_labeled(
         COMPARISON_GOVERNORS
@@ -20,11 +22,12 @@ pub fn run_comparison(content: ContentProfile) -> Vec<SessionReport> {
             .map(|&name| {
                 let manifest = Arc::clone(&manifest);
                 let job = move || {
-                    StreamingSession::builder(governor(name))
-                        .manifest(manifest)
-                        .content(content)
-                        .seed(SEED)
-                        .run()
+                    run_session(
+                        StreamingSession::builder(governor(name))
+                            .manifest(manifest)
+                            .content(content)
+                            .seed(SEED),
+                    )
                 };
                 (format!("comparison {name} {}", content.name()), job)
             })
@@ -32,7 +35,7 @@ pub fn run_comparison(content: ContentProfile) -> Vec<SessionReport> {
     )
 }
 
-fn joules_of(reports: &[SessionReport], name: &str) -> f64 {
+fn joules_of(reports: &[Arc<SessionReport>], name: &str) -> f64 {
     reports
         .iter()
         .find(|r| r.governor.starts_with(name))

@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use crate::harness::{governor, manifest_1080p30, run_parallel_labeled, single_manifest, SEED};
+use crate::harness::{
+    governor, manifest_1080p30, run_parallel_labeled, run_session, single_manifest, SEED,
+};
 use eavs_core::session::StreamingSession;
 use eavs_cpu::thermal::{ThermalModel, ThrottleController};
 use eavs_metrics::ci::mean_confidence_interval;
@@ -30,17 +32,18 @@ pub fn f15_thermal() -> Table {
             .map(|&name| {
                 let manifest = Arc::clone(&manifest);
                 let job = move || {
-                    StreamingSession::builder(governor(name))
-                        .manifest(manifest)
-                        .content(ContentProfile::Film)
-                        // tau ≈ 62 s: a 4-minute run reaches near-steady
-                        // temperature.
-                        .thermal(
-                            ThermalModel::new(25.0, 25.0, 2.5),
-                            ThrottleController::new(THROTTLE_START_C, 95.0),
-                        )
-                        .seed(SEED)
-                        .run()
+                    run_session(
+                        StreamingSession::builder(governor(name))
+                            .manifest(manifest)
+                            .content(ContentProfile::Film)
+                            // tau ≈ 62 s: a 4-minute run reaches near-steady
+                            // temperature.
+                            .thermal(
+                                ThermalModel::new(25.0, 25.0, 2.5),
+                                ThrottleController::new(THROTTLE_START_C, 95.0),
+                            )
+                            .seed(SEED),
+                    )
                 };
                 (format!("f15 {name}"), job)
             })
@@ -105,7 +108,7 @@ pub fn f16_background() -> Table {
                         } else {
                             builder
                         };
-                        builder.run()
+                        run_session(builder)
                     };
                     (format!("f16 {name} duty {duty:.1}"), job)
                 })
@@ -150,10 +153,11 @@ pub fn t3_confidence() -> Table {
                 .map(|&seed| {
                     let manifest = Arc::clone(&manifest);
                     let job = move || {
-                        StreamingSession::builder(governor(name))
-                            .manifest(manifest)
-                            .seed(seed)
-                            .run()
+                        run_session(
+                            StreamingSession::builder(governor(name))
+                                .manifest(manifest)
+                                .seed(seed),
+                        )
                     };
                     (format!("t3 {name} seed {seed}"), job)
                 })
@@ -223,11 +227,12 @@ pub fn f17_cluster_placement() -> Table {
                 .map(|&select| {
                     let manifest = Arc::clone(&manifest);
                     let job = move || {
-                        StreamingSession::builder(governor("eavs"))
-                            .manifest(manifest)
-                            .cluster(select)
-                            .seed(SEED)
-                            .run()
+                        run_session(
+                            StreamingSession::builder(governor("eavs"))
+                                .manifest(manifest)
+                                .cluster(select)
+                                .seed(SEED),
+                        )
                     };
                     (format!("f17 {label} {select:?}"), job)
                 })
@@ -269,11 +274,12 @@ pub fn f18_queue_depth() -> Table {
                 .map(|&name| {
                     let manifest = Arc::clone(&manifest);
                     let job = move || {
-                        StreamingSession::builder(governor(name))
-                            .manifest(manifest)
-                            .decoded_cap(cap)
-                            .seed(SEED)
-                            .run()
+                        run_session(
+                            StreamingSession::builder(governor(name))
+                                .manifest(manifest)
+                                .decoded_cap(cap)
+                                .seed(SEED),
+                        )
                     };
                     (format!("f18 {name} cap {cap}"), job)
                 })
@@ -313,11 +319,12 @@ pub fn t4_soc_matrix() -> Table {
                 .map(|&name| {
                     let manifest = Arc::clone(&manifest);
                     let job = move || {
-                        StreamingSession::builder(governor(name))
-                            .soc(soc)
-                            .manifest(manifest)
-                            .seed(SEED)
-                            .run()
+                        run_session(
+                            StreamingSession::builder(governor(name))
+                                .soc(soc)
+                                .manifest(manifest)
+                                .seed(SEED),
+                        )
                     };
                     (format!("t4 {} {name}", soc.name()), job)
                 })
@@ -357,10 +364,11 @@ pub fn f19_energy_breakdown() -> Table {
             .map(|&name| {
                 let manifest = Arc::clone(&manifest);
                 let job = move || {
-                    StreamingSession::builder(governor(name))
-                        .manifest(manifest)
-                        .seed(SEED)
-                        .run()
+                    run_session(
+                        StreamingSession::builder(governor(name))
+                            .manifest(manifest)
+                            .seed(SEED),
+                    )
                 };
                 (format!("f19 {name}"), job)
             })
@@ -434,7 +442,7 @@ pub fn f20_auto_placement() -> Table {
     t.set_title("F20: automatic decode placement vs static — 120 s sessions");
     let duration = SimDuration::from_secs(120);
     // One generated LTE trace shared by every Mixed job.
-    let trace = Arc::new(NetworkProfile::LteDrive.generate(duration * 3, SEED));
+    let trace = NetworkProfile::LteDrive.generate_shared(duration * 3, SEED);
     for (wl_label, workload) in workloads {
         let reports = run_parallel_labeled(
             selects
@@ -456,7 +464,7 @@ pub fn f20_auto_placement() -> Table {
                                 .radio(RadioModel::lte())
                                 .abr(Box::new(BufferBasedAbr::standard())),
                         };
-                        builder.cluster(select).seed(SEED).run()
+                        run_session(builder.cluster(select).seed(SEED))
                     };
                     (format!("f20 {wl_label} {sel_label}"), job)
                 })
@@ -504,11 +512,12 @@ pub fn f21_late_policy() -> Table {
             policies.iter().map(move |&(label, policy)| {
                 let manifest = Arc::clone(&manifest);
                 let job = move || {
-                    let r = StreamingSession::builder(governor(name))
-                        .manifest(manifest)
-                        .late_policy(policy)
-                        .seed(SEED)
-                        .run();
+                    let r = run_session(
+                        StreamingSession::builder(governor(name))
+                            .manifest(manifest)
+                            .late_policy(policy)
+                            .seed(SEED),
+                    );
                     (label, r)
                 };
                 (format!("f21 {name} {label}"), job)
@@ -552,12 +561,13 @@ pub fn f22_static_pinning() -> Table {
             .map(|idx| {
                 let manifest = Arc::clone(&manifest);
                 let job = move || {
-                    StreamingSession::builder(GovernorChoice::Baseline(Box::new(Userspace::new(
-                        idx,
-                    ))))
-                    .manifest(manifest)
-                    .seed(SEED)
-                    .run()
+                    run_session(
+                        StreamingSession::builder(GovernorChoice::Baseline(Box::new(
+                            Userspace::new(idx),
+                        )))
+                        .manifest(manifest)
+                        .seed(SEED),
+                    )
                 };
                 (format!("f22 pin {}", table.freq(idx)), job)
             })
@@ -568,10 +578,11 @@ pub fn f22_static_pinning() -> Table {
     }
     runs.push((
         "eavs (no oracle)".to_owned(),
-        StreamingSession::builder(governor("eavs"))
-            .manifest(manifest_1080p30(60))
-            .seed(SEED)
-            .run(),
+        run_session(
+            StreamingSession::builder(governor("eavs"))
+                .manifest(manifest_1080p30(60))
+                .seed(SEED),
+        ),
     ));
     for (label, r) in &runs {
         t.row(&[
@@ -644,20 +655,22 @@ pub fn f23_baseline_tuning() -> Table {
                 let manifest = Arc::clone(&manifest);
                 let job_label = format!("f23 {label}");
                 let job = move || {
-                    let r = StreamingSession::builder(GovernorChoice::Baseline(gov))
-                        .manifest(manifest)
-                        .seed(SEED)
-                        .run();
+                    let r = run_session(
+                        StreamingSession::builder(GovernorChoice::Baseline(gov))
+                            .manifest(manifest)
+                            .seed(SEED),
+                    );
                     (label, r)
                 };
                 (job_label, job)
             })
             .collect(),
     );
-    let eavs_report = StreamingSession::builder(governor("eavs"))
-        .manifest(manifest_1080p30(60))
-        .seed(SEED)
-        .run();
+    let eavs_report = run_session(
+        StreamingSession::builder(governor("eavs"))
+            .manifest(manifest_1080p30(60))
+            .seed(SEED),
+    );
     for (label, r) in reports
         .iter()
         .map(|(l, r)| (l.as_str(), r))

@@ -86,8 +86,12 @@ pub fn results_dir() -> PathBuf {
 /// Prints a table and writes its CSV under `results/<id>.csv`.
 pub fn emit(id: &str, table: &Table) {
     println!("{}", table.render());
-    let dir = results_dir();
-    if let Err(e) = fs::create_dir_all(&dir) {
+    emit_into(&results_dir(), id, table);
+}
+
+/// Writes a table's CSV as `<dir>/<id>.csv` (no rendering to stdout).
+pub fn emit_into(dir: &std::path::Path, id: &str, table: &Table) {
+    if let Err(e) = fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
@@ -99,6 +103,7 @@ pub fn emit(id: &str, table: &Table) {
     }
 }
 
+pub use crate::cache::run_session;
 pub use crate::executor::{run_parallel, run_parallel_labeled};
 
 #[cfg(test)]

@@ -103,11 +103,12 @@ pub fn f2_freq_timeline() -> Table {
             .map(|&name| {
                 let manifest = std::sync::Arc::clone(&manifest);
                 let job = move || {
-                    StreamingSession::builder(governor(name))
-                        .manifest(manifest)
-                        .seed(SEED)
-                        .record_series(true)
-                        .run()
+                    harness::run_session(
+                        StreamingSession::builder(governor(name))
+                            .manifest(manifest)
+                            .seed(SEED)
+                            .record_series(true),
+                    )
                 };
                 (format!("f2 {name}"), job)
             })

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crate::harness::{governor, run_parallel_labeled, SEED};
+use crate::harness::{governor, run_parallel_labeled, run_session, SEED};
 use eavs_core::session::StreamingSession;
 use eavs_metrics::table::Table;
 use eavs_net::abr::BufferBasedAbr;
@@ -38,8 +38,9 @@ pub fn f9_network_abr() -> Table {
     t.set_title("F9: ABR streaming over variable networks — 120 s, buffer-based ABR");
     let manifest = Arc::new(Manifest::standard_ladder(duration, 30));
     for profile in NetworkProfile::ALL {
-        // One generated trace per network profile, shared by every job.
-        let trace = Arc::new(profile.generate(duration * 3, SEED));
+        // One generated trace per network profile, shared by every job
+        // (and memoized process-wide across reruns).
+        let trace = profile.generate_shared(duration * 3, SEED);
         let reports = run_parallel_labeled(
             ["interactive", "eavs"]
                 .iter()
@@ -47,14 +48,15 @@ pub fn f9_network_abr() -> Table {
                     let trace = Arc::clone(&trace);
                     let manifest = Arc::clone(&manifest);
                     let job = move || {
-                        StreamingSession::builder(governor(name))
-                            .manifest(manifest)
-                            .content(ContentProfile::Film)
-                            .network(trace)
-                            .radio(radio_for(profile))
-                            .abr(Box::new(BufferBasedAbr::standard()))
-                            .seed(SEED)
-                            .run()
+                        run_session(
+                            StreamingSession::builder(governor(name))
+                                .manifest(manifest)
+                                .content(ContentProfile::Film)
+                                .network(trace)
+                                .radio(radio_for(profile))
+                                .abr(Box::new(BufferBasedAbr::standard()))
+                                .seed(SEED),
+                        )
                     };
                     (format!("f9 {} {name}", profile.name()), job)
                 })

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use crate::harness::{
-    eavs_with, governor, manifest_1080p30, run_parallel_labeled, single_manifest, SEED,
+    eavs_with, governor, manifest_1080p30, run_parallel_labeled, run_session, single_manifest, SEED,
 };
 use eavs_core::governor::EavsConfig;
 use eavs_core::predictor::PREDICTOR_NAMES;
@@ -28,12 +28,13 @@ fn run_one(
     gov: &str,
     manifest: Arc<Manifest>,
     content: ContentProfile,
-) -> eavs_core::SessionReport {
-    StreamingSession::builder(governor(gov))
-        .manifest(manifest)
-        .content(content)
-        .seed(SEED)
-        .run()
+) -> Arc<eavs_core::SessionReport> {
+    run_session(
+        StreamingSession::builder(governor(gov))
+            .manifest(manifest)
+            .content(content)
+            .seed(SEED),
+    )
 }
 
 /// F7: CPU energy vs bitrate/resolution rung (30 fps, film).
@@ -130,11 +131,12 @@ pub fn f10_margin_sweep() -> Table {
                         margin,
                         ..EavsConfig::default()
                     };
-                    StreamingSession::builder(eavs_with(cfg, "hybrid"))
-                        .manifest(manifest)
-                        .content(ContentProfile::Sport)
-                        .seed(SEED)
-                        .run()
+                    run_session(
+                        StreamingSession::builder(eavs_with(cfg, "hybrid"))
+                            .manifest(manifest)
+                            .content(ContentProfile::Sport)
+                            .seed(SEED),
+                    )
                 };
                 (format!("f10 margin {margin:.2}"), job)
             })
@@ -268,11 +270,12 @@ pub fn f13_ablations() -> Table {
                     let config = v.config;
                     let manifest = Arc::clone(&manifest);
                     let job = move || {
-                        StreamingSession::builder(eavs_with(config, predictor))
-                            .manifest(manifest)
-                            .content(content)
-                            .seed(SEED)
-                            .run()
+                        run_session(
+                            StreamingSession::builder(eavs_with(config, predictor))
+                                .manifest(manifest)
+                                .content(content)
+                                .seed(SEED),
+                        )
                     };
                     (format!("f13 {} {}", v.label, content.name()), job)
                 })

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use crate::harness::{
-    governor, manifest_1080p30, run_parallel_labeled, COMPARISON_GOVERNORS, SEED,
+    governor, manifest_1080p30, run_parallel_labeled, run_session, COMPARISON_GOVERNORS, SEED,
 };
 use eavs_core::session::StreamingSession;
 use eavs_metrics::table::Table;
@@ -20,11 +20,12 @@ pub fn f11_buffer_timeline() -> Table {
             .map(|&name| {
                 let manifest = Arc::clone(&manifest);
                 let job = move || {
-                    StreamingSession::builder(governor(name))
-                        .manifest(manifest)
-                        .seed(SEED)
-                        .record_series(true)
-                        .run()
+                    run_session(
+                        StreamingSession::builder(governor(name))
+                            .manifest(manifest)
+                            .seed(SEED)
+                            .record_series(true),
+                    )
                 };
                 (format!("f11 {name}"), job)
             })
@@ -61,10 +62,11 @@ pub fn f12_residency() -> Table {
             .map(|&name| {
                 let manifest = Arc::clone(&manifest);
                 let job = move || {
-                    StreamingSession::builder(governor(name))
-                        .manifest(manifest)
-                        .seed(SEED)
-                        .run()
+                    run_session(
+                        StreamingSession::builder(governor(name))
+                            .manifest(manifest)
+                            .seed(SEED),
+                    )
                 };
                 (format!("f12 {name}"), job)
             })

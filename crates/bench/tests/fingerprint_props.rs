@@ -1,0 +1,113 @@
+//! Property tests for the session fingerprint: it must be *sound* (equal
+//! fingerprints always mean byte-identical reports) and *sensitive* (any
+//! single-knob change produces a different fingerprint, so the cache can
+//! never serve a stale report for a perturbed configuration).
+
+use eavs_core::session::{ClusterSelect, SessionBuilder, StreamingSession};
+use eavs_cpu::soc::SocModel;
+use eavs_net::abr::FixedAbr;
+use eavs_sim::time::{SimDuration, SimTime};
+use eavs_trace::content::ContentProfile;
+use eavs_video::display::LatePolicy;
+use eavs_video::manifest::Manifest;
+use proptest::prelude::*;
+
+fn content(i: u8) -> ContentProfile {
+    ContentProfile::ALL[i as usize % ContentProfile::ALL.len()]
+}
+
+/// A short session parameterized by the proptest-chosen knobs.
+fn builder(seed: u64, secs: u64, content_idx: u8, rtt_ms: u64, buffer_s: u64) -> SessionBuilder {
+    StreamingSession::builder(eavs_bench::harness::governor("eavs"))
+        .manifest(Manifest::single(
+            3_000,
+            1280,
+            720,
+            SimDuration::from_secs(secs),
+            30,
+        ))
+        .content(content(content_idx))
+        .seed(seed)
+        .rtt(SimDuration::from_millis(rtt_ms))
+        .max_buffer(SimDuration::from_secs(buffer_s))
+}
+
+proptest! {
+    /// Soundness: two builders with equal fingerprints produce identical
+    /// reports — every field the CSV rows are derived from matches bit
+    /// for bit, so a cache hit is indistinguishable from a rerun.
+    #[test]
+    fn equal_fingerprints_mean_identical_reports(
+        seed in 0u64..1_000,
+        secs in 2u64..5,
+        content_idx in 0u8..8,
+        rtt_ms in 10u64..80,
+        buffer_s in 4u64..12,
+    ) {
+        let a = builder(seed, secs, content_idx, rtt_ms, buffer_s);
+        let b = builder(seed, secs, content_idx, rtt_ms, buffer_s);
+        let fa = a.fingerprint().expect("cacheable");
+        let fb = b.fingerprint().expect("cacheable");
+        prop_assert_eq!(fa, fb);
+
+        let ra = a.run();
+        let rb = b.run();
+        prop_assert_eq!(ra.summary(), rb.summary());
+        prop_assert_eq!(ra.cpu_energy.busy_j.to_bits(), rb.cpu_energy.busy_j.to_bits());
+        prop_assert_eq!(ra.cpu_energy.idle_j.to_bits(), rb.cpu_energy.idle_j.to_bits());
+        prop_assert_eq!(ra.radio.energy_j.to_bits(), rb.radio.energy_j.to_bits());
+        prop_assert_eq!(ra.transitions, rb.transitions);
+        prop_assert_eq!(ra.events_processed, rb.events_processed);
+        prop_assert_eq!(&ra.time_in_state, &rb.time_in_state);
+        prop_assert_eq!(&*ra.cluster, &*rb.cluster);
+    }
+
+    /// Sensitivity: perturbing any single knob yields a fingerprint
+    /// distinct from the base configuration's.
+    #[test]
+    fn single_knob_perturbation_changes_fingerprint(
+        seed in 0u64..1_000,
+        secs in 2u64..5,
+        content_idx in 0u8..8,
+        rtt_ms in 10u64..80,
+        buffer_s in 4u64..12,
+    ) {
+        let base = builder(seed, secs, content_idx, rtt_ms, buffer_s)
+            .fingerprint()
+            .expect("cacheable");
+
+        let mk = || builder(seed, secs, content_idx, rtt_ms, buffer_s);
+        let perturbed: Vec<(&str, SessionBuilder)> = vec![
+            ("seed", mk().seed(seed + 1)),
+            ("content", builder(seed, secs, content_idx + 1, rtt_ms, buffer_s)),
+            ("manifest", mk().manifest(Manifest::single(
+                3_001, 1280, 720, SimDuration::from_secs(secs), 30))),
+            ("soc", mk().soc(SocModel::MidRange)),
+            ("governor", StreamingSession::builder(
+                eavs_bench::harness::governor("ondemand"))
+                .manifest(Manifest::single(3_000, 1280, 720, SimDuration::from_secs(secs), 30))
+                .content(content(content_idx))
+                .seed(seed)
+                .rtt(SimDuration::from_millis(rtt_ms))
+                .max_buffer(SimDuration::from_secs(buffer_s))),
+            ("rtt", mk().rtt(SimDuration::from_millis(rtt_ms + 1))),
+            ("max_buffer", mk().max_buffer(SimDuration::from_secs(buffer_s + 1))),
+            ("decoded_cap", mk().decoded_cap(7)),
+            ("startup_frames", mk().startup_frames(9)),
+            ("resume_frames", mk().resume_frames(11)),
+            ("record_series", mk().record_series(true)),
+            ("drive_via_sysfs", mk().drive_via_sysfs(true)),
+            ("horizon", mk().horizon(SimTime::from_secs(1))),
+            ("late_policy", mk().late_policy(LatePolicy::Drop)),
+            ("cluster", mk().cluster(ClusterSelect::Little)),
+            ("background", mk().background_load(0.2, SimDuration::from_millis(50))),
+            // The builder default is FixedAbr rung 0, so rung 1 is the
+            // minimal ABR perturbation.
+            ("abr", mk().abr(Box::new(FixedAbr::new(1)))),
+        ];
+        for (knob, b) in perturbed {
+            let fp = b.fingerprint().expect("cacheable");
+            prop_assert!(fp != base, "knob {knob} did not change the fingerprint");
+        }
+    }
+}

@@ -26,6 +26,7 @@ use crate::selector::{required_hz, DemandItem, OppSelector};
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::freq::Cycles;
 use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::{SimDuration, SimTime};
 use eavs_video::display::PlaybackPhase;
 
@@ -101,6 +102,9 @@ pub struct EavsGovernor {
     config: EavsConfig,
     floor_index: OppIndex,
     decisions: u64,
+    /// Reused demand buffer for [`decide`](Self::decide) — the hottest
+    /// per-decision allocation in a session.
+    demand_scratch: Vec<DemandItem>,
 }
 
 impl EavsGovernor {
@@ -112,6 +116,7 @@ impl EavsGovernor {
             config,
             floor_index: 0,
             decisions: 0,
+            demand_scratch: Vec::with_capacity(1 + config.lookahead),
         }
     }
 
@@ -182,6 +187,13 @@ impl EavsGovernor {
     /// ablation harness).
     pub fn demand(&self, snap: &PipelineSnapshot) -> Vec<DemandItem> {
         let mut items = Vec::with_capacity(1 + self.config.lookahead);
+        self.demand_into(snap, &mut items);
+        items
+    }
+
+    /// Fills `items` with the snapshot's demand list, reusing its capacity.
+    fn demand_into(&self, snap: &PipelineSnapshot, items: &mut Vec<DemandItem>) {
+        items.clear();
         let tau = snap.frame_period;
         let d = snap.decoded_len as u64;
         if let Some(inflight) = snap.in_flight {
@@ -205,7 +217,6 @@ impl EavsGovernor {
                 deadline: snap.next_vsync.saturating_add(tau * (base + j as u64)),
             });
         }
-        items
     }
 
     /// The raw clock-rate requirement (Hz) of a snapshot's demand, before
@@ -264,17 +275,41 @@ impl EavsGovernor {
             }
             PlaybackPhase::Ended => limits.min_index,
             PlaybackPhase::Playing => {
-                let items = self.demand(snap);
-                if items.is_empty() {
+                let mut items = std::mem::take(&mut self.demand_scratch);
+                self.demand_into(snap, &mut items);
+                let idx = if items.is_empty() {
                     // Pipeline drained of work (decoded queue full or end
                     // of stream): any frequency idles equally well.
-                    return self.selector.select(table, limits, cur, 0.0);
-                }
-                let required = required_hz(snap.now, &items);
-                let idx = self.selector.select(table, limits, cur, required);
-                self.apply_floor(idx, true, limits)
+                    self.selector.select(table, limits, cur, 0.0)
+                } else {
+                    let required = required_hz(snap.now, &items);
+                    let idx = self.selector.select(table, limits, cur, required);
+                    self.apply_floor(idx, true, limits)
+                };
+                self.demand_scratch = items;
+                idx
             }
         }
+    }
+
+    /// Hashes the governor's identity into `fp` for session memoization:
+    /// the full configuration, the energy floor, and the predictor. A
+    /// governor that has already taken decisions (selector hysteresis,
+    /// predictor history) is opaque.
+    pub fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.decisions > 0 {
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        fp.write_f64(self.config.margin);
+        fp.write_u32(self.config.down_hysteresis);
+        fp.write_usize(self.config.lookahead);
+        fp.write_bool(self.config.race_on_fill);
+        fp.write_bool(self.config.energy_floor);
+        fp.write_u64(self.config.decision_interval.as_nanos());
+        fp.write_usize(self.floor_index);
+        self.predictor.fingerprint(fp);
     }
 }
 

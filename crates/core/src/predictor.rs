@@ -17,6 +17,7 @@
 //!   plus a variance-based safety term; the paper-grade default.
 
 use eavs_cpu::freq::Cycles;
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_video::frame::{Frame, FrameType};
 use std::collections::VecDeque;
 
@@ -59,6 +60,14 @@ pub trait WorkloadPredictor: std::fmt::Debug + Send {
     fn preload(&mut self, frames: &[(FrameMeta, Cycles)]) {
         let _ = frames;
     }
+
+    /// Hashes the predictor's identity and parameters into `fp` for
+    /// session memoization. The default marks the fingerprint opaque;
+    /// concrete predictors override it and must mark opaque once they
+    /// carry observations.
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.mark_opaque();
+    }
 }
 
 /// Cold-start estimate before any observation of a type: scale from coded
@@ -95,6 +104,14 @@ impl WorkloadPredictor for LastValue {
 
     fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
         self.last[meta.frame_type.index()] = Some(actual.get());
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.last.iter().any(Option::is_some) {
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
     }
 }
 
@@ -146,6 +163,15 @@ impl WorkloadPredictor for Ewma {
             None => actual.get(),
         });
     }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.mean.iter().any(Option::is_some) {
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        fp.write_f64(self.alpha);
+    }
 }
 
 /// Per-type maximum over a sliding window of observations.
@@ -195,6 +221,15 @@ impl WorkloadPredictor for WindowMax {
             h.pop_front();
         }
         h.push_back(actual.get());
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.history.iter().any(|h| !h.is_empty()) {
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        fp.write_usize(self.window);
     }
 }
 
@@ -269,6 +304,14 @@ impl WorkloadPredictor for SizeRegression {
     fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
         self.stats[meta.frame_type.index()].observe(f64::from(meta.size_bytes), actual.get());
     }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.stats.iter().any(|s| s.n > 0.0) {
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+    }
 }
 
 /// The paper-grade predictor: per-type size regression, corrected by an
@@ -331,6 +374,19 @@ impl WorkloadPredictor for Hybrid {
         }
         self.regression.observe(meta, actual);
     }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.ratio != [1.0; 3] || self.residual != [0.0; 3] {
+            fp.mark_opaque();
+            return;
+        }
+        // Delegates to the inner regression, which marks opaque once it
+        // holds observations.
+        fp.write_str(self.name());
+        fp.write_f64(self.ratio_alpha);
+        fp.write_f64(self.safety_sigmas);
+        self.regression.fingerprint(fp);
+    }
 }
 
 /// The cheating upper bound: returns the exact decode cost of every frame
@@ -377,6 +433,14 @@ impl WorkloadPredictor for Oracle {
         for (meta, cycles) in frames {
             self.truth.insert(meta.index, cycles.get());
         }
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if !self.truth.is_empty() {
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
     }
 }
 

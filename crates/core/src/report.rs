@@ -9,6 +9,7 @@ use eavs_sim::time::SimDuration;
 use eavs_trace::content::ContentProfile;
 use eavs_video::qoe::QoeReport;
 use std::fmt;
+use std::sync::Arc;
 
 /// Everything measured over one streaming session.
 #[derive(Clone, Debug)]
@@ -18,8 +19,9 @@ pub struct SessionReport {
     /// SoC preset used.
     pub soc: SocModel,
     /// Name of the cluster that hosted the player (`big` presets use the
-    /// SoC name; LITTLE placements get a `-little` suffix).
-    pub cluster: &'static str,
+    /// SoC name; LITTLE placements get a `-little` suffix, automatic
+    /// placement reports `auto`). Shared, cheaply clonable.
+    pub cluster: Arc<str>,
     /// Content profile streamed.
     pub content: ContentProfile,
     /// CPU energy breakdown.
@@ -131,7 +133,7 @@ mod tests {
         SessionReport {
             governor: "test".into(),
             soc: SocModel::MidRange,
-            cluster: "midrange",
+            cluster: "midrange".into(),
             content: ContentProfile::Film,
             cpu_energy: CpuEnergyBreakdown {
                 busy_j: 6.0,

@@ -33,6 +33,7 @@ use eavs_net::bandwidth::BandwidthTrace;
 use eavs_net::download::Downloader;
 use eavs_net::radio::RadioModel;
 use eavs_sim::engine::{Scheduler, Simulation, World};
+use eavs_sim::fingerprint::{Fingerprint, Fingerprinter};
 use eavs_sim::queue::EventId;
 use eavs_sim::time::{SimDuration, SimTime};
 use eavs_sysfs::CpufreqFs;
@@ -65,6 +66,22 @@ impl GovernorChoice {
         match self {
             GovernorChoice::Baseline(g) => g.sampling_interval(),
             GovernorChoice::Eavs(g) => g.config().decision_interval,
+        }
+    }
+
+    /// Hashes the governor's identity and configuration into `fp`,
+    /// branch-tagged so a baseline can never collide with EAVS. Governors
+    /// carrying learned state mark the fingerprint opaque.
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        match self {
+            GovernorChoice::Baseline(g) => {
+                fp.write_u8(0);
+                g.fingerprint(fp);
+            }
+            GovernorChoice::Eavs(g) => {
+                fp.write_u8(1);
+                g.fingerprint(fp);
+            }
         }
     }
 }
@@ -304,6 +321,70 @@ impl SessionBuilder {
         self
     }
 
+    /// A deterministic 128-bit digest of everything that influences the
+    /// session's outcome: governor, platform, content profile, manifest,
+    /// bandwidth trace, radio model, ABR, seed and every knob. Sessions
+    /// are single-threaded and deterministic, so two builders with equal
+    /// fingerprints produce identical reports — the key `eavs-bench`'s
+    /// session cache memoizes on. Returns `None` when any component
+    /// carries state the fingerprint cannot capture (e.g. a pre-warmed
+    /// predictor or governor), making the session uncacheable.
+    pub fn fingerprint(&self) -> Option<Fingerprint> {
+        let mut fp = Fingerprinter::new("eavs-session/v1");
+        self.governor.fingerprint(&mut fp);
+        fp.write_str(self.soc.name());
+        fp.write_str(self.content.name());
+        // The manifest and trace are hashed by content, not identity:
+        // distinct allocations of the same ladder must collide.
+        self.manifest.fingerprint(&mut fp);
+        self.network.fingerprint(&mut fp);
+        fp.write_f64(self.radio.active_power_w);
+        fp.write_f64(self.radio.tail1_power_w);
+        fp.write_u64(self.radio.tail1.as_nanos());
+        fp.write_f64(self.radio.tail2_power_w);
+        fp.write_u64(self.radio.tail2.as_nanos());
+        fp.write_f64(self.radio.idle_power_w);
+        fp.write_f64(self.radio.promotion_energy_j);
+        fp.write_u64(self.radio.promotion_latency.as_nanos());
+        self.abr.fingerprint(&mut fp);
+        fp.write_u64(self.seed);
+        fp.write_u64(self.max_buffer.as_nanos());
+        fp.write_usize(self.decoded_cap);
+        fp.write_usize(self.startup_frames);
+        fp.write_usize(self.resume_frames);
+        fp.write_u64(self.rtt.as_nanos());
+        fp.write_bool(self.record_series);
+        fp.write_bool(self.drive_via_sysfs);
+        fp.write_opt_u64(self.horizon.map(|h| h.as_nanos()));
+        match &self.thermal {
+            None => fp.write_u8(0),
+            Some((model, throttle)) => {
+                fp.write_u8(1);
+                model.fingerprint(&mut fp);
+                fp.write_f64(throttle.throttle_start_c);
+                fp.write_f64(throttle.throttle_full_c);
+            }
+        }
+        match &self.background {
+            None => fp.write_u8(0),
+            Some(bg) => {
+                fp.write_u8(1);
+                fp.write_f64(bg.duty);
+                fp.write_u64(bg.period.as_nanos());
+            }
+        }
+        fp.write_u8(match self.cluster_select {
+            ClusterSelect::Big => 0,
+            ClusterSelect::Little => 1,
+            ClusterSelect::Auto => 2,
+        });
+        fp.write_u8(match self.late_policy {
+            LatePolicy::Stall => 0,
+            LatePolicy::Drop => 1,
+        });
+        fp.finish()
+    }
+
     /// Runs the session to completion and reports.
     pub fn run(self) -> SessionReport {
         StreamingSession::run_built(self)
@@ -346,6 +427,8 @@ impl StreamingSession {
             .with_policy(b.late_policy);
         let max_buffer_frames = (b.max_buffer.as_nanos() / b.manifest.frame_duration().as_nanos())
             .max(b.manifest.frames_per_segment * 2) as usize;
+        let num_segments = b.manifest.num_segments as usize;
+        let frames_per_segment = b.manifest.frames_per_segment as usize;
         let world = SessionWorld {
             monitor: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
             monitor_bg: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
@@ -374,7 +457,9 @@ impl StreamingSession {
             next_segment: 0,
             pending_segment: None,
             last_rep: None,
-            bitrates: Vec::new(),
+            bitrates: Vec::with_capacity(num_segments),
+            snapshot_scratch: Vec::with_capacity(16),
+            truth_scratch: Vec::with_capacity(frames_per_segment),
             decode_event: None,
             decode_initial: None,
             vsync_event: None,
@@ -492,9 +577,15 @@ struct SessionWorld {
     peak_temp_c: Option<f64>,
     background: Option<BackgroundLoad>,
     next_segment: u64,
-    pending_segment: Option<Segment>,
+    pending_segment: Option<Arc<Segment>>,
     last_rep: Option<usize>,
     bitrates: Vec<u32>,
+    /// Recycled backing store for [`PipelineSnapshot::upcoming`]; handed
+    /// to the snapshot and reclaimed after the governor decision so the
+    /// per-event hot path allocates nothing in steady state.
+    snapshot_scratch: Vec<FrameMeta>,
+    /// Recycled per-segment ground-truth buffer for oracle preloads.
+    truth_scratch: Vec<(FrameMeta, Cycles)>,
     decode_event: Option<EventId>,
     decode_initial: Option<Cycles>,
     vsync_event: Option<EventId>,
@@ -558,7 +649,9 @@ impl SessionWorld {
             previous_choice: self.last_rep,
         };
         let rep = self.abr.choose(&ctx);
-        let segment = self.generator.segment(self.next_segment, rep);
+        // Shared across sessions: every governor streaming this title
+        // re-decodes the same bytes, so generate each segment once.
+        let segment = self.generator.shared_segment(self.next_segment, rep);
         let done = self
             .downloader
             .start(now, segment.size_bytes())
@@ -580,14 +673,16 @@ impl SessionWorld {
         self.segments_downloaded += 1;
         if let GovernorChoice::Eavs(g) = &mut self.governor {
             // Real predictors ignore this; the oracle bound stores it.
-            let truth: Vec<_> = segment
-                .frames()
-                .iter()
-                .map(|f| (FrameMeta::from(f), f.decode_cycles))
-                .collect();
-            g.preload(&truth);
+            self.truth_scratch.clear();
+            self.truth_scratch.extend(
+                segment
+                    .frames()
+                    .iter()
+                    .map(|f| (FrameMeta::from(f), f.decode_cycles)),
+            );
+            g.preload(&self.truth_scratch);
         }
-        self.pipeline.push_frames(segment.into_frames());
+        self.pipeline.push_frames(segment.frames().iter().copied());
         self.record_buffer(now);
         self.try_start_decode(sched, now);
         self.maybe_begin_playback(sched, now);
@@ -730,6 +825,7 @@ impl SessionWorld {
         }
         let snapshot = self.snapshot(now);
         let GovernorChoice::Eavs(g) = &mut self.governor else {
+            self.snapshot_scratch = snapshot.upcoming;
             return;
         };
         // Momentary demand can dip while the decoded queue is full; the
@@ -738,6 +834,7 @@ impl SessionWorld {
             .required_hz_for(&snapshot)
             .max(g.sustained_hz_for(&snapshot))
             * (1.0 + g.config().margin);
+        self.snapshot_scratch = snapshot.upcoming;
         let standby = self.standby.as_mut().expect("checked above");
         // Which of the two tables is LITTLE? The one with the lower top
         // frequency.
@@ -864,20 +961,25 @@ impl SessionWorld {
     /// EAVS event-driven decision (no-op for baselines, which only act on
     /// their sampling tick).
     fn govern(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        // Baselines never act here; bail before building a snapshot.
+        if matches!(self.governor, GovernorChoice::Baseline(_)) {
+            return;
+        }
         let snapshot = self.snapshot(now);
-        let idx = match &mut self.governor {
-            GovernorChoice::Eavs(g) => g.decide(
-                &snapshot,
-                self.cluster.opps(),
-                self.cluster.limits(),
-                self.cluster.current_index(),
-            ),
-            GovernorChoice::Baseline(_) => return,
+        let GovernorChoice::Eavs(g) = &mut self.governor else {
+            unreachable!("checked above");
         };
+        let idx = g.decide(
+            &snapshot,
+            self.cluster.opps(),
+            self.cluster.limits(),
+            self.cluster.current_index(),
+        );
+        self.snapshot_scratch = snapshot.upcoming;
         self.apply_target(sched, now, idx);
     }
 
-    fn snapshot(&self, now: SimTime) -> PipelineSnapshot {
+    fn snapshot(&mut self, now: SimTime) -> PipelineSnapshot {
         let in_flight = self.pipeline.in_flight().map(|frame| {
             let initial = self.decode_initial.expect("in-flight implies initial");
             let remaining = self.cluster.core(0).remaining().unwrap_or(Cycles::ZERO);
@@ -886,6 +988,9 @@ impl SessionWorld {
                 executed: initial.saturating_sub(remaining),
             }
         });
+        let mut upcoming = std::mem::take(&mut self.snapshot_scratch);
+        upcoming.clear();
+        upcoming.extend(self.pipeline.peek_undecoded(16).map(FrameMeta::from));
         PipelineSnapshot {
             now,
             phase: self.playback.phase(),
@@ -897,11 +1002,7 @@ impl SessionWorld {
             frame_period: self.manifest.frame_duration(),
             decoded_len: self.pipeline.decoded_len(),
             in_flight,
-            upcoming: self
-                .pipeline
-                .peek_undecoded(16)
-                .map(FrameMeta::from)
-                .collect(),
+            upcoming,
         }
     }
 
@@ -956,12 +1057,14 @@ impl SessionWorld {
         let radio = self
             .radio
             .account(self.downloader.activity(end), session_length);
-        let tis = self.cluster.time_in_state(end);
-        let time_in_state: Vec<(Frequency, SimDuration)> = tis
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (self.cluster.opps().freq(i), d))
-            .collect();
+        let mut tis = Vec::with_capacity(self.cluster.opps().len());
+        self.cluster.time_in_state_into(end, &mut tis);
+        let mut time_in_state: Vec<(Frequency, SimDuration)> = Vec::with_capacity(tis.len());
+        time_in_state.extend(
+            tis.iter()
+                .enumerate()
+                .map(|(i, &d)| (self.cluster.opps().freq(i), d)),
+        );
         let total: SimDuration = tis.iter().copied().sum();
         let mean_khz = if total.is_zero() {
             0.0
@@ -983,9 +1086,9 @@ impl SessionWorld {
             governor: self.governor.report_name(),
             soc: self.soc,
             cluster: if self.standby.is_some() {
-                "auto"
+                Arc::from("auto")
             } else {
-                self.cluster.name()
+                Arc::from(self.cluster.name())
             },
             migrations: self.migrations,
             content: self.content,
@@ -1162,7 +1265,7 @@ mod tests {
             little.cpu_joules(),
             big.cpu_joules()
         );
-        assert_eq!(little.cluster, "flagship2016-little");
+        assert_eq!(&*little.cluster, "flagship2016-little");
         // 1080p60 sport (~1.7 Gcyc/s sustained) exceeds the LITTLE
         // ceiling (1.59 GHz): misses are unavoidable.
         let heavy = StreamingSession::builder(eavs())
@@ -1192,7 +1295,7 @@ mod tests {
             .seed(3)
             .run();
         assert!(light.migrations >= 1, "480p should migrate to LITTLE");
-        assert_eq!(light.cluster, "auto");
+        assert_eq!(&*light.cluster, "auto");
         assert_eq!(light.qoe.frames_displayed, light.qoe.total_frames);
         assert_eq!(light.qoe.late_vsyncs, 0);
         // Energy should approach the static-LITTLE placement, far below

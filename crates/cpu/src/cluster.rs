@@ -398,6 +398,12 @@ impl Cluster {
         self.residency.snapshot(now)
     }
 
+    /// Fills `out` with the wall-clock residency per OPP index up to
+    /// `now`, reusing the vector's capacity.
+    pub fn time_in_state_into(&self, now: SimTime, out: &mut Vec<SimDuration>) {
+        self.residency.snapshot_into(now, out);
+    }
+
     /// Flushes idle accounting and returns the energy breakdown as of
     /// `now`. Idempotent; the cluster remains usable afterwards.
     pub fn energy_at(&mut self, now: SimTime) -> CpuEnergyBreakdown {

@@ -7,6 +7,7 @@
 //! device.
 
 use crate::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::SimDuration;
 
 /// RC thermal model of one frequency domain.
@@ -65,6 +66,16 @@ impl ThermalModel {
         let tau = self.r_c_per_w * self.c_j_per_c;
         let alpha = (-dt.as_secs_f64() / tau).exp();
         self.temp_c = target + (self.temp_c - target) * alpha;
+    }
+
+    /// Hashes the model parameters and current temperature into `fp` for
+    /// session memoization. The live temperature is part of the identity,
+    /// so a pre-warmed model fingerprints differently from a cold one.
+    pub fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_f64(self.temp_c);
+        fp.write_f64(self.ambient_c);
+        fp.write_f64(self.r_c_per_w);
+        fp.write_f64(self.c_j_per_c);
     }
 }
 

@@ -9,6 +9,7 @@ use crate::governor::CpufreqGovernor;
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::SimDuration;
 
 /// Tunables (sysfs `conservative/*`).
@@ -116,6 +117,19 @@ impl CpufreqGovernor for Conservative {
             }
         }
         idx
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.requested_khz.is_some() {
+            // An accumulated step target is learned state.
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        fp.write_f64(self.tunables.up_threshold);
+        fp.write_f64(self.tunables.down_threshold);
+        fp.write_f64(self.tunables.freq_step_pct);
+        fp.write_u64(self.tunables.sampling_rate.as_nanos());
     }
 }
 

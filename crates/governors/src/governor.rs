@@ -10,6 +10,7 @@
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::SimDuration;
 
 /// A sampling cpufreq governor.
@@ -19,6 +20,15 @@ pub trait CpufreqGovernor: std::fmt::Debug + Send {
 
     /// How often the governor wants to be sampled.
     fn sampling_interval(&self) -> SimDuration;
+
+    /// Hashes the governor's identity and tunables into `fp` for session
+    /// memoization. The default marks the fingerprint opaque (uncacheable);
+    /// concrete governors override it, and implementations carrying learned
+    /// state must mark opaque unless that state is still at its
+    /// freshly-constructed default.
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.mark_opaque();
+    }
 
     /// The OPP index to select when the governor starts.
     fn initial_index(&self, table: &OppTable, limits: PolicyLimits) -> OppIndex {

@@ -17,6 +17,7 @@ use crate::governor::{lowest_index_for_khz, CpufreqGovernor};
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::{SimDuration, SimTime};
 
 /// Tunables (sysfs `interactive/*`), AOSP defaults.
@@ -154,6 +155,21 @@ impl CpufreqGovernor for Interactive {
             }
         }
         limits.clamp(target)
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.freq_since.is_some() || self.hispeed_since.is_some() {
+            // Running floor/dwell timers are learned state.
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        fp.write_f64(self.tunables.go_hispeed_load);
+        fp.write_f64(self.tunables.hispeed_freq_fraction);
+        fp.write_f64(self.tunables.target_load);
+        fp.write_u64(self.tunables.timer_rate.as_nanos());
+        fp.write_u64(self.tunables.above_hispeed_delay.as_nanos());
+        fp.write_u64(self.tunables.min_sample_time.as_nanos());
     }
 }
 

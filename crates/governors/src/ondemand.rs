@@ -12,6 +12,7 @@ use crate::governor::{lowest_index_for_khz, CpufreqGovernor};
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::SimDuration;
 
 /// Tunables (sysfs `ondemand/*`).
@@ -103,6 +104,19 @@ impl CpufreqGovernor for Ondemand {
         // Proportional: lowest f >= load% of the hardware max.
         let target_khz = load / 100.0 * table.max_freq().khz() as f64;
         lowest_index_for_khz(table, limits, target_khz)
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.down_skip != 0 {
+            // Mid-flight sampling_down_factor state; not reconstructible
+            // from tunables alone.
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        fp.write_f64(self.tunables.up_threshold);
+        fp.write_u64(self.tunables.sampling_rate.as_nanos());
+        fp.write_u32(self.tunables.sampling_down_factor);
     }
 }
 

@@ -11,6 +11,7 @@ use crate::governor::{lowest_index_for_khz, CpufreqGovernor};
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::{SimDuration, SimTime};
 
 /// Tunables.
@@ -99,6 +100,17 @@ impl CpufreqGovernor for Schedutil {
                 target
             }
         }
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.last_change.is_some() {
+            // A live rate-limit anchor is learned state.
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        fp.write_f64(self.tunables.headroom);
+        fp.write_u64(self.tunables.rate_limit.as_nanos());
     }
 }
 

@@ -4,6 +4,7 @@ use crate::governor::CpufreqGovernor;
 use eavs_cpu::cluster::PolicyLimits;
 use eavs_cpu::load::LoadSample;
 use eavs_cpu::opp::{OppIndex, OppTable};
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::SimDuration;
 
 /// Pins the policy at the maximum frequency.
@@ -33,6 +34,11 @@ impl CpufreqGovernor for Performance {
     ) -> OppIndex {
         limits.max_index
     }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        // Stateless: the name is the whole identity.
+        fp.write_str(self.name());
+    }
 }
 
 /// Pins the policy at the minimum frequency.
@@ -55,6 +61,10 @@ impl CpufreqGovernor for Powersave {
         limits: PolicyLimits,
     ) -> OppIndex {
         limits.min_index
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
     }
 }
 
@@ -101,6 +111,13 @@ impl CpufreqGovernor for Userspace {
         limits: PolicyLimits,
     ) -> OppIndex {
         limits.clamp(self.target)
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        // The pinned index fully determines behavior, whether it came from
+        // the constructor or a later `set_speed` write.
+        fp.write_str(self.name());
+        fp.write_usize(self.target);
     }
 }
 

@@ -86,12 +86,24 @@ impl ResidencyTracker {
     ///
     /// Panics if `now` precedes the last update.
     pub fn snapshot(&self, now: SimTime) -> Vec<SimDuration> {
-        let mut times = self.times.clone();
+        let mut times = Vec::with_capacity(self.times.len());
+        self.snapshot_into(now, &mut times);
+        times
+    }
+
+    /// Fills `out` with per-state residency (see [`snapshot`](Self::snapshot)),
+    /// reusing the vector's capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last update.
+    pub fn snapshot_into(&self, now: SimTime, out: &mut Vec<SimDuration>) {
+        out.clear();
+        out.extend_from_slice(&self.times);
         let open = now
             .checked_duration_since(self.since)
             .expect("residency clock went backwards");
-        times[self.current] += open;
-        times
+        out[self.current] += open;
     }
 
     /// Total tracked time up to `now` (sum of all states).

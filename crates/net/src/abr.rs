@@ -6,6 +6,7 @@
 //! buffer-based (BBA-style linear mapping from buffer occupancy).
 
 use crate::download::ThroughputSample;
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::SimDuration;
 use eavs_video::manifest::Manifest;
 
@@ -31,6 +32,13 @@ pub trait AbrAlgorithm: std::fmt::Debug + Send {
 
     /// Chooses the ladder rung for the next segment.
     fn choose(&mut self, ctx: &AbrContext<'_>) -> usize;
+
+    /// Hashes the algorithm's identity and parameters into `fp` for
+    /// session memoization. The default marks the fingerprint opaque;
+    /// the built-in algorithms are stateless and override it.
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.mark_opaque();
+    }
 }
 
 /// Always fetches the same rung.
@@ -53,6 +61,11 @@ impl AbrAlgorithm for FixedAbr {
 
     fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
         self.rung.min(ctx.manifest.num_representations() - 1)
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
+        fp.write_usize(self.rung);
     }
 }
 
@@ -109,6 +122,13 @@ impl AbrAlgorithm for RateBasedAbr {
             .find(|r| f64::from(r.bitrate_kbps) <= budget_kbps)
             .map_or(0, |r| r.id)
     }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        // Stateless: throughput history lives in the session, not here.
+        fp.write_str(self.name());
+        fp.write_usize(self.window);
+        fp.write_f64(self.safety);
+    }
 }
 
 /// Buffer-based ABR (BBA-0): rung is a linear function of buffer occupancy
@@ -155,6 +175,12 @@ impl AbrAlgorithm for BufferBasedAbr {
         }
         let frac = above.ratio(self.cushion);
         (frac * top as f64).floor() as usize
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
+        fp.write_u64(self.reservoir.as_nanos());
+        fp.write_u64(self.cushion.as_nanos());
     }
 }
 

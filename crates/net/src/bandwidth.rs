@@ -143,6 +143,16 @@ impl BandwidthTrace {
         self.bytes_between(from, to) * 8.0 / (to - from).as_secs_f64()
     }
 
+    /// Hashes the trace contents (every change point) into `fp`, so two
+    /// separately allocated but identical traces collide under session
+    /// and trace memoization.
+    pub fn fingerprint(&self, fp: &mut eavs_sim::fingerprint::Fingerprinter) {
+        for &(t, bps) in &self.points {
+            fp.write_u64(t.as_nanos());
+            fp.write_f64(bps);
+        }
+    }
+
     /// The change points.
     pub fn points(&self) -> &[(SimTime, f64)] {
         &self.points

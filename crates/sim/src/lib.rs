@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fingerprint;
 pub mod queue;
 pub mod rng;
 pub mod time;
@@ -56,6 +57,7 @@ pub mod trace;
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::engine::{RunOutcome, Scheduler, Simulation, World};
+    pub use crate::fingerprint::{Fingerprint, Fingerprinter};
     pub use crate::queue::{EventId, EventQueue};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};
@@ -64,6 +66,7 @@ pub mod prelude {
 }
 
 pub use engine::{RunOutcome, Scheduler, Simulation, World};
+pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -7,6 +7,8 @@
 //! * [`video_gen`] — deterministic, position-addressable video generation
 //!   (same `(segment, rung)` is identical regardless of ABR path).
 //! * [`net_gen`] — Markov-modulated bandwidth presets (WiFi/LTE/HSPA).
+//! * [`memo`] — process-wide keyed caches so identical generator inputs
+//!   build their segments and traces once and share them as `Arc`s.
 //! * [`format`](mod@format) — plain-text `.vtrace`/`.btrace` round-trip formats.
 //!
 //! Why synthetic: the paper uses commercial clips and drive traces we
@@ -19,6 +21,7 @@
 
 pub mod content;
 pub mod format;
+pub mod memo;
 pub mod net_gen;
 pub mod video_gen;
 

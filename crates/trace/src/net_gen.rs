@@ -8,6 +8,7 @@
 use eavs_net::bandwidth::BandwidthTrace;
 use eavs_sim::rng::SimRng;
 use eavs_sim::time::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Network environment presets.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -76,6 +77,30 @@ impl NetworkProfile {
     /// Generates a trace of `duration` with 1-second steps.
     pub fn generate(self, duration: SimDuration, seed: u64) -> BandwidthTrace {
         self.generate_with_step(duration, SimDuration::from_secs(1), seed)
+    }
+
+    /// Memoized [`generate`](Self::generate): identical `(profile,
+    /// duration, seed)` inputs are generated once per process and shared
+    /// as an `Arc`.
+    pub fn generate_shared(self, duration: SimDuration, seed: u64) -> Arc<BandwidthTrace> {
+        self.generate_with_step_shared(duration, SimDuration::from_secs(1), seed)
+    }
+
+    /// Memoized [`generate_with_step`](Self::generate_with_step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn generate_with_step_shared(
+        self,
+        duration: SimDuration,
+        step: SimDuration,
+        seed: u64,
+    ) -> Arc<BandwidthTrace> {
+        crate::memo::shared_trace(
+            (self.name(), duration.as_nanos(), step.as_nanos(), seed),
+            || self.generate_with_step(duration, step, seed),
+        )
     }
 
     /// Generates a trace with an explicit step length.

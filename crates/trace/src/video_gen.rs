@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use crate::content::ContentProfile;
 use eavs_cpu::freq::Cycles;
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::rng::SimRng;
 use eavs_video::frame::{Frame, FrameType};
 use eavs_video::gop::GopStructure;
@@ -62,6 +63,10 @@ pub struct VideoGenerator {
     profile: ContentProfile,
     gop: GopStructure,
     root: SimRng,
+    seed: u64,
+    /// Digest of (manifest contents, profile, gop, seed): the identity
+    /// under which [`VideoGenerator::shared_segment`] memoizes.
+    memo_key: u128,
 }
 
 impl VideoGenerator {
@@ -70,18 +75,38 @@ impl VideoGenerator {
     /// `Arc<Manifest>`.
     pub fn new(manifest: impl Into<Arc<Manifest>>, profile: ContentProfile, seed: u64) -> Self {
         let root = SimRng::new(seed).fork("video-gen");
-        VideoGenerator {
+        let mut gen = VideoGenerator {
             manifest: manifest.into(),
             profile,
             gop: GopStructure::streaming_default(),
             root,
-        }
+            seed,
+            memo_key: 0,
+        };
+        gen.rekey();
+        gen
     }
 
     /// Overrides the GOP structure.
     pub fn with_gop(mut self, gop: GopStructure) -> Self {
         self.gop = gop;
+        self.rekey();
         self
+    }
+
+    /// Recomputes the memoization key from the generator's inputs. The
+    /// manifest is hashed by content, so two generators over separately
+    /// allocated but identical ladders share cache entries.
+    fn rekey(&mut self) {
+        let mut fp = Fingerprinter::new("eavs-video-gen/v1");
+        self.manifest.fingerprint(&mut fp);
+        fp.write_str(self.profile.name());
+        fp.write_u32(self.gop.gop_length());
+        for mix in self.gop.type_mix() {
+            fp.write_f64(mix);
+        }
+        fp.write_u64(self.seed);
+        self.memo_key = fp.finish().expect("no opaque inputs").0;
     }
 
     /// The manifest.
@@ -164,6 +189,19 @@ impl VideoGenerator {
             });
         }
         Segment::new(index, rep_id, frames)
+    }
+
+    /// Memoized [`segment`](Self::segment): identical `(manifest,
+    /// profile, gop, seed, index, rep_id)` tuples are generated once per
+    /// process and shared as an `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` or `rep_id` is out of range for the manifest.
+    pub fn shared_segment(&self, index: u64, rep_id: usize) -> Arc<Segment> {
+        crate::memo::shared_segment((self.memo_key, index, rep_id), || {
+            self.segment(index, rep_id)
+        })
     }
 
     /// Generates the whole stream at a fixed rung (analysis figures).

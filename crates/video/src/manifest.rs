@@ -193,6 +193,21 @@ impl Manifest {
     pub fn total_frames(&self) -> u64 {
         self.frames_per_segment * self.num_segments
     }
+
+    /// Hashes the manifest *contents* (ladder, segmentation, fps) into
+    /// `fp`, so two separately allocated but identical manifests collide —
+    /// the property session and trace memoization rely on.
+    pub fn fingerprint(&self, fp: &mut eavs_sim::fingerprint::Fingerprinter) {
+        for rep in &self.representations {
+            fp.write_usize(rep.id);
+            fp.write_u32(rep.bitrate_kbps);
+            fp.write_u32(rep.width);
+            fp.write_u32(rep.height);
+        }
+        fp.write_u64(self.frames_per_segment);
+        fp.write_u64(self.num_segments);
+        fp.write_u32(self.fps);
+    }
 }
 
 #[cfg(test)]

@@ -480,7 +480,7 @@ mod tests {
             .unwrap_err()
             .contains("requires --governor eavs"));
         let report = run_session(&args, "eavs").unwrap();
-        assert_eq!(report.cluster, "auto");
+        assert_eq!(&*report.cluster, "auto");
     }
 
     #[test]

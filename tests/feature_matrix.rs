@@ -38,7 +38,7 @@ fn auto_placement_deterministic_and_conserves_accounting() {
     assert_eq!(a.cpu_joules().to_bits(), b.cpu_joules().to_bits());
     assert_eq!(a.migrations, b.migrations);
     assert!(a.migrations >= 1);
-    assert_eq!(a.cluster, "auto");
+    assert_eq!(&*a.cluster, "auto");
     // Both clusters' energy is accounted: the total must exceed the
     // active cluster's busy energy alone and every component is finite.
     assert!(a.cpu_energy.busy_j > 0.0);
@@ -149,5 +149,5 @@ fn sysfs_composes_with_little_cluster() {
         .seed(8)
         .run();
     assert_eq!(direct.cpu_joules().to_bits(), sysfs.cpu_joules().to_bits());
-    assert_eq!(direct.cluster, "flagship2016-little");
+    assert_eq!(&*direct.cluster, "flagship2016-little");
 }
