@@ -1,0 +1,9 @@
+//! Regenerates experiment `f24_fault_storm` (see DESIGN.md §11).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f24_fault_storm")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

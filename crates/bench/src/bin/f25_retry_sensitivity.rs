@@ -1,0 +1,9 @@
+//! Regenerates experiment `f25_retry_sensitivity` (see DESIGN.md §11).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f25_retry_sensitivity")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

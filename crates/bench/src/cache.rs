@@ -65,10 +65,28 @@ fn approx_bytes(r: &SessionReport) -> u64 {
     bytes as u64
 }
 
+/// `true` when `EAVS_EMPTY_FAULTS` is set: every session without a
+/// fault plan gets an explicit *empty* [`FaultPlan`] attached. An empty
+/// plan must be a perfect no-op, so this mode is CI's proof that the
+/// fault-injection wiring leaves every committed figure byte-identical.
+fn force_empty_faults() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var_os("EAVS_EMPTY_FAULTS").is_some())
+}
+
 /// Runs `builder` through the process-wide session cache: a hit returns
 /// the shared report without simulating; a miss simulates, caches and
 /// returns it; an unfingerprintable builder runs uncached.
 pub fn run_session(builder: SessionBuilder) -> Arc<SessionReport> {
+    let builder = if force_empty_faults() && !builder.has_faults() {
+        builder.faults(eavs_faults::FaultPlan::default())
+    } else {
+        builder
+    };
+    run_session_inner(builder)
+}
+
+fn run_session_inner(builder: SessionBuilder) -> Arc<SessionReport> {
     let Some(fp) = builder.fingerprint() else {
         UNCACHEABLE.fetch_add(1, Ordering::Relaxed);
         return Arc::new(builder.run());

@@ -46,6 +46,17 @@ pub fn eavs_default() -> GovernorChoice {
     ))
 }
 
+/// EAVS with panic recovery enabled (the fault-tolerant configuration
+/// compared in F24/F25): on a prediction breach or rebuffer the next
+/// decision re-races to the highest permitted OPP, then decays back
+/// through the normal selector hysteresis.
+pub fn eavs_resilient() -> GovernorChoice {
+    GovernorChoice::Eavs(EavsGovernor::new(
+        Box::new(Hybrid::default()),
+        EavsConfig::resilient(),
+    ))
+}
+
 /// An EAVS variant with an explicit config and predictor name.
 pub fn eavs_with(config: EavsConfig, predictor: &str) -> GovernorChoice {
     GovernorChoice::Eavs(EavsGovernor::new(

@@ -31,6 +31,8 @@
 //! | F21 | [`extensions::f21_late_policy`] |
 //! | F22 | [`extensions::f22_static_pinning`] |
 //! | F23 | [`extensions::f23_baseline_tuning`] |
+//! | F24 | [`robustness::f24_fault_storm`] |
+//! | F25 | [`robustness::f25_retry_sensitivity`] |
 //! | T2 | [`comparison::t2_summary`] |
 //! | T3 | [`extensions::t3_confidence`] |
 //! | T4 | [`extensions::t4_soc_matrix`] |
@@ -47,6 +49,7 @@ pub mod harness;
 pub mod motivation;
 pub mod network;
 pub mod prediction;
+pub mod robustness;
 pub mod sweeps;
 pub mod timeline;
 
@@ -83,6 +86,8 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("f21_late_policy", extensions::f21_late_policy),
         ("f22_static_pinning", extensions::f22_static_pinning),
         ("f23_baseline_tuning", extensions::f23_baseline_tuning),
+        ("f24_fault_storm", robustness::f24_fault_storm),
+        ("f25_retry_sensitivity", robustness::f25_retry_sensitivity),
         ("t2_summary", comparison::t2_summary),
         ("t3_confidence", extensions::t3_confidence),
         ("t4_soc_matrix", extensions::t4_soc_matrix),

@@ -5,7 +5,11 @@
 
 use eavs_core::session::{ClusterSelect, SessionBuilder, StreamingSession};
 use eavs_cpu::soc::SocModel;
+use eavs_faults::{
+    AmbientStep, Blackout, DecodeSpike, DecoderStall, FaultPlan, RandomFaults, SegmentFault,
+};
 use eavs_net::abr::FixedAbr;
+use eavs_net::download::RetryPolicy;
 use eavs_sim::time::{SimDuration, SimTime};
 use eavs_trace::content::ContentProfile;
 use eavs_video::display::LatePolicy;
@@ -104,10 +108,85 @@ proptest! {
             // The builder default is FixedAbr rung 0, so rung 1 is the
             // minimal ABR perturbation.
             ("abr", mk().abr(Box::new(FixedAbr::new(1)))),
+            // Fault-plan knobs: each list and the randomized profile must
+            // perturb the digest on its own.
+            ("faults/blackout", mk().faults(FaultPlan {
+                blackouts: vec![Blackout {
+                    start: SimTime::from_secs(1),
+                    duration: SimDuration::from_millis(100),
+                }],
+                ..FaultPlan::default()
+            })),
+            ("faults/stall", mk().faults(FaultPlan {
+                stalls: vec![SegmentFault::once(0)],
+                ..FaultPlan::default()
+            })),
+            ("faults/corruption", mk().faults(FaultPlan {
+                corruption: vec![SegmentFault::once(0)],
+                ..FaultPlan::default()
+            })),
+            ("faults/spike", mk().faults(FaultPlan {
+                decode_spikes: vec![DecodeSpike { frame: 3, factor: 2.0 }],
+                ..FaultPlan::default()
+            })),
+            ("faults/decoder_stall", mk().faults(FaultPlan {
+                decoder_stalls: vec![DecoderStall {
+                    frame: 3,
+                    pause: SimDuration::from_millis(40),
+                }],
+                ..FaultPlan::default()
+            })),
+            ("faults/ambient", mk().faults(FaultPlan {
+                ambient_steps: vec![AmbientStep {
+                    at: SimTime::from_secs(1),
+                    ambient_c: 40.0,
+                }],
+                ..FaultPlan::default()
+            })),
+            ("faults/randomized", mk().faults(FaultPlan {
+                randomized: Some(RandomFaults::light(9)),
+                ..FaultPlan::default()
+            })),
+            // Retry-policy knobs.
+            ("retry/timeout", mk().retry(RetryPolicy::with_timeout(
+                SimDuration::from_secs(2)))),
+            ("retry/max_retries", mk().retry(RetryPolicy {
+                max_retries: 9,
+                ..RetryPolicy::default()
+            })),
+            ("retry/backoff_base", mk().retry(RetryPolicy {
+                backoff_base: SimDuration::from_millis(333),
+                ..RetryPolicy::default()
+            })),
+            ("retry/backoff_factor", mk().retry(RetryPolicy {
+                backoff_factor: 3.0,
+                ..RetryPolicy::default()
+            })),
+            ("retry/backoff_cap", mk().retry(RetryPolicy {
+                backoff_cap: SimDuration::from_secs(9),
+                ..RetryPolicy::default()
+            })),
         ];
         for (knob, b) in perturbed {
             let fp = b.fingerprint().expect("cacheable");
             prop_assert!(fp != base, "knob {knob} did not change the fingerprint");
         }
+
+        // The same scripted fault on different *lists* must not collide:
+        // a stalled segment 0 is not a corrupt segment 0.
+        let stall = mk()
+            .faults(FaultPlan { stalls: vec![SegmentFault::once(0)], ..FaultPlan::default() })
+            .fingerprint()
+            .expect("cacheable");
+        let corrupt = mk()
+            .faults(FaultPlan { corruption: vec![SegmentFault::once(0)], ..FaultPlan::default() })
+            .fingerprint()
+            .expect("cacheable");
+        prop_assert!(stall != corrupt, "stall and corruption lists collided");
+
+        // And the no-op guarantee at the digest level: an explicitly
+        // empty plan hashes exactly like no plan at all.
+        let empty = mk().faults(FaultPlan::default()).fingerprint().expect("cacheable");
+        prop_assert_eq!(empty, base);
     }
 }

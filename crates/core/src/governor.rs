@@ -51,6 +51,17 @@ pub struct EavsConfig {
     /// Fallback decision period (decisions also happen on pipeline
     /// events).
     pub decision_interval: SimDuration,
+    /// Graceful degradation under faults: when a decoded frame breaches
+    /// its prediction by more than `panic_breach_factor`, or a rebuffer
+    /// is reported via [`EavsGovernor::notify_rebuffer`], re-race at the
+    /// maximum OPP for `panic_hold`, then decay back through the normal
+    /// selector (hysteresis + critical-speed floor). Off by default:
+    /// clean sessions are bit-identical with and without the feature.
+    pub panic_recovery: bool,
+    /// Actual/predicted cycle ratio that counts as a prediction breach.
+    pub panic_breach_factor: f64,
+    /// How long a panic pins the maximum OPP.
+    pub panic_hold: SimDuration,
 }
 
 impl Default for EavsConfig {
@@ -62,6 +73,20 @@ impl Default for EavsConfig {
             race_on_fill: true,
             energy_floor: true,
             decision_interval: SimDuration::from_millis(20),
+            panic_recovery: false,
+            panic_breach_factor: 1.25,
+            panic_hold: SimDuration::from_millis(250),
+        }
+    }
+}
+
+impl EavsConfig {
+    /// The default configuration with panic recovery enabled — the
+    /// resilient variant benchmarked by the fault-storm experiments.
+    pub fn resilient() -> Self {
+        EavsConfig {
+            panic_recovery: true,
+            ..EavsConfig::default()
         }
     }
 }
@@ -105,6 +130,13 @@ pub struct EavsGovernor {
     /// Reused demand buffer for [`decide`](Self::decide) — the hottest
     /// per-decision allocation in a session.
     demand_scratch: Vec<DemandItem>,
+    /// A prediction breach or rebuffer was reported since the last
+    /// decision; the next decision opens a panic window.
+    breach_pending: bool,
+    /// While set, decisions return the maximum OPP until this instant.
+    panic_until: Option<SimTime>,
+    /// Panic windows opened so far.
+    panics: u64,
 }
 
 impl EavsGovernor {
@@ -117,6 +149,9 @@ impl EavsGovernor {
             floor_index: 0,
             decisions: 0,
             demand_scratch: Vec::with_capacity(1 + config.lookahead),
+            breach_pending: false,
+            panic_until: None,
+            panics: 0,
         }
     }
 
@@ -163,8 +198,30 @@ impl EavsGovernor {
         self.decisions
     }
 
+    /// Number of panic windows opened (prediction breaches + rebuffers
+    /// that triggered a re-race; zero unless `panic_recovery` is set).
+    pub fn panics(&self) -> u64 {
+        self.panics
+    }
+
+    /// Reports a rebuffer event (playback starved). With `panic_recovery`
+    /// enabled, the next decision re-races at the maximum OPP.
+    pub fn notify_rebuffer(&mut self) {
+        if self.config.panic_recovery {
+            self.breach_pending = true;
+        }
+    }
+
     /// Feedback after a frame finished decoding.
     pub fn observe_decode(&mut self, meta: FrameMeta, actual: Cycles) {
+        if self.config.panic_recovery {
+            let predicted = self.predictor.predict(meta);
+            if predicted.get() > 0.0
+                && actual.get() > predicted.get() * self.config.panic_breach_factor
+            {
+                self.breach_pending = true;
+            }
+        }
         self.predictor.observe(meta, actual);
     }
 
@@ -254,6 +311,22 @@ impl EavsGovernor {
         cur: OppIndex,
     ) -> OppIndex {
         self.decisions += 1;
+        if self.config.panic_recovery {
+            if self.breach_pending {
+                self.breach_pending = false;
+                self.panics += 1;
+                self.panic_until = Some(snap.now + self.config.panic_hold);
+            }
+            if let Some(until) = self.panic_until {
+                if snap.now < until && snap.phase != PlaybackPhase::Ended {
+                    // Re-race: clear the backlog at full speed; the
+                    // selector's hysteresis decays the frequency back to
+                    // the critical-speed floor once the window closes.
+                    return limits.max_index;
+                }
+                self.panic_until = None;
+            }
+        }
         match snap.phase {
             PlaybackPhase::Startup | PlaybackPhase::Rebuffering => {
                 if self.config.race_on_fill {
@@ -308,6 +381,9 @@ impl EavsGovernor {
         fp.write_bool(self.config.race_on_fill);
         fp.write_bool(self.config.energy_floor);
         fp.write_u64(self.config.decision_interval.as_nanos());
+        fp.write_bool(self.config.panic_recovery);
+        fp.write_f64(self.config.panic_breach_factor);
+        fp.write_u64(self.config.panic_hold.as_nanos());
         fp.write_usize(self.floor_index);
         self.predictor.fingerprint(fp);
     }
@@ -522,6 +598,63 @@ mod tests {
         let mut snap = snapshot(0, None, 0);
         snap.phase = PlaybackPhase::Ended;
         assert_eq!(g.decide(&snap, &tbl, limits, 3), 0);
+    }
+
+    #[test]
+    fn prediction_breach_opens_panic_window() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        // Train with the cold-start estimate itself (5 Mcycles for a
+        // 1000-byte frame) so the training observation is not a breach.
+        let mut g = trained(5.0, EavsConfig::resilient());
+        // Deep slack: absent a panic this snapshot picks the lowest OPP.
+        let calm = snapshot(4, None, 1);
+        assert_eq!(g.decide(&calm, &tbl, limits, 0), 0);
+        assert_eq!(g.panics(), 0);
+        // A frame costing 5x its prediction breaches the 1.25x factor.
+        g.observe_decode(meta(1000), Cycles::from_mega(25.0));
+        assert_eq!(g.decide(&calm, &tbl, limits, 0), 3, "panic races at max");
+        assert_eq!(g.panics(), 1);
+        // Within the hold window the max OPP is pinned...
+        let mut soon = calm.clone();
+        soon.now = calm.now + SimDuration::from_millis(100);
+        assert_eq!(g.decide(&soon, &tbl, limits, 3), 3);
+        // ...and once it expires the governor decays back down.
+        let mut later = calm.clone();
+        later.now = calm.now + SimDuration::from_millis(400);
+        later.next_vsync = later.now + SimDuration::from_millis(10);
+        let mut cur = 3;
+        for _ in 0..10 {
+            cur = g.decide(&later, &tbl, limits, cur);
+        }
+        assert!(cur < 3, "panic must decay");
+        assert_eq!(g.panics(), 1, "one breach, one panic");
+    }
+
+    #[test]
+    fn rebuffer_notification_triggers_panic() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = trained(5.0, EavsConfig::resilient());
+        let calm = snapshot(4, None, 1);
+        assert_eq!(g.decide(&calm, &tbl, limits, 0), 0);
+        g.notify_rebuffer();
+        assert_eq!(g.decide(&calm, &tbl, limits, 0), 3);
+        assert_eq!(g.panics(), 1);
+    }
+
+    #[test]
+    fn panic_recovery_off_ignores_breaches_and_rebuffers() {
+        let tbl = table();
+        let limits = PolicyLimits::full(&tbl);
+        let mut g = trained(10.0, EavsConfig::default());
+        let calm = snapshot(4, None, 1);
+        g.observe_decode(meta(1000), Cycles::from_mega(100.0));
+        g.notify_rebuffer();
+        // LastValue now predicts 100 Mcycles; with 4 frames of slack the
+        // demand still fits a low OPP, and no panic pins the max.
+        assert!(g.decide(&calm, &tbl, limits, 0) < 3);
+        assert_eq!(g.panics(), 0);
     }
 
     #[test]

@@ -54,6 +54,25 @@ pub struct SessionReport {
     pub background_jobs: u64,
     /// Cluster migrations performed (automatic placement only).
     pub migrations: u64,
+    /// Segment downloads re-attempted after a timeout or corruption.
+    pub download_retries: u64,
+    /// Downloads aborted by the retry watchdog.
+    pub download_timeouts: u64,
+    /// Downloads that completed but failed integrity (fault injection).
+    pub corrupt_downloads: u64,
+    /// Segments given up on after exhausting the retry budget.
+    pub segments_abandoned: u64,
+    /// Frames discarded undecoded by drop-mode catch-up.
+    pub frames_skipped: u64,
+    /// Frames still upstream of the decoder when the session ended.
+    pub frames_pending: u64,
+    /// Decode jobs whose cycle cost was spiked by fault injection.
+    pub decode_spikes: u64,
+    /// Transient decoder stalls injected.
+    pub decode_stalls: u64,
+    /// EAVS panic re-races triggered (prediction breaches + rebuffers;
+    /// zero unless panic recovery is enabled).
+    pub panic_races: u64,
 }
 
 impl SessionReport {
@@ -163,6 +182,15 @@ mod tests {
             peak_temp_c: None,
             background_jobs: 0,
             migrations: 0,
+            download_retries: 0,
+            download_timeouts: 0,
+            corrupt_downloads: 0,
+            segments_abandoned: 0,
+            frames_skipped: 0,
+            frames_pending: 0,
+            decode_spikes: 0,
+            decode_stalls: 0,
+            panic_races: 0,
         }
     }
 

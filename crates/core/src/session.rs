@@ -26,11 +26,12 @@ use eavs_cpu::freq::{Cycles, Frequency};
 use eavs_cpu::load::LoadMonitor;
 use eavs_cpu::soc::SocModel;
 use eavs_cpu::thermal::{ThermalModel, ThrottleController};
+use eavs_faults::{AmbientStep, FaultPlan, FaultSchedule};
 use eavs_governors::CpufreqGovernor;
 use eavs_metrics::timeseries::StepSeries;
 use eavs_net::abr::{AbrAlgorithm, AbrContext, FixedAbr};
 use eavs_net::bandwidth::BandwidthTrace;
-use eavs_net::download::Downloader;
+use eavs_net::download::{Downloader, RetryPolicy};
 use eavs_net::radio::RadioModel;
 use eavs_sim::engine::{Scheduler, Simulation, World};
 use eavs_sim::fingerprint::{Fingerprint, Fingerprinter};
@@ -44,6 +45,7 @@ use eavs_video::manifest::Manifest;
 use eavs_video::pipeline::DecodePipeline;
 use eavs_video::qoe::QoeReport;
 use eavs_video::segment::Segment;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Which governor drives the session.
@@ -127,6 +129,8 @@ pub struct SessionBuilder {
     background: Option<BackgroundLoad>,
     cluster_select: ClusterSelect,
     late_policy: LatePolicy,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 /// Which cluster of a big.LITTLE SoC hosts the player threads.
@@ -187,7 +191,30 @@ impl SessionBuilder {
             background: None,
             cluster_select: ClusterSelect::Big,
             late_policy: LatePolicy::Stall,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Injects a fault plan: network blackouts, stalled/corrupt segment
+    /// downloads, decode spikes and stalls, ambient temperature steps.
+    /// An empty plan is a guaranteed behavioral no-op.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// `true` if a non-empty fault plan is attached.
+    pub fn has_faults(&self) -> bool {
+        self.faults.as_ref().is_some_and(|p| !p.is_empty())
+    }
+
+    /// Sets the download retry policy (timeout, retry cap, exponential
+    /// backoff). The default has no timeout, so clean sessions schedule
+    /// no watchdog events.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Selects what happens to frames whose display slot passes before
@@ -382,6 +409,18 @@ impl SessionBuilder {
             LatePolicy::Stall => 0,
             LatePolicy::Drop => 1,
         });
+        // An empty plan and no plan are the same session (the no-op
+        // guarantee), so they share a tag; any real fault perturbs the
+        // digest, including randomized plans (fully described by their
+        // seed + probabilities).
+        match &self.faults {
+            Some(plan) if !plan.is_empty() => {
+                fp.write_u8(1);
+                plan.fingerprint(&mut fp);
+            }
+            _ => fp.write_u8(0),
+        }
+        self.retry.fingerprint(&mut fp);
         fp.finish()
     }
 
@@ -422,6 +461,22 @@ impl StreamingSession {
             }
         };
         let fs = CpufreqFs::new(&cluster);
+        let faults = b
+            .faults
+            .as_ref()
+            .map(FaultPlan::schedule)
+            .unwrap_or_default();
+        // Blackout windows rewrite the trace; otherwise the shared Arc is
+        // used untouched (keeps sweep jobs on one allocation).
+        let network = match faults.apply_to_trace(&b.network) {
+            Some(t) => Arc::new(t),
+            None => Arc::clone(&b.network),
+        };
+        let ambient_queue: VecDeque<AmbientStep> = if b.thermal.is_some() {
+            faults.ambient_steps().iter().copied().collect()
+        } else {
+            VecDeque::new()
+        };
         let generator = VideoGenerator::new(b.manifest.clone(), b.content, b.seed);
         let playback = Playback::new(b.manifest.total_frames(), b.startup_frames, b.resume_frames)
             .with_policy(b.late_policy);
@@ -440,7 +495,24 @@ impl StreamingSession {
             peak_temp_c: None,
             background: b.background,
             pipeline: DecodePipeline::new(b.decoded_cap),
-            downloader: Downloader::new(b.network, b.rtt),
+            downloader: Downloader::new(network, b.rtt),
+            faults,
+            retry: b.retry,
+            attempt: 0,
+            retry_segment: None,
+            download_event: None,
+            timeout_event: None,
+            decoder_stall_event: None,
+            stall_frame: 0,
+            stall_cleared: None,
+            ambient_queue,
+            download_retries: 0,
+            download_timeouts: 0,
+            corrupt_downloads: 0,
+            segments_abandoned: 0,
+            frames_skipped: 0,
+            decode_spikes: 0,
+            decode_stalls: 0,
             freq_series: b.record_series.then(StepSeries::new),
             buffer_series: b.record_series.then(StepSeries::new),
             cluster,
@@ -526,6 +598,10 @@ impl StreamingSession {
         if sim.world().background.is_some() {
             sim.scheduler().schedule_at(SimTime::ZERO, Ev::Background);
         }
+        for i in 0..sim.world().ambient_queue.len() {
+            let at = sim.world().ambient_queue[i].at;
+            sim.scheduler().schedule_at(at, Ev::AmbientStep);
+        }
         sim.run_until(horizon);
 
         let end = sim.world().end_time.unwrap_or(sim.now());
@@ -551,6 +627,14 @@ enum Ev {
     Sample,
     /// Background-load burst tick.
     Background,
+    /// Watchdog: the in-flight download exceeded the retry timeout.
+    DownloadTimeout,
+    /// Backoff elapsed; re-attempt the failed segment.
+    RetryDownload,
+    /// A transient decoder stall cleared.
+    DecodeResume,
+    /// A scripted ambient-temperature step (fault injection).
+    AmbientStep,
 }
 
 struct SessionWorld {
@@ -580,6 +664,28 @@ struct SessionWorld {
     pending_segment: Option<Arc<Segment>>,
     last_rep: Option<usize>,
     bitrates: Vec<u32>,
+    /// Compiled fault plan; empty on clean sessions (every lookup misses).
+    faults: FaultSchedule,
+    retry: RetryPolicy,
+    /// 0-based attempt number of the in-flight (or pending-retry) download.
+    attempt: u32,
+    /// A failed segment waiting out its backoff before re-download.
+    retry_segment: Option<Arc<Segment>>,
+    download_event: Option<EventId>,
+    timeout_event: Option<EventId>,
+    decoder_stall_event: Option<EventId>,
+    /// Frame index the pending decoder stall applies to.
+    stall_frame: u64,
+    /// Frame whose decoder stall already elapsed (don't re-trigger).
+    stall_cleared: Option<u64>,
+    ambient_queue: VecDeque<AmbientStep>,
+    download_retries: u64,
+    download_timeouts: u64,
+    corrupt_downloads: u64,
+    segments_abandoned: u64,
+    frames_skipped: u64,
+    decode_spikes: u64,
+    decode_stalls: u64,
     /// Recycled backing store for [`PipelineSnapshot::upcoming`]; handed
     /// to the snapshot and reclaimed after the governor decision so the
     /// per-event hot path allocates nothing in steady state.
@@ -612,6 +718,10 @@ impl World for SessionWorld {
             Ev::Vsync => self.on_vsync(sched, now),
             Ev::Sample => self.on_sample(sched, now),
             Ev::Background => self.on_background(sched, now),
+            Ev::DownloadTimeout => self.on_download_timeout(sched, now),
+            Ev::RetryDownload => self.on_retry_download(sched, now),
+            Ev::DecodeResume => self.on_decode_resume(sched, now),
+            Ev::AmbientStep => self.on_ambient_step(sched, now),
         }
     }
 }
@@ -631,7 +741,10 @@ impl SessionWorld {
     }
 
     fn maybe_request_download(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
-        if self.downloader.is_busy() || self.next_segment >= self.manifest.num_segments {
+        if self.downloader.is_busy()
+            || self.retry_segment.is_some()
+            || self.next_segment >= self.manifest.num_segments
+        {
             return;
         }
         if self.pipeline.frames_buffered() as u64 + self.manifest.frames_per_segment
@@ -652,21 +765,102 @@ impl SessionWorld {
         // Shared across sessions: every governor streaming this title
         // re-decodes the same bytes, so generate each segment once.
         let segment = self.generator.shared_segment(self.next_segment, rep);
-        let done = self
-            .downloader
-            .start(now, segment.size_bytes())
-            .expect("bandwidth trace stalls forever; transfer cannot complete");
-        self.pending_segment = Some(segment);
         self.next_segment += 1;
-        sched.schedule_at(done, Ev::DownloadDone);
+        self.begin_transfer(sched, now, segment, 0);
+    }
+
+    /// Starts (or re-starts) a segment transfer, honoring stall faults
+    /// and arming the retry watchdog when a timeout is configured.
+    fn begin_transfer(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        segment: Arc<Segment>,
+        attempt: u32,
+    ) {
+        self.attempt = attempt;
+        if self.faults.is_stalled(segment.index, attempt) {
+            // The server wedged: the radio burns energy but no completion
+            // instant exists. Only the watchdog can recover this.
+            self.downloader.start_stalled(now, segment.size_bytes());
+        } else {
+            let done = self
+                .downloader
+                .start(now, segment.size_bytes())
+                .expect("bandwidth trace stalls forever; transfer cannot complete");
+            self.download_event = Some(sched.schedule_at(done, Ev::DownloadDone));
+        }
+        self.pending_segment = Some(segment);
+        if let Some(timeout) = self.retry.timeout {
+            self.timeout_event = Some(sched.schedule_at(now + timeout, Ev::DownloadTimeout));
+        }
+    }
+
+    /// Queues a failed segment for re-download after exponential backoff,
+    /// or abandons it once the retry budget is exhausted.
+    fn schedule_retry(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        segment: Arc<Segment>,
+        next_attempt: u32,
+    ) {
+        if next_attempt > self.retry.max_retries {
+            self.segments_abandoned += 1;
+            self.maybe_request_download(sched, now);
+            return;
+        }
+        self.attempt = next_attempt;
+        self.retry_segment = Some(segment);
+        let wait = self.retry.backoff(next_attempt - 1);
+        sched.schedule_at(now + wait, Ev::RetryDownload);
+    }
+
+    fn on_download_timeout(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        self.timeout_event = None;
+        // A completion at the exact same instant may have already been
+        // handled (it cancels the watchdog, so only an uncanceled event
+        // with a transfer still pending acts).
+        let Some(segment) = self.pending_segment.take() else {
+            return;
+        };
+        if let Some(ev) = self.download_event.take() {
+            sched.cancel(ev);
+        }
+        self.downloader.abort(now);
+        self.download_timeouts += 1;
+        self.schedule_retry(sched, now, segment, self.attempt + 1);
+        self.govern(sched, now);
+    }
+
+    fn on_retry_download(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        let Some(segment) = self.retry_segment.take() else {
+            return;
+        };
+        self.download_retries += 1;
+        let attempt = self.attempt;
+        self.begin_transfer(sched, now, segment, attempt);
+        self.govern(sched, now);
     }
 
     fn on_download_done(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        self.download_event = None;
+        if let Some(ev) = self.timeout_event.take() {
+            sched.cancel(ev);
+        }
         self.downloader.complete(now);
         let segment = self
             .pending_segment
             .take()
             .expect("download completion without a pending segment");
+        if self.faults.is_corrupt(segment.index, self.attempt) {
+            // The bytes arrived but fail integrity checks: the transfer
+            // cost real radio energy, yet the segment must be re-fetched.
+            self.corrupt_downloads += 1;
+            self.schedule_retry(sched, now, segment, self.attempt + 1);
+            self.govern(sched, now);
+            return;
+        }
         let rep = self.manifest.representation(segment.representation_id);
         self.bitrates.push(rep.bitrate_kbps);
         self.last_rep = Some(segment.representation_id);
@@ -695,19 +889,61 @@ impl SessionWorld {
             // Never spend cycles decoding frames that can no longer make
             // their slot: skip stale Bs, resync at the next I if the GOP
             // is lost.
-            self.pipeline.catch_up(self.playback.next_display());
+            self.frames_skipped += self.pipeline.catch_up(self.playback.next_display()) as u64;
         }
         if !self.pipeline.can_start_decode() || self.cluster.is_core_busy(0) {
             return;
         }
+        if let Some(next) = self.pipeline.peek_next_undecoded() {
+            let idx = next.index;
+            if self.stall_cleared != Some(idx) {
+                if let Some(pause) = self.faults.decoder_stall(idx) {
+                    // Transient decoder wedge: the frame cannot enter the
+                    // decoder until the pause elapses.
+                    if self.decoder_stall_event.is_none() {
+                        self.decode_stalls += 1;
+                        self.stall_frame = idx;
+                        self.decoder_stall_event =
+                            Some(sched.schedule_at(now + pause, Ev::DecodeResume));
+                    }
+                    return;
+                }
+            }
+        }
         let frame = self.pipeline.start_decode();
-        self.cluster.start_job(now, 0, frame.decode_cycles);
-        self.decode_initial = Some(frame.decode_cycles);
+        let cycles = match self.faults.decode_spike(frame.index) {
+            Some(factor) => {
+                self.decode_spikes += 1;
+                frame.decode_cycles.scale(factor)
+            }
+            None => frame.decode_cycles,
+        };
+        self.cluster.start_job(now, 0, cycles);
+        self.decode_initial = Some(cycles);
         let done = self
             .cluster
             .completion_time(now, 0)
             .expect("job just started");
         self.decode_event = Some(sched.schedule_at(done, Ev::DecodeDone));
+    }
+
+    fn on_decode_resume(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        self.decoder_stall_event = None;
+        self.stall_cleared = Some(self.stall_frame);
+        self.try_start_decode(sched, now);
+        self.maybe_begin_playback(sched, now);
+        self.govern(sched, now);
+    }
+
+    /// Applies a scripted ambient-temperature step: integrate the thermal
+    /// model up to now under the old ambient, then switch it.
+    fn on_ambient_step(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        self.update_thermal(sched, now);
+        if let Some(step) = self.ambient_queue.pop_front() {
+            if let Some((model, _)) = &mut self.thermal {
+                model.set_ambient(step.ambient_c);
+            }
+        }
     }
 
     fn on_decode_done(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
@@ -716,10 +952,16 @@ impl SessionWorld {
             "decode completion event fired while core still busy"
         );
         self.decode_event = None;
-        self.decode_initial = None;
+        // The cycles actually charged to the core (spiked under faults);
+        // feeding the governor the *observed* cost, not the container's
+        // nominal one, is what lets panic recovery detect breaches.
+        let actual = self
+            .decode_initial
+            .take()
+            .expect("decode completion without initial cycles");
         let frame = self.pipeline.finish_decode();
         if let GovernorChoice::Eavs(g) = &mut self.governor {
-            g.observe_decode(FrameMeta::from(&frame), frame.decode_cycles);
+            g.observe_decode(FrameMeta::from(&frame), actual);
         }
         self.maybe_migrate(sched, now);
         self.try_start_decode(sched, now);
@@ -737,8 +979,9 @@ impl SessionWorld {
         ) {
             return;
         }
-        let downloads_done =
-            self.next_segment >= self.manifest.num_segments && !self.downloader.is_busy();
+        let downloads_done = self.next_segment >= self.manifest.num_segments
+            && !self.downloader.is_busy()
+            && self.retry_segment.is_none();
         if self
             .playback
             .maybe_start(now, self.pipeline.frames_buffered(), downloads_done)
@@ -782,8 +1025,15 @@ impl SessionWorld {
                 self.govern(sched, now);
             }
             VsyncOutcome::Starved => {
-                let downloads_done =
-                    self.next_segment >= self.manifest.num_segments && !self.downloader.is_busy();
+                if let GovernorChoice::Eavs(g) = &mut self.governor {
+                    // Rebuffer: with panic recovery enabled, the next
+                    // decision re-races to clear the backlog (no-op for
+                    // the stock configuration).
+                    g.notify_rebuffer();
+                }
+                let downloads_done = self.next_segment >= self.manifest.num_segments
+                    && !self.downloader.is_busy()
+                    && self.retry_segment.is_none();
                 if downloads_done && self.pipeline.is_drained() {
                     // Nothing will ever arrive again (possible under the
                     // drop policy when the stream's tail was skipped):
@@ -1082,6 +1332,13 @@ impl SessionWorld {
             startup_delay,
             session_length,
         );
+        let panic_races = match &self.governor {
+            GovernorChoice::Eavs(g) => g.panics(),
+            GovernorChoice::Baseline(_) => 0,
+        };
+        // Frames still upstream of the decoder (undecoded + in flight);
+        // decoded-queue leftovers are already counted in frames_decoded.
+        let frames_pending = (self.pipeline.frames_buffered() - self.pipeline.decoded_len()) as u64;
         SessionReport {
             governor: self.governor.report_name(),
             soc: self.soc,
@@ -1110,6 +1367,15 @@ impl SessionWorld {
             } else {
                 0
             },
+            download_retries: self.download_retries,
+            download_timeouts: self.download_timeouts,
+            corrupt_downloads: self.corrupt_downloads,
+            segments_abandoned: self.segments_abandoned,
+            frames_skipped: self.frames_skipped,
+            frames_pending,
+            decode_spikes: self.decode_spikes,
+            decode_stalls: self.decode_stalls,
+            panic_races,
         }
     }
 }

@@ -50,6 +50,24 @@ impl ThermalModel {
         self.temp_c
     }
 
+    /// Current ambient temperature in °C.
+    pub fn ambient(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Steps the ambient temperature (fault injection: the phone moves
+    /// into sunlight, a hot pocket, a cold room). The die temperature is
+    /// untouched; it relaxes toward the new steady state on subsequent
+    /// [`ThermalModel::update`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite ambient.
+    pub fn set_ambient(&mut self, ambient_c: f64) {
+        assert!(ambient_c.is_finite(), "bad ambient {ambient_c}");
+        self.ambient_c = ambient_c;
+    }
+
     /// The steady-state temperature for a sustained power draw.
     pub fn steady_state(&self, power_w: f64) -> f64 {
         self.ambient_c + power_w * self.r_c_per_w
@@ -139,6 +157,21 @@ mod tests {
         // Long enough to converge.
         m.update(2.0, SimDuration::from_secs(1000));
         assert!((m.temperature() - 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ambient_step_shifts_steady_state_not_die_temp() {
+        let mut m = ThermalModel::new(25.0, 10.0, 5.0);
+        m.update(2.0, SimDuration::from_secs(1000));
+        let warm = m.temperature();
+        assert_eq!(m.ambient(), 25.0);
+        m.set_ambient(45.0);
+        assert_eq!(m.ambient(), 45.0);
+        // The die does not teleport; only the target moves.
+        assert_eq!(m.temperature(), warm);
+        assert_eq!(m.steady_state(2.0), 65.0);
+        m.update(2.0, SimDuration::from_secs(1000));
+        assert!((m.temperature() - 65.0).abs() < 1e-6);
     }
 
     #[test]

@@ -11,7 +11,75 @@ use std::sync::Arc;
 
 use crate::bandwidth::BandwidthTrace;
 use crate::radio::ActivityInterval;
+use eavs_sim::fingerprint::Fingerprinter;
 use eavs_sim::time::{SimDuration, SimTime};
+
+/// Retry behavior for failed (stalled or corrupt) segment downloads.
+///
+/// A transfer that has not completed within `timeout` is aborted and
+/// retried after an exponential backoff: attempt `n` (0-based) waits
+/// `backoff_base * backoff_factor^n`, capped at `backoff_cap`. After
+/// `max_retries` failed retries the segment is abandoned and the session
+/// moves on. The default policy has no timeout, so clean sessions
+/// schedule no watchdog events at all.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RetryPolicy {
+    /// Abort a transfer that has not completed within this span.
+    /// `None` disables the watchdog (and with it, stall recovery).
+    pub timeout: Option<SimDuration>,
+    /// Maximum number of retries per segment before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied to the backoff per failed attempt.
+    pub backoff_factor: f64,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: None,
+            max_retries: 4,
+            backoff_base: SimDuration::from_millis(200),
+            backoff_factor: 2.0,
+            backoff_cap: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with a watchdog timeout and the default backoff schedule.
+    pub fn with_timeout(timeout: SimDuration) -> Self {
+        RetryPolicy {
+            timeout: Some(timeout),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff wait before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let cap = self.backoff_cap.as_nanos() as f64;
+        let mut nanos = self.backoff_base.as_nanos() as f64;
+        for _ in 0..attempt.min(64) {
+            nanos *= self.backoff_factor.max(0.0);
+            if nanos >= cap {
+                break;
+            }
+        }
+        SimDuration::from_nanos(nanos.min(cap).round() as u64)
+    }
+
+    /// Feed every policy knob into a fingerprint.
+    pub fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_opt_u64(self.timeout.map(SimDuration::as_nanos));
+        fp.write_u32(self.max_retries);
+        fp.write_u64(self.backoff_base.as_nanos());
+        fp.write_f64(self.backoff_factor);
+        fp.write_u64(self.backoff_cap.as_nanos());
+    }
+}
 
 /// A completed transfer's measurement, as the ABR sees it.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -92,6 +160,40 @@ impl Downloader {
             bytes,
         });
         Some(completes)
+    }
+
+    /// Starts a transfer that will never complete on its own: the radio
+    /// stays active (and burning energy) but no completion instant exists.
+    /// Used by fault injection to model a stalled server; only a watchdog
+    /// timeout ([`Downloader::abort`]) can free the downloader again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transfer is already in flight.
+    pub fn start_stalled(&mut self, now: SimTime, bytes: u64) {
+        assert!(self.in_flight.is_none(), "downloader is busy");
+        self.in_flight = Some(InFlight {
+            started: now,
+            completes: SimTime::MAX,
+            bytes,
+        });
+    }
+
+    /// Aborts the in-flight transfer at `now`. The radio activity up to
+    /// the abort is recorded (the bytes were partially sent and the radio
+    /// was powered), but no throughput sample is produced — the ABR never
+    /// sees failed transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight or `now` precedes the transfer start.
+    pub fn abort(&mut self, now: SimTime) {
+        let f = self.in_flight.take().expect("no transfer in flight");
+        assert!(now >= f.started, "abort before transfer start");
+        self.activity.push(ActivityInterval {
+            start: f.started,
+            end: now.min(f.completes),
+        });
     }
 
     /// Marks the in-flight transfer complete at `now` (the instant returned
@@ -213,6 +315,106 @@ mod tests {
         let mut d = Downloader::new(BandwidthTrace::constant(8e6), SimDuration::ZERO);
         d.start(s(0), 8_000_000).unwrap();
         d.complete(s(3));
+    }
+
+    #[test]
+    fn stalled_transfer_never_completes_and_abort_frees() {
+        let mut d = Downloader::new(BandwidthTrace::constant(8e6), SimDuration::ZERO);
+        d.start_stalled(s(1), 1_000_000);
+        assert!(d.is_busy());
+        // The radio is active for as long as the stall persists.
+        let act = d.activity(s(5));
+        assert_eq!(act.len(), 1);
+        assert_eq!(act[0].start, s(1));
+        assert_eq!(act[0].end, s(5));
+        d.abort(s(3));
+        assert!(!d.is_busy());
+        // Aborted transfers leave radio activity but no ABR sample.
+        assert_eq!(d.samples().len(), 0);
+        assert_eq!(d.bytes_total(), 0);
+        let act = d.activity(s(10));
+        assert_eq!(act.len(), 1);
+        assert_eq!(act[0].end, s(3));
+    }
+
+    #[test]
+    fn abort_mid_transfer_records_partial_activity() {
+        let mut d = Downloader::new(BandwidthTrace::constant(8e6), SimDuration::ZERO);
+        let done = d.start(s(0), 4_000_000).unwrap();
+        assert_eq!(done, s(4));
+        d.abort(s(2));
+        assert!(!d.is_busy());
+        let act = d.activity(s(10));
+        assert_eq!(act.len(), 1);
+        assert_eq!(act[0].end, s(2));
+        // Downloader is free for a retry.
+        assert!(d.start(s(2), 4_000_000).is_some());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            timeout: Some(SimDuration::from_secs(2)),
+            max_retries: 8,
+            backoff_base: SimDuration::from_millis(200),
+            backoff_factor: 2.0,
+            backoff_cap: SimDuration::from_secs(1),
+        };
+        assert_eq!(p.backoff(0), SimDuration::from_millis(200));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(400));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(800));
+        assert_eq!(p.backoff(3), SimDuration::from_secs(1));
+        assert_eq!(p.backoff(60), SimDuration::from_secs(1));
+        // Enormous attempt counts must not overflow the clock.
+        assert_eq!(p.backoff(u32::MAX), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn default_policy_has_no_timeout() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout, None);
+        assert_eq!(
+            RetryPolicy::with_timeout(SimDuration::from_secs(2)).timeout,
+            Some(SimDuration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn retry_policy_fingerprint_distinguishes_knobs() {
+        let fp_of = |p: &RetryPolicy| {
+            let mut fp = Fingerprinter::new("test/retry");
+            p.fingerprint(&mut fp);
+            fp.finish().expect("not opaque")
+        };
+        let base = RetryPolicy::default();
+        let variants = [
+            RetryPolicy {
+                timeout: Some(SimDuration::from_secs(2)),
+                ..base
+            },
+            RetryPolicy {
+                max_retries: 5,
+                ..base
+            },
+            RetryPolicy {
+                backoff_base: SimDuration::from_millis(201),
+                ..base
+            },
+            RetryPolicy {
+                backoff_factor: 3.0,
+                ..base
+            },
+            RetryPolicy {
+                backoff_cap: SimDuration::from_secs(6),
+                ..base
+            },
+        ];
+        let mut seen = vec![fp_of(&base)];
+        for v in &variants {
+            let fp = fp_of(v);
+            assert!(!seen.contains(&fp), "fingerprint collision for {v:?}");
+            seen.push(fp);
+        }
     }
 
     #[test]

@@ -143,6 +143,13 @@ impl DecodePipeline {
         self.undecoded.iter().take(n)
     }
 
+    /// The next frame that would enter the decoder, if any. Fault
+    /// injection uses this to decide whether a decoder stall or cycle
+    /// spike applies before the decode job is created.
+    pub fn peek_next_undecoded(&self) -> Option<&Frame> {
+        self.undecoded.front()
+    }
+
     /// The frame currently being decoded, if any.
     pub fn in_flight(&self) -> Option<&Frame> {
         self.in_flight.as_ref()

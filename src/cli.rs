@@ -8,9 +8,11 @@ use eavs_core::predictor::predictor_by_name;
 use eavs_core::report::SessionReport;
 use eavs_core::session::{ClusterSelect, GovernorChoice, StreamingSession};
 use eavs_cpu::soc::SocModel;
+use eavs_faults::{FaultPlan, RandomFaults};
 use eavs_governors::by_name;
 use eavs_net::abr::{AbrAlgorithm, BufferBasedAbr, FixedAbr, RateBasedAbr};
 use eavs_net::bandwidth::BandwidthTrace;
+use eavs_net::download::RetryPolicy;
 use eavs_net::radio::RadioModel;
 use eavs_sim::time::SimDuration;
 use eavs_trace::content::ContentProfile;
@@ -67,6 +69,12 @@ pub struct RunArgs {
     pub sysfs: bool,
     /// Late-frame policy: `stall` (default) or `drop`.
     pub late_policy: String,
+    /// Fault plan: `none`, `storm`, `light:<seed>` or `heavy:<seed>`.
+    pub faults: String,
+    /// Retry policy: `default`, `balanced`, or `<timeout_ms>,<retries>,<base_ms>`.
+    pub retry: Option<String>,
+    /// Enable EAVS panic recovery (re-race to max on breach/rebuffer).
+    pub panic_recovery: bool,
 }
 
 impl Default for RunArgs {
@@ -89,6 +97,9 @@ impl Default for RunArgs {
             margin: None,
             sysfs: false,
             late_policy: "stall".to_owned(),
+            faults: "none".to_owned(),
+            retry: None,
+            panic_recovery: false,
         }
     }
 }
@@ -121,6 +132,12 @@ OPTIONS (with defaults):
   --margin <default>      EAVS safety margin, e.g. 0.15
   --sysfs                 drive EAVS through the simulated cpufreq sysfs
   --late-policy stall     stall | drop (what happens to late frames)
+  --faults none           none | storm | light:<seed> | heavy:<seed>
+                          (deterministic fault injection; see DESIGN.md §11)
+  --retry <none>          balanced | <timeout_ms>,<retries>,<base_ms>
+                          (download watchdog + exponential backoff)
+  --panic                 enable EAVS panic recovery (re-race to max OPP
+                          on prediction breach or rebuffer; eavs only)
 ";
 
 /// Parses an argument vector (without the program name).
@@ -190,6 +207,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--sysfs" => out.sysfs = true,
             "--late-policy" => out.late_policy = value("late-policy")?.clone(),
+            "--faults" => out.faults = value("faults")?.clone(),
+            "--retry" => out.retry = Some(value("retry")?.clone()),
+            "--panic" => out.panic_recovery = true,
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
         }
     }
@@ -212,12 +232,53 @@ fn build_governor(args: &RunArgs, name: &str) -> Result<GovernorChoice, String> 
             }
             config.margin = m;
         }
+        config.panic_recovery = args.panic_recovery;
         Ok(GovernorChoice::Eavs(EavsGovernor::new(predictor, config)))
+    } else if args.panic_recovery {
+        Err("--panic requires --governor eavs".to_owned())
     } else {
         by_name(name)
             .map(GovernorChoice::Baseline)
             .ok_or(format!("unknown governor {name:?}"))
     }
+}
+
+fn build_faults(spec: &str) -> Result<Option<FaultPlan>, String> {
+    if spec == "none" {
+        return Ok(None);
+    }
+    if spec == "storm" {
+        return Ok(Some(FaultPlan::standard_storm()));
+    }
+    let randomized = if let Some(seed) = spec.strip_prefix("light:") {
+        RandomFaults::light(parse_num(seed, "faults")?)
+    } else if let Some(seed) = spec.strip_prefix("heavy:") {
+        RandomFaults::heavy(parse_num(seed, "faults")?)
+    } else {
+        return Err(format!("unknown fault plan {spec:?}"));
+    };
+    Ok(Some(FaultPlan {
+        randomized: Some(randomized),
+        ..FaultPlan::default()
+    }))
+}
+
+fn build_retry(spec: &str) -> Result<RetryPolicy, String> {
+    if spec == "balanced" {
+        return Ok(RetryPolicy::with_timeout(SimDuration::from_secs(2)));
+    }
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [timeout_ms, retries, base_ms] = parts.as_slice() else {
+        return Err(format!(
+            "bad retry {spec:?}: want `balanced` or <timeout_ms>,<retries>,<base_ms>"
+        ));
+    };
+    Ok(RetryPolicy {
+        timeout: Some(SimDuration::from_millis(parse_num(timeout_ms, "retry")?)),
+        max_retries: parse_num(retries, "retry")?,
+        backoff_base: SimDuration::from_millis(parse_num(base_ms, "retry")?),
+        ..RetryPolicy::default()
+    })
 }
 
 fn build_soc(name: &str) -> Result<SocModel, String> {
@@ -313,6 +374,12 @@ pub fn run_session(args: &RunArgs, governor_name: &str) -> Result<SessionReport,
     if let Some(abr) = &args.abr {
         builder = builder.abr(build_abr(abr)?);
     }
+    if let Some(plan) = build_faults(&args.faults)? {
+        builder = builder.faults(plan);
+    }
+    if let Some(retry) = &args.retry {
+        builder = builder.retry(build_retry(retry)?);
+    }
     Ok(builder.run())
 }
 
@@ -333,11 +400,25 @@ pub fn execute(command: Command) -> Result<String, String> {
             out.push_str("networks: constant:<mbps> wifi_home lte_drive hspa_tram\n");
             out.push_str("radios: wifi lte 3g\n");
             out.push_str("abr: fixed rate buffer\n");
+            out.push_str("faults: none storm light:<seed> heavy:<seed>\n");
             Ok(out)
         }
         Command::Run(args) => {
             let report = run_session(&args, &args.governor.clone())?;
-            Ok(format!("{report}\n"))
+            let mut out = format!("{report}\n");
+            if args.faults != "none" {
+                out.push_str(&format!(
+                    "  faults: {} retries ({} timeouts, {} corrupt, {} abandoned), {} decode spikes, {} decoder stalls, {} panic races\n",
+                    report.download_retries,
+                    report.download_timeouts,
+                    report.corrupt_downloads,
+                    report.segments_abandoned,
+                    report.decode_spikes,
+                    report.decode_stalls,
+                    report.panic_races,
+                ));
+            }
+            Ok(out)
         }
         Command::Compare(args, governors) => {
             let mut out = String::new();
@@ -495,6 +576,86 @@ mod tests {
         assert!(run_session(&bad, "eavs")
             .unwrap_err()
             .contains("late policy"));
+    }
+
+    #[test]
+    fn faults_flag_parses_and_injects() {
+        let cmd = parse(&argv(
+            "run --faults storm --retry balanced --panic --duration 4",
+        ))
+        .unwrap();
+        let Command::Run(args) = cmd else { panic!() };
+        assert_eq!(args.faults, "storm");
+        assert_eq!(args.retry.as_deref(), Some("balanced"));
+        assert!(args.panic_recovery);
+
+        // A light randomized plan on a short clip injects at least one
+        // fault counter or none — but must run to completion either way.
+        let args = RunArgs {
+            duration_s: 8,
+            faults: "heavy:7".to_owned(),
+            retry: Some("balanced".to_owned()),
+            panic_recovery: true,
+            ..RunArgs::default()
+        };
+        let report = run_session(&args, "eavs").unwrap();
+        assert!(
+            report.download_retries > 0
+                || report.decode_spikes > 0
+                || report.decode_stalls > 0
+                || report.segments_abandoned > 0,
+            "heavy faults on 8 s should trip at least one counter"
+        );
+    }
+
+    #[test]
+    fn faults_flag_rejects_garbage() {
+        let args = RunArgs {
+            faults: "hurricane".to_owned(),
+            ..RunArgs::default()
+        };
+        assert!(run_session(&args, "eavs")
+            .unwrap_err()
+            .contains("unknown fault plan"));
+        let args = RunArgs {
+            retry: Some("1,2".to_owned()),
+            ..RunArgs::default()
+        };
+        assert!(run_session(&args, "eavs")
+            .unwrap_err()
+            .contains("bad retry"));
+        let args = RunArgs {
+            panic_recovery: true,
+            ..RunArgs::default()
+        };
+        assert!(run_session(&args, "ondemand")
+            .unwrap_err()
+            .contains("requires --governor eavs"));
+    }
+
+    #[test]
+    fn retry_triple_parses() {
+        let args = RunArgs {
+            duration_s: 4,
+            faults: "storm".to_owned(),
+            retry: Some("2000,4,250".to_owned()),
+            ..RunArgs::default()
+        };
+        // Storm faults sit mostly past 4 s, but the run must succeed.
+        let report = run_session(&args, "eavs").unwrap();
+        assert!(report.frames_decoded > 0);
+    }
+
+    #[test]
+    fn execute_run_appends_fault_line() {
+        let args = RunArgs {
+            duration_s: 8,
+            faults: "heavy:7".to_owned(),
+            retry: Some("balanced".to_owned()),
+            ..RunArgs::default()
+        };
+        let out = execute(Command::Run(args)).unwrap();
+        assert!(out.contains("faults:"), "{out}");
     }
 
     #[test]

@@ -2,9 +2,14 @@
 //! workloads, governors and player configurations must preserve the
 //! system invariants.
 
+use eavs::faults::{
+    AmbientStep, Blackout, DecodeSpike, DecoderStall, FaultPlan, RandomFaults, SegmentFault,
+};
+use eavs::net::download::RetryPolicy;
 use eavs::scaling::governor::{EavsConfig, EavsGovernor};
 use eavs::scaling::predictor::predictor_by_name;
 use eavs::scaling::session::{ClusterSelect, GovernorChoice, StreamingSession};
+use eavs::sim::rng::SimRng;
 use eavs::sim::time::{SimDuration, SimTime};
 use eavs::tracegen::content::ContentProfile;
 use eavs::video::display::LatePolicy;
@@ -79,5 +84,151 @@ proptest! {
         prop_assert!(report.session_length <= SimDuration::from_secs(120));
         // Determinism spot check on a second run.
         prop_assert!(report.events_processed > 0);
+    }
+}
+
+/// Draws a randomized-but-reproducible [`FaultPlan`] from `rng`: a mix
+/// of scripted faults (blackouts, per-segment stalls/corruption, decode
+/// spikes/stalls, ambient steps) and, half the time, a seeded randomized
+/// layer on top.
+fn arbitrary_plan(rng: &mut SimRng) -> FaultPlan {
+    let mut plan = FaultPlan::default();
+    for _ in 0..rng.uniform_u64(0, 3) {
+        plan.blackouts.push(Blackout {
+            start: SimTime::from_nanos(rng.uniform_u64(0, 10_000_000_000)),
+            duration: SimDuration::from_nanos(rng.uniform_u64(1, 4_000_000_000)),
+        });
+    }
+    for _ in 0..rng.uniform_u64(0, 4) {
+        plan.stalls.push(SegmentFault {
+            segment: rng.uniform_u64(0, 8),
+            attempts: rng.uniform_u64(1, 4) as u32,
+        });
+    }
+    for _ in 0..rng.uniform_u64(0, 4) {
+        plan.corruption.push(SegmentFault {
+            segment: rng.uniform_u64(0, 8),
+            attempts: rng.uniform_u64(1, 3) as u32,
+        });
+    }
+    for _ in 0..rng.uniform_u64(0, 6) {
+        plan.decode_spikes.push(DecodeSpike {
+            frame: rng.uniform_u64(0, 400),
+            factor: rng.uniform(1.1, 6.0),
+        });
+    }
+    for _ in 0..rng.uniform_u64(0, 3) {
+        plan.decoder_stalls.push(DecoderStall {
+            frame: rng.uniform_u64(0, 400),
+            pause: SimDuration::from_nanos(rng.uniform_u64(1_000_000, 300_000_000)),
+        });
+    }
+    for _ in 0..rng.uniform_u64(0, 3) {
+        plan.ambient_steps.push(AmbientStep {
+            at: SimTime::from_nanos(rng.uniform_u64(0, 12_000_000_000)),
+            ambient_c: rng.uniform(-5.0, 50.0),
+        });
+    }
+    if rng.bernoulli(0.5) {
+        let seed = rng.next_u64();
+        plan.randomized = Some(if rng.bernoulli(0.5) {
+            RandomFaults::light(seed)
+        } else {
+            RandomFaults::heavy(seed)
+        });
+    }
+    plan
+}
+
+/// Chaos fuzz: sessions under arbitrary fault plans must terminate and
+/// keep the bookkeeping invariants — no panics, every frame accounted
+/// for, retries within the policy budget, buffer never negative.
+///
+/// Case count defaults to 64; CI raises it via `EAVS_CHAOS_CASES`.
+#[test]
+fn chaos_randomized_fault_plans() {
+    let cases: u64 = std::env::var("EAVS_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    // One fixed master seed: the corpus is identical on every run and
+    // machine, so a CI failure reproduces locally by case index.
+    let mut rng = SimRng::new(0xC4A0_5EED);
+    for case in 0..cases {
+        let plan = arbitrary_plan(&mut rng);
+        let gov_pick = (rng.next_u64() % 6) as u8;
+        let seed = rng.uniform_u64(1, 1_000_000);
+        let fps = [30u32, 60][(rng.next_u64() % 2) as usize];
+        let drop = rng.bernoulli(0.5);
+        // Always arm the watchdog: a stalled transfer with no timeout
+        // deliberately hangs until the horizon, which is its own test.
+        let retry = RetryPolicy {
+            timeout: Some(SimDuration::from_nanos(
+                rng.uniform_u64(300_000_000, 5_000_000_000),
+            )),
+            max_retries: rng.uniform_u64(0, 6) as u32,
+            backoff_base: SimDuration::from_nanos(rng.uniform_u64(10_000_000, 1_000_000_000)),
+            backoff_factor: rng.uniform(1.0, 3.0),
+            backoff_cap: SimDuration::from_secs(rng.uniform_u64(1, 10)),
+        };
+        let manifest = Manifest::single(3_000, 1280, 720, SimDuration::from_secs(6), fps);
+        let frames_per_segment = manifest.frames_per_segment;
+        let num_segments = manifest.num_segments;
+        let report = StreamingSession::builder(governor_for(gov_pick))
+            .manifest(manifest)
+            .content(ContentProfile::ALL[(rng.next_u64() % 3) as usize])
+            .late_policy(if drop {
+                LatePolicy::Drop
+            } else {
+                LatePolicy::Stall
+            })
+            .faults(plan.clone())
+            .retry(retry)
+            .seed(seed)
+            .record_series(true)
+            .horizon(SimTime::from_secs(120))
+            .run();
+
+        let ctx = || format!("case {case}: plan {plan:?}, retry {retry:?}, seed {seed}");
+        // Termination within the horizon (plus the final drain).
+        assert!(
+            report.session_length <= SimDuration::from_secs(121),
+            "{}",
+            ctx()
+        );
+        // Frame conservation: every frame of every *successfully*
+        // downloaded segment is decoded, skipped, or still in the
+        // pipeline — corruption and abandonment never leak frames.
+        assert_eq!(
+            report.segments_downloaded * frames_per_segment,
+            report.frames_decoded + report.frames_skipped + report.frames_pending,
+            "{}",
+            ctx()
+        );
+        // Segment conservation.
+        assert!(
+            report.segments_downloaded + report.segments_abandoned <= num_segments,
+            "{}",
+            ctx()
+        );
+        // Retries within the per-segment budget.
+        assert!(
+            report.download_retries <= num_segments * u64::from(retry.max_retries),
+            "{}",
+            ctx()
+        );
+        // The buffer timeline never goes negative.
+        let series = report.buffer_series.as_ref().expect("series recorded");
+        assert!(
+            series.iter().all(|(_, v)| v >= 0.0),
+            "negative buffer: {}",
+            ctx()
+        );
+        // Energy stays physical under faults.
+        assert!(
+            report.cpu_joules().is_finite() && report.cpu_joules() > 0.0,
+            "{}",
+            ctx()
+        );
     }
 }
