@@ -17,6 +17,9 @@
 //!   so CI stays under ~10 s.
 //! * `session_cache` / `segment_cache` / `trace_cache` — hit/miss counters
 //!   of the content-addressed caches after both passes.
+//! * `fleet` — campaign throughput through the pooled, cached shard
+//!   runner: session-runs/sec, the campaign's own cache hit rate, and the
+//!   peak per-shard resident footprint (the O(shards) memory bound).
 //!
 //! `--smoke` writes `BENCH_sim.smoke.json` instead, so a quick CI pass
 //! never clobbers the full-mode report.
@@ -151,6 +154,35 @@ fn measure_run_all(smoke: bool) -> (f64, usize) {
     (started.elapsed().as_secs_f64(), count)
 }
 
+/// Fleet campaign throughput through the pooled, cached runner: the
+/// smoke campaign as-is in `--smoke` mode, scaled to 1 000 sessions in
+/// full mode. Returns (session-runs/sec, campaign cache hit rate, peak
+/// shard bytes, session-runs).
+fn measure_fleet(smoke: bool) -> (f64, f64, u64, u64) {
+    let mut spec = eavs_fleet::CampaignSpec::smoke();
+    if !smoke {
+        spec.name = "bench-report-fleet".to_owned();
+        spec.sessions = 1_000;
+        spec.shard_size = 50;
+    }
+    let before = eavs_bench::cache::stats();
+    let outcome = eavs_bench::fleet::run_campaign(&spec, &eavs_fleet::RunOptions::default())
+        .expect("fleet bench spec is valid");
+    let after = eavs_bench::cache::stats();
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    (
+        outcome.session_runs as f64 / outcome.wall_s.max(1e-9),
+        hit_rate,
+        outcome.peak_shard_bytes,
+        outcome.session_runs,
+    )
+}
+
 fn main() {
     let mut smoke = false;
     for arg in std::env::args().skip(1) {
@@ -188,6 +220,15 @@ fn main() {
     let (run_all_warm_wall_s, _) = measure_run_all(smoke);
     let warm_speedup = run_all_wall_s / run_all_warm_wall_s.max(1e-9);
     eprintln!("  run_all warm    {run_all_warm_wall_s:.2} s ({warm_speedup:.1}x)");
+
+    let (fleet_sessions_per_sec, fleet_cache_hit_rate, fleet_peak_shard_bytes, fleet_session_runs) =
+        measure_fleet(smoke);
+    eprintln!(
+        "  fleet           {fleet_sessions_per_sec:.0} session-runs/sec \
+         ({fleet_session_runs} runs, {:.0}% cache hits, peak shard {:.1} KiB)",
+        fleet_cache_hit_rate * 100.0,
+        fleet_peak_shard_bytes as f64 / 1024.0,
+    );
 
     let session = eavs_bench::cache::stats();
     let segment = eavs_trace::memo::segment_cache_stats();
@@ -227,6 +268,12 @@ fn main() {
             "  }},\n",
             "  \"segment_cache\": {{ \"hits\": {segment_hits}, \"misses\": {segment_misses} }},\n",
             "  \"trace_cache\": {{ \"hits\": {trace_hits}, \"misses\": {trace_misses} }},\n",
+            "  \"fleet\": {{\n",
+            "    \"session_runs\": {fleet_session_runs},\n",
+            "    \"sessions_per_sec\": {fleet_sessions_per_sec:.1},\n",
+            "    \"cache_hit_rate\": {fleet_cache_hit_rate:.4},\n",
+            "    \"peak_shard_bytes\": {fleet_peak_shard_bytes}\n",
+            "  }},\n",
             "  \"experiments\": {experiments},\n",
             "  \"workers\": {workers},\n",
             "  \"smoke\": {smoke},\n",
@@ -248,6 +295,10 @@ fn main() {
         segment_misses = segment.misses,
         trace_hits = trace.hits,
         trace_misses = trace.misses,
+        fleet_session_runs = fleet_session_runs,
+        fleet_sessions_per_sec = fleet_sessions_per_sec,
+        fleet_cache_hit_rate = fleet_cache_hit_rate,
+        fleet_peak_shard_bytes = fleet_peak_shard_bytes,
         experiments = experiments,
         workers = workers,
         smoke = smoke,

@@ -1,0 +1,21 @@
+//! Regenerates F26 (fleet population distributions; see DESIGN.md §12).
+//!
+//! Runs the *global* campaign — 10 000 sessions × 5 governors over the
+//! full device/network/content mix — and writes the per-governor
+//! population table to `results/fleet/f26_fleet_population.csv`. Kept
+//! out of `run_all` and the per-figure golden set: fleet figures live
+//! under `results/fleet/` on their own cadence.
+
+fn main() {
+    let table = eavs_bench::fleet::f26_fleet_population();
+    println!("{}", table.render());
+    let dir = eavs_bench::harness::results_dir().join("fleet");
+    eavs_bench::harness::emit_into(&dir, "f26_fleet_population", &table);
+    let stats = eavs_bench::cache::stats();
+    eprintln!(
+        "session cache: {} hits / {} misses ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}

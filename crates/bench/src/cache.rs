@@ -53,18 +53,6 @@ fn map() -> &'static Mutex<HashMap<u128, Arc<SessionReport>>> {
     MAP.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Approximate heap + inline footprint of one cached report.
-fn approx_bytes(r: &SessionReport) -> u64 {
-    let mut bytes = std::mem::size_of::<SessionReport>();
-    bytes += r.governor.len() + r.cluster.len();
-    bytes += std::mem::size_of_val(r.time_in_state.as_slice());
-    // A StepSeries point is (time, value): 16 bytes.
-    for series in r.freq_series.iter().chain(r.buffer_series.iter()) {
-        bytes += series.len() * 16;
-    }
-    bytes as u64
-}
-
 /// `true` when `EAVS_EMPTY_FAULTS` is set: every session without a
 /// fault plan gets an explicit *empty* [`FaultPlan`] attached. An empty
 /// plan must be a perfect no-op, so this mode is CI's proof that the
@@ -97,7 +85,7 @@ fn run_session_inner(builder: SessionBuilder) -> Arc<SessionReport> {
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
     let report = Arc::new(builder.run());
-    BYTES.fetch_add(approx_bytes(&report), Ordering::Relaxed);
+    BYTES.fetch_add(report.approx_bytes(), Ordering::Relaxed);
     Arc::clone(
         map()
             .lock()

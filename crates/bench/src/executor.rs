@@ -123,13 +123,27 @@ fn worker_loop(shared: &Shared, me: usize) {
     }
 }
 
+/// Reads a numeric knob from the environment: `Some(n)` when `name` is
+/// set and parses, `None` (after a warning on garbage) otherwise.
+///
+/// Every `EAVS_*` tuning variable — `EAVS_JOBS` here, `EAVS_CHAOS_CASES`
+/// in the chaos fuzz, the fleet campaign knobs — goes through this one
+/// helper so they all share the trim/parse/warn behavior.
+pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let v = std::env::var(name).ok()?;
+    match v.trim().parse::<T>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("warning: ignoring unparsable {name}={v:?}");
+            None
+        }
+    }
+}
+
 /// Pool size: `EAVS_JOBS` if set (clamped to ≥ 1), else available cores.
 fn configured_workers() -> usize {
-    if let Ok(v) = std::env::var("EAVS_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-        eprintln!("warning: ignoring unparsable EAVS_JOBS={v:?}");
+    if let Some(n) = env_knob::<usize>("EAVS_JOBS") {
+        return n.max(1);
     }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -241,6 +255,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_knob_parses_trims_and_rejects() {
+        // Unique variable names so parallel tests cannot race on them.
+        std::env::set_var("EAVS_TEST_KNOB_OK", " 12 ");
+        assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_OK"), Some(12));
+        std::env::set_var("EAVS_TEST_KNOB_BAD", "twelve");
+        assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_BAD"), None);
+        assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_UNSET"), None);
+    }
 
     #[test]
     fn empty_job_list() {

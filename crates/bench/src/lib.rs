@@ -33,6 +33,8 @@
 //! | F23 | [`extensions::f23_baseline_tuning`] |
 //! | F24 | [`robustness::f24_fault_storm`] |
 //! | F25 | [`robustness::f25_retry_sensitivity`] |
+//! | F26 | [`fleet::f26_fleet_population`] |
+//! | F27 | `src/bin/f27_fleet_scaling.rs` |
 //! | T2 | [`comparison::t2_summary`] |
 //! | T3 | [`extensions::t3_confidence`] |
 //! | T4 | [`extensions::t4_soc_matrix`] |
@@ -45,6 +47,7 @@ pub mod cache;
 pub mod comparison;
 pub mod executor;
 pub mod extensions;
+pub mod fleet;
 pub mod harness;
 pub mod motivation;
 pub mod network;

@@ -99,6 +99,22 @@ impl SessionReport {
         self.cpu_joules() * 1000.0 / self.qoe.frames_displayed as f64
     }
 
+    /// Approximate heap + inline footprint of this report in bytes.
+    ///
+    /// Used by the session cache and the fleet campaign runner to account
+    /// resident memory (cache size, peak shard footprint) with one shared
+    /// yardstick.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut bytes = std::mem::size_of::<SessionReport>();
+        bytes += self.governor.len() + self.cluster.len();
+        bytes += std::mem::size_of_val(self.time_in_state.as_slice());
+        // A StepSeries point is (time, value): 16 bytes.
+        for series in self.freq_series.iter().chain(self.buffer_series.iter()) {
+            bytes += series.len() * 16;
+        }
+        bytes as u64
+    }
+
     /// One-line summary for experiment logs.
     pub fn summary(&self) -> String {
         format!(
@@ -215,5 +231,14 @@ mod tests {
     fn mj_per_frame_handles_zero_frames() {
         let r = report();
         assert_eq!(r.mj_per_frame(), 0.0);
+    }
+
+    #[test]
+    fn approx_bytes_counts_heap_parts() {
+        let mut r = report();
+        let base = r.approx_bytes();
+        assert!(base >= std::mem::size_of::<SessionReport>() as u64);
+        r.time_in_state = vec![(Frequency::from_mhz(1000), SimDuration::from_secs(1)); 8];
+        assert!(r.approx_bytes() > base);
     }
 }

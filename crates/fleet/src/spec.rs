@@ -1,0 +1,440 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] describes a *population*: weighted mixes of devices,
+//! networks, content, titles and ABR policies, a governor matrix, an
+//! arrival window and the histogram shapes the aggregates use. The spec is
+//! plain data with a stable fingerprint, so a campaign is reproducible
+//! from its spec alone and a checkpoint can refuse to resume against a
+//! different spec.
+
+use eavs_cpu::soc::SocModel;
+use eavs_sim::fingerprint::{Fingerprint, Fingerprinter};
+use eavs_trace::content::ContentProfile;
+use eavs_trace::net_gen::NetworkProfile;
+
+/// A network condition drawn for one session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NetworkChoice {
+    /// Constant bandwidth in Mbit/s (the lab-conditions baseline).
+    Constant(f64),
+    /// A generated trace from one of the measurement-derived profiles;
+    /// the per-session trace seed comes from the campaign's trace pool.
+    Profile(NetworkProfile),
+}
+
+impl NetworkChoice {
+    /// Short stable name, used in fingerprints and labels.
+    pub fn name(&self) -> String {
+        match self {
+            NetworkChoice::Constant(mbps) => format!("constant:{mbps}"),
+            NetworkChoice::Profile(p) => p.name().to_owned(),
+        }
+    }
+}
+
+/// The ABR policy a session streams under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbrChoice {
+    /// Fixed single-representation manifest at the title's bitrate.
+    Fixed,
+    /// Throughput-based ABR over the standard ladder.
+    Rate,
+    /// Buffer-based ABR over the standard ladder.
+    Buffer,
+}
+
+impl AbrChoice {
+    /// Short stable name, used in fingerprints and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AbrChoice::Fixed => "fixed",
+            AbrChoice::Rate => "rate",
+            AbrChoice::Buffer => "buffer",
+        }
+    }
+}
+
+/// One title in the content catalog: the encode a session streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TitleSpec {
+    /// Bitrate of the (single-representation) encode, kbps.
+    pub bitrate_kbps: u32,
+    /// Luma width.
+    pub width: u32,
+    /// Luma height.
+    pub height: u32,
+    /// Stream length in seconds.
+    pub duration_s: u64,
+    /// Frames per second.
+    pub fps: u32,
+}
+
+/// Histogram shape: `(lo, hi, bins)` for one aggregated metric.
+pub type HistShape = (f64, f64, usize);
+
+/// A declarative fleet campaign.
+///
+/// All mixes are weighted; weights need not sum to 1 (they are
+/// normalized at draw time). Every session runs once under *each*
+/// governor in `governors` — a paired population, so per-governor
+/// distributions are directly comparable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (labels, table titles, CSV ids).
+    pub name: String,
+    /// Master seed: every per-session draw is keyed on
+    /// `(seed, session_id)` coordinates.
+    pub seed: u64,
+    /// Number of sessions in the population.
+    pub sessions: u64,
+    /// Sessions per shard (the unit of scheduling, checkpointing and
+    /// memory accounting).
+    pub shard_size: u64,
+    /// Governor matrix: each session runs under every listed governor.
+    /// Names are the baseline set plus `eavs` and `eavs-panic`.
+    pub governors: Vec<String>,
+    /// Device mix.
+    pub devices: Vec<(SocModel, f64)>,
+    /// Network mix.
+    pub networks: Vec<(NetworkChoice, f64)>,
+    /// Content-profile mix (decode statistics).
+    pub contents: Vec<(ContentProfile, f64)>,
+    /// Title catalog (encodes).
+    pub titles: Vec<(TitleSpec, f64)>,
+    /// ABR mix.
+    pub abrs: Vec<(AbrChoice, f64)>,
+    /// Distinct trace seeds per network profile. A small pool means many
+    /// sessions share a trace, which both mirrors reality (popular
+    /// routes) and lets the content-addressed session cache deduplicate.
+    pub trace_pool: u64,
+    /// Distinct workload seeds. Same dedup logic as `trace_pool`.
+    pub seed_pool: u64,
+    /// Arrival window in seconds: sessions arrive uniformly over
+    /// `[0, span)` (a Poisson process conditioned on N).
+    pub arrival_span_s: u64,
+    /// Histogram shape for CPU energy (joules).
+    pub energy_hist: HistShape,
+    /// Histogram shape for the composite QoE score.
+    pub qoe_hist: HistShape,
+    /// Histogram shape for startup delay (milliseconds).
+    pub startup_hist_ms: HistShape,
+}
+
+impl CampaignSpec {
+    /// The small CI campaign: 200 sessions of short clips under
+    /// `ondemand` vs `eavs`, sized to finish in seconds.
+    pub fn smoke() -> Self {
+        CampaignSpec {
+            name: "smoke".to_owned(),
+            seed: 42,
+            sessions: 200,
+            shard_size: 25,
+            governors: vec!["ondemand".to_owned(), "eavs".to_owned()],
+            devices: vec![
+                (SocModel::Flagship2016, 0.6),
+                (SocModel::MidRange, 0.3),
+                (SocModel::BigLittle2013, 0.1),
+            ],
+            networks: vec![
+                (NetworkChoice::Constant(20.0), 0.5),
+                (NetworkChoice::Profile(NetworkProfile::WifiHome), 0.3),
+                (NetworkChoice::Profile(NetworkProfile::LteDrive), 0.2),
+            ],
+            contents: vec![
+                (ContentProfile::Film, 0.5),
+                (ContentProfile::Animation, 0.3),
+                (ContentProfile::Sport, 0.2),
+            ],
+            titles: vec![
+                (
+                    TitleSpec {
+                        bitrate_kbps: 6_000,
+                        width: 1920,
+                        height: 1080,
+                        duration_s: 10,
+                        fps: 30,
+                    },
+                    0.7,
+                ),
+                (
+                    TitleSpec {
+                        bitrate_kbps: 3_000,
+                        width: 1280,
+                        height: 720,
+                        duration_s: 10,
+                        fps: 30,
+                    },
+                    0.3,
+                ),
+            ],
+            abrs: vec![(AbrChoice::Fixed, 0.7), (AbrChoice::Buffer, 0.3)],
+            trace_pool: 4,
+            seed_pool: 8,
+            arrival_span_s: 3_600,
+            energy_hist: (0.0, 30.0, 60),
+            qoe_hist: (-100.0, 10.0, 110),
+            startup_hist_ms: (0.0, 5_000.0, 100),
+        }
+    }
+
+    /// The population campaign behind F26: a heterogeneous 2016-era
+    /// fleet (three SoC tiers, wifi/LTE/HSPA mix, full content catalog)
+    /// streaming 30 s clips under the headline governor comparison.
+    pub fn global() -> Self {
+        CampaignSpec {
+            name: "global".to_owned(),
+            seed: 42,
+            sessions: 10_000,
+            shard_size: 250,
+            governors: vec![
+                "performance".to_owned(),
+                "ondemand".to_owned(),
+                "interactive".to_owned(),
+                "schedutil".to_owned(),
+                "eavs".to_owned(),
+            ],
+            devices: vec![
+                (SocModel::Flagship2016, 0.35),
+                (SocModel::MidRange, 0.45),
+                (SocModel::BigLittle2013, 0.20),
+            ],
+            networks: vec![
+                (NetworkChoice::Constant(20.0), 0.30),
+                (NetworkChoice::Profile(NetworkProfile::WifiHome), 0.30),
+                (NetworkChoice::Profile(NetworkProfile::LteDrive), 0.25),
+                (NetworkChoice::Profile(NetworkProfile::HspaTram), 0.15),
+            ],
+            contents: vec![
+                (ContentProfile::Film, 0.45),
+                (ContentProfile::Animation, 0.30),
+                (ContentProfile::Sport, 0.25),
+            ],
+            titles: vec![
+                (
+                    TitleSpec {
+                        bitrate_kbps: 6_000,
+                        width: 1920,
+                        height: 1080,
+                        duration_s: 30,
+                        fps: 30,
+                    },
+                    0.5,
+                ),
+                (
+                    TitleSpec {
+                        bitrate_kbps: 3_000,
+                        width: 1280,
+                        height: 720,
+                        duration_s: 30,
+                        fps: 30,
+                    },
+                    0.35,
+                ),
+                (
+                    TitleSpec {
+                        bitrate_kbps: 1_500,
+                        width: 854,
+                        height: 480,
+                        duration_s: 30,
+                        fps: 30,
+                    },
+                    0.15,
+                ),
+            ],
+            abrs: vec![(AbrChoice::Fixed, 0.6), (AbrChoice::Buffer, 0.4)],
+            trace_pool: 4,
+            seed_pool: 8,
+            arrival_span_s: 3_600,
+            energy_hist: (0.0, 60.0, 120),
+            qoe_hist: (-100.0, 10.0, 110),
+            startup_hist_ms: (0.0, 5_000.0, 100),
+        }
+    }
+
+    /// Looks up a named preset.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "global" => Some(Self::global()),
+            _ => None,
+        }
+    }
+
+    /// Number of shards the population splits into.
+    pub fn num_shards(&self) -> u64 {
+        self.sessions.div_ceil(self.shard_size)
+    }
+
+    /// The session-id range `[start, end)` of shard `index`.
+    pub fn shard_range(&self, index: u64) -> (u64, u64) {
+        let start = index * self.shard_size;
+        (start, (start + self.shard_size).min(self.sessions))
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on empty mixes, bad weights or
+    /// degenerate sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sessions == 0 {
+            return Err("campaign needs at least one session".to_owned());
+        }
+        if self.shard_size == 0 {
+            return Err("shard size must be positive".to_owned());
+        }
+        if self.governors.is_empty() {
+            return Err("campaign needs at least one governor".to_owned());
+        }
+        for name in &self.governors {
+            crate::campaign::governor_choice(name)?;
+        }
+        fn check_mix<T>(what: &str, mix: &[(T, f64)]) -> Result<(), String> {
+            if mix.is_empty() {
+                return Err(format!("empty {what} mix"));
+            }
+            let total: f64 = mix.iter().map(|(_, w)| *w).sum();
+            if mix.iter().any(|(_, w)| !w.is_finite() || *w < 0.0) || total <= 0.0 {
+                return Err(format!(
+                    "{what} mix weights must be non-negative with a positive sum"
+                ));
+            }
+            Ok(())
+        }
+        check_mix("device", &self.devices)?;
+        check_mix("network", &self.networks)?;
+        check_mix("content", &self.contents)?;
+        check_mix("title", &self.titles)?;
+        check_mix("abr", &self.abrs)?;
+        if self
+            .titles
+            .iter()
+            .any(|(t, _)| t.duration_s == 0 || t.fps == 0)
+        {
+            return Err("titles need a positive duration and fps".to_owned());
+        }
+        if self.trace_pool == 0 || self.seed_pool == 0 {
+            return Err("trace and seed pools must be positive".to_owned());
+        }
+        if self.arrival_span_s == 0 {
+            return Err("arrival span must be positive".to_owned());
+        }
+        Ok(())
+    }
+
+    /// A stable 128-bit digest of every campaign input. Checkpoints embed
+    /// it so a resume against a different spec is rejected instead of
+    /// silently merging incompatible aggregates.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut fp = Fingerprinter::new("eavs-fleet-campaign/v1");
+        fp.write_str(&self.name);
+        fp.write_u64(self.seed);
+        fp.write_u64(self.sessions);
+        fp.write_u64(self.shard_size);
+        fp.write_usize(self.governors.len());
+        for g in &self.governors {
+            fp.write_str(g);
+        }
+        fp.write_usize(self.devices.len());
+        for (soc, w) in &self.devices {
+            fp.write_str(soc.name());
+            fp.write_f64(*w);
+        }
+        fp.write_usize(self.networks.len());
+        for (net, w) in &self.networks {
+            fp.write_str(&net.name());
+            fp.write_f64(*w);
+        }
+        fp.write_usize(self.contents.len());
+        for (c, w) in &self.contents {
+            fp.write_str(c.name());
+            fp.write_f64(*w);
+        }
+        fp.write_usize(self.titles.len());
+        for (t, w) in &self.titles {
+            fp.write_u32(t.bitrate_kbps);
+            fp.write_u32(t.width);
+            fp.write_u32(t.height);
+            fp.write_u64(t.duration_s);
+            fp.write_u32(t.fps);
+            fp.write_f64(*w);
+        }
+        fp.write_usize(self.abrs.len());
+        for (a, w) in &self.abrs {
+            fp.write_str(a.name());
+            fp.write_f64(*w);
+        }
+        fp.write_u64(self.trace_pool);
+        fp.write_u64(self.seed_pool);
+        fp.write_u64(self.arrival_span_s);
+        for (lo, hi, bins) in [self.energy_hist, self.qoe_hist, self.startup_hist_ms] {
+            fp.write_f64(lo);
+            fp.write_f64(hi);
+            fp.write_usize(bins);
+        }
+        fp.finish().expect("campaign specs are never opaque")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for name in ["smoke", "global"] {
+            let spec = CampaignSpec::preset(name).unwrap();
+            spec.validate().unwrap();
+            assert!(spec.num_shards() >= 1);
+        }
+        assert!(CampaignSpec::preset("galactic").is_none());
+    }
+
+    #[test]
+    fn shard_ranges_partition_sessions() {
+        let mut spec = CampaignSpec::smoke();
+        spec.sessions = 103;
+        spec.shard_size = 25;
+        assert_eq!(spec.num_shards(), 5);
+        let mut covered = 0;
+        for i in 0..spec.num_shards() {
+            let (start, end) = spec.shard_range(i);
+            assert_eq!(start, covered);
+            covered = end;
+        }
+        assert_eq!(covered, 103);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_inputs() {
+        let a = CampaignSpec::smoke();
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.seed = 43;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.governors.push("performance".to_owned());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = a.clone();
+        d.energy_hist = (0.0, 31.0, 60);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let mut s = CampaignSpec::smoke();
+        s.sessions = 0;
+        assert!(s.validate().is_err());
+        let mut s = CampaignSpec::smoke();
+        s.governors = vec!["warp-speed".to_owned()];
+        assert!(s.validate().unwrap_err().contains("unknown governor"));
+        let mut s = CampaignSpec::smoke();
+        s.devices.clear();
+        assert!(s.validate().unwrap_err().contains("device"));
+        let mut s = CampaignSpec::smoke();
+        s.networks[0].1 = -1.0;
+        s.networks.truncate(1);
+        assert!(s.validate().is_err());
+    }
+}

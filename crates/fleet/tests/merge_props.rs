@@ -1,0 +1,111 @@
+//! Property tests for the fleet aggregate algebra: folding shard
+//! partials must be associative and order-independent down to the bit,
+//! because `run_campaign` relies on exactly that to make shard size and
+//! resume points invisible in the final output.
+
+use std::sync::{Arc, OnceLock};
+
+use eavs_core::report::SessionReport;
+use eavs_fleet::campaign::{builder_for, draw_session, SessionDraw};
+use eavs_fleet::{CampaignSpec, FleetAggregate};
+use proptest::prelude::*;
+
+const SESSIONS: usize = 12;
+
+type Pool = (CampaignSpec, Vec<(SessionDraw, Vec<Arc<SessionReport>>)>);
+
+/// The simulated sessions are by far the expensive part, so they run
+/// once; every proptest case just re-folds the cached reports.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut spec = CampaignSpec::smoke();
+        spec.name = "merge-props".to_owned();
+        spec.sessions = SESSIONS as u64;
+        spec.shard_size = 4;
+        let data = (0..SESSIONS as u64)
+            .map(|id| {
+                let draw = draw_session(&spec, id);
+                let reports = spec
+                    .governors
+                    .iter()
+                    .map(|gov| Arc::new(builder_for(&draw, gov).unwrap().run()))
+                    .collect();
+                (draw, reports)
+            })
+            .collect();
+        (spec, data)
+    })
+}
+
+/// Folds the given session indices (in the given order) into one partial.
+fn fold(ids: &[usize]) -> FleetAggregate {
+    let (spec, data) = pool();
+    let mut agg = FleetAggregate::new(spec);
+    for &i in ids {
+        let (draw, reports) = &data[i];
+        agg.observe_arrival(draw.arrival_s);
+        for (gov_index, report) in reports.iter().enumerate() {
+            agg.observe(gov_index, report);
+        }
+    }
+    agg
+}
+
+/// Deterministic Fisher–Yates driven by a SplitMix step, so each proptest
+/// seed names one permutation.
+fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut ids: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        ids.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A ∪ B) ∪ C == A ∪ (B ∪ C) == sequential fold of everything, for
+    /// every way of cutting the population into three shards.
+    #[test]
+    fn merge_is_associative(cut_x in 1u64..11, cut_y in 1u64..11) {
+        let a = cut_x.min(cut_y) as usize;
+        let b = cut_x.max(cut_y) as usize;
+        prop_assume!(a < b);
+        let ids: Vec<usize> = (0..SESSIONS).collect();
+        let (x, y, z) = (fold(&ids[..a]), fold(&ids[a..b]), fold(&ids[b..]));
+
+        let mut left = x.clone();
+        left.merge(&y);
+        left.merge(&z);
+
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut right = x;
+        right.merge(&yz);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &fold(&ids));
+    }
+
+    /// Merging per-shard partials in any order — and with sessions dealt
+    /// to shards in any order — produces the same bits as the in-order
+    /// sequential fold.
+    #[test]
+    fn merge_is_order_independent(perm_seed in 0u64..100_000, shard_len in 1u64..6) {
+        let order = shuffled(SESSIONS, perm_seed);
+        let mut merged = FleetAggregate::new(&pool().0);
+        for shard in order.chunks(shard_len as usize) {
+            merged.merge(&fold(shard));
+        }
+        let sequential = fold(&(0..SESSIONS).collect::<Vec<_>>());
+        prop_assert_eq!(merged, sequential);
+    }
+}

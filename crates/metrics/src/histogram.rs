@@ -84,6 +84,33 @@ impl Histogram {
         self.bins.len()
     }
 
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Rebuilds a histogram from its raw parts (checkpoint decoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range or zero bins, like [`Histogram::new`].
+    pub fn from_parts(lo: f64, hi: f64, bins: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        assert!(lo < hi, "histogram range [{lo}, {hi}) is empty");
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins,
+            underflow,
+            overflow,
+        }
+    }
+
     /// Observations below the range.
     pub fn underflow(&self) -> u64 {
         self.underflow
@@ -115,6 +142,76 @@ impl Histogram {
             let (lo, hi) = self.bin_edges(i);
             (lo, hi, self.bins[i])
         })
+    }
+
+    /// `true` when `other` has the identical range and bin count, i.e. the
+    /// two histograms can be merged.
+    pub fn same_shape(&self, other: &Histogram) -> bool {
+        self.lo.to_bits() == other.lo.to_bits()
+            && self.hi.to_bits() == other.hi.to_bits()
+            && self.bins.len() == other.bins.len()
+    }
+
+    /// Merges `other` into `self` by summing bin, underflow and overflow
+    /// counts. Counts are integers, so merging is exactly associative and
+    /// commutative — per-shard histograms fold to the same result in any
+    /// order, which is what makes sharded campaign output deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different ranges or bin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.same_shape(other),
+            "merging histograms of different shape: [{}, {}) x{} vs [{}, {}) x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += *b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) over *in-range* observations,
+    /// linearly interpolated within the containing bin. Returns `None`
+    /// when no in-range observations have been recorded.
+    ///
+    /// Resolution is one bin width, but the estimate depends only on the
+    /// bin counts — so quantiles of merged histograms are identical no
+    /// matter how the observations were sharded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside [0, 1].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = q * in_range as f64;
+        let mut cum = 0u64;
+        for (i, &count) in self.bins.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let next = cum + count;
+            if next as f64 >= target {
+                let (lo, hi) = self.bin_edges(i);
+                let within = ((target - cum as f64) / count as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * within);
+            }
+            cum = next;
+        }
+        // Rounding pushed the target past the last occupied bin.
+        let last = self.bins.iter().rposition(|&c| c > 0).unwrap_or(0);
+        Some(self.bin_edges(last).1)
     }
 }
 
@@ -176,6 +273,15 @@ impl Counter {
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counts.iter().map(|(l, c)| (l.as_str(), *c))
     }
+
+    /// Merges `other` into `self` by summing per-label counts. The counts
+    /// are order-independent; the *iteration order* keeps `self`'s labels
+    /// first, then `other`'s unseen labels in their first-seen order.
+    pub fn merge(&mut self, other: &Counter) {
+        for (label, n) in other.iter() {
+            self.add(label, n);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +337,87 @@ mod tests {
         let out = h.to_string();
         assert_eq!(out.lines().count(), 2);
         assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let data: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.173).fract() * 12.0 - 1.0)
+            .collect();
+        let mut whole = Histogram::new(0.0, 10.0, 8);
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Histogram::new(0.0, 10.0, 8);
+        let mut b = Histogram::new(0.0, 10.0, 8);
+        for (i, &x) in data.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        // Merge in both orders: identical to recording everything in one go.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.3);
+        let before = h.clone();
+        h.merge(&Histogram::new(0.0, 1.0, 4));
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn merge_rejects_shape_mismatch() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.merge(&Histogram::new(0.0, 1.0, 5));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 99.0).abs() <= 1.0, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        // Empty histograms have no quantiles.
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+        // Out-of-range observations don't shift in-range quantiles.
+        let mut spiky = Histogram::new(0.0, 10.0, 10);
+        spiky.record(5.0);
+        spiky.record(-100.0);
+        spiky.record(1e9);
+        let q = spiky.quantile(0.5).unwrap();
+        assert!((5.0..6.0).contains(&q), "median {q} should sit in [5,6)");
+    }
+
+    #[test]
+    fn counter_merge_sums_labels() {
+        let mut a = Counter::new();
+        a.add("x", 2);
+        a.add("y", 1);
+        let mut b = Counter::new();
+        b.add("y", 4);
+        b.add("z", 3);
+        a.merge(&b);
+        assert_eq!(a.count("x"), 2);
+        assert_eq!(a.count("y"), 5);
+        assert_eq!(a.count("z"), 3);
+        assert_eq!(a.total(), 10);
     }
 
     #[test]

@@ -160,6 +160,93 @@ impl FromIterator<f64> for OnlineStats {
     }
 }
 
+/// A fixed-point sum whose merge is *bit-exact* associative and
+/// commutative.
+///
+/// Observations are quantized to nanounits (1e-9) and accumulated in an
+/// `i128`, so folding per-shard partial sums produces the identical total
+/// no matter how the observations were partitioned or in which order the
+/// partials merge — unlike floating-point addition, whose rounding depends
+/// on evaluation order. This is what lets sharded campaigns promise
+/// byte-identical output across `EAVS_JOBS` settings and kill/resume.
+///
+/// The representable range (±1.7e29 units) and the 1e-9 quantization are
+/// both far beyond what session metrics (joules, seconds, counts) need.
+///
+/// ```
+/// use eavs_metrics::stats::ExactSum;
+///
+/// let mut a = ExactSum::new();
+/// a.add(1.5);
+/// let mut b = ExactSum::new();
+/// b.add(2.25);
+/// a.merge(&b);
+/// assert_eq!(a.value(), 3.75);
+/// assert_eq!(a.count(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExactSum {
+    nanos: i128,
+    count: u64,
+}
+
+impl ExactSum {
+    /// Nanounits per unit: the fixed-point scale.
+    const SCALE: f64 = 1e9;
+
+    /// Creates an empty (zero) sum.
+    pub fn new() -> Self {
+        ExactSum { nanos: 0, count: 0 }
+    }
+
+    /// Adds one observation, quantized to the nearest nanounit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinite observations.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation {x}");
+        self.nanos += (x * Self::SCALE).round() as i128;
+        self.count += 1;
+    }
+
+    /// Merges another partial sum into this one (integer addition, so the
+    /// result is independent of merge order and grouping).
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.nanos += other.nanos;
+        self.count += other.count;
+    }
+
+    /// The accumulated sum in units.
+    pub fn value(&self) -> f64 {
+        self.nanos as f64 / Self::SCALE
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.value() / self.count as f64
+        }
+    }
+
+    /// The raw fixed-point accumulator, for serialization.
+    pub fn raw(&self) -> (i128, u64) {
+        (self.nanos, self.count)
+    }
+
+    /// Rebuilds a sum from [`raw`](Self::raw) parts.
+    pub fn from_raw(nanos: i128, count: u64) -> Self {
+        ExactSum { nanos, count }
+    }
+}
+
 /// A plain-data snapshot of an [`OnlineStats`] accumulator.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
@@ -256,6 +343,50 @@ mod tests {
     fn sum_is_mean_times_count() {
         let s: OnlineStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
         assert!((s.sum() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_sum_is_order_independent() {
+        let data: Vec<f64> = (0..300)
+            .map(|i| ((i as f64) * 0.7134).sin() * 42.0)
+            .collect();
+        let mut whole = ExactSum::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut parts: Vec<ExactSum> = (0..7).map(|_| ExactSum::new()).collect();
+        for (i, &x) in data.iter().enumerate() {
+            parts[i % 7].add(x);
+        }
+        // Fold forwards and backwards: bit-identical either way.
+        let mut fwd = ExactSum::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = ExactSum::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, whole);
+        assert_eq!(rev, whole);
+        assert_eq!(fwd.count(), 300);
+    }
+
+    #[test]
+    fn exact_sum_roundtrips_raw() {
+        let mut s = ExactSum::new();
+        s.add(-1.25);
+        s.add(3.5);
+        let (nanos, count) = s.raw();
+        assert_eq!(ExactSum::from_raw(nanos, count), s);
+        assert_eq!(s.value(), 2.25);
+        assert_eq!(s.mean(), 1.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn exact_sum_rejects_infinity() {
+        ExactSum::new().add(f64::INFINITY);
     }
 
     #[test]

@@ -26,10 +26,51 @@ pub enum Command {
     Run(RunArgs),
     /// Run the same workload under several governors and print a table.
     Compare(RunArgs, Vec<String>),
+    /// Run (or resume) a population campaign and print the fleet table.
+    Fleet(FleetArgs),
     /// Print the available names (governors, predictors, SoCs, …).
     List,
     /// Print usage.
     Help,
+}
+
+/// Parameters of a `fleet` campaign invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetArgs {
+    /// Preset name: `smoke` or `global`.
+    pub campaign: String,
+    /// Population size override.
+    pub sessions: Option<u64>,
+    /// Campaign seed override (rekeys every per-session draw).
+    pub seed: Option<u64>,
+    /// Shard size override.
+    pub shard_size: Option<u64>,
+    /// Governor-lane override (comma-separated on the command line).
+    pub governors: Option<Vec<String>>,
+    /// Checkpoint path for kill/resume.
+    pub checkpoint: Option<String>,
+    /// Shards between checkpoint writes.
+    pub checkpoint_every: u64,
+    /// Deterministic kill: stop after this many shards.
+    pub halt_after_shards: Option<u64>,
+    /// Also write the population table as CSV here.
+    pub out: Option<String>,
+}
+
+impl Default for FleetArgs {
+    fn default() -> Self {
+        FleetArgs {
+            campaign: "smoke".to_owned(),
+            sessions: None,
+            seed: None,
+            shard_size: None,
+            governors: None,
+            checkpoint: None,
+            checkpoint_every: 1,
+            halt_after_shards: None,
+            out: None,
+        }
+    }
 }
 
 /// Workload and scheme parameters shared by `run` and `compare`.
@@ -111,6 +152,7 @@ eavsctl — energy-aware video frequency scaling simulator
 USAGE:
   eavsctl run [OPTIONS]              run one streaming session
   eavsctl compare g1,g2,.. [OPTIONS] same workload under several governors
+  eavsctl fleet [FLEET OPTIONS]      run a population campaign (F26-style)
   eavsctl list                       print available names
   eavsctl help                       this text
 
@@ -138,6 +180,27 @@ OPTIONS (with defaults):
                           (download watchdog + exponential backoff)
   --panic                 enable EAVS panic recovery (re-race to max OPP
                           on prediction breach or rebuffer; eavs only)
+
+FLEET OPTIONS (defaults come from the chosen preset):
+  --campaign smoke        smoke | global — preset device/network/content mix
+  --sessions N            population size override
+  --seed N                campaign seed (rekeys every per-session draw)
+  --shard-size N          sessions folded per shard (memory stays O(shard))
+  --governors a,b,..      governor lanes, e.g. ondemand,eavs
+  --checkpoint PATH       load/save a resumable checkpoint at PATH
+  --checkpoint-every 1    shards between checkpoint writes
+  --halt-after-shards N   stop (with checkpoint) after N shards — the
+                          deterministic 'kill' half of kill/resume
+  --out PATH              also write the population table as CSV
+
+EXAMPLES:
+  eavsctl run --governor eavs --network lte_drive --abr buffer
+  eavsctl run --faults heavy:7 --retry balanced --panic
+      fault injection with watchdog retries and EAVS panic recovery
+  eavsctl compare ondemand,schedutil,eavs --duration 30
+  eavsctl fleet --campaign smoke --out /tmp/f26_smoke.csv
+  eavsctl fleet --campaign global --checkpoint /tmp/global.ckpt
+      kill it any time; rerun the same command to resume where it stopped
 ";
 
 /// Parses an argument vector (without the program name).
@@ -158,6 +221,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "run" => {
             let rest: Vec<String> = it.cloned().collect();
             Ok(Command::Run(parse_run_args(&rest)?))
+        }
+        "fleet" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Fleet(parse_fleet_args(&rest)?))
         }
         "compare" => {
             let governors: Vec<String> = it
@@ -212,6 +279,94 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--panic" => out.panic_recovery = true,
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
         }
+    }
+    Ok(out)
+}
+
+fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
+    let mut out = FleetArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("--{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--campaign" => out.campaign = value("campaign")?.clone(),
+            "--sessions" => out.sessions = Some(parse_num(value("sessions")?, "sessions")?),
+            "--seed" => out.seed = Some(parse_num(value("seed")?, "seed")?),
+            "--shard-size" => {
+                out.shard_size = Some(parse_num(value("shard-size")?, "shard-size")?);
+            }
+            "--governors" => {
+                out.governors = Some(value("governors")?.split(',').map(str::to_owned).collect());
+            }
+            "--checkpoint" => out.checkpoint = Some(value("checkpoint")?.clone()),
+            "--checkpoint-every" => {
+                out.checkpoint_every = parse_num(value("checkpoint-every")?, "checkpoint-every")?;
+            }
+            "--halt-after-shards" => {
+                out.halt_after_shards =
+                    Some(parse_num(value("halt-after-shards")?, "halt-after-shards")?);
+            }
+            "--out" => out.out = Some(value("out")?.clone()),
+            other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Applies `args` overrides to its preset and runs (or resumes) the
+/// campaign on the pooled, cached shard runner.
+///
+/// # Errors
+///
+/// Returns a message for unknown presets/governors, invalid specs, or
+/// checkpoint problems.
+pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
+    let mut spec = eavs_fleet::CampaignSpec::preset(&args.campaign).ok_or(format!(
+        "unknown campaign {:?}; presets: smoke global",
+        args.campaign
+    ))?;
+    if let Some(n) = args.sessions {
+        spec.sessions = n;
+    }
+    if let Some(s) = args.seed {
+        spec.seed = s;
+    }
+    if let Some(s) = args.shard_size {
+        spec.shard_size = s;
+    }
+    if let Some(govs) = &args.governors {
+        spec.governors = govs.clone();
+    }
+    let opts = eavs_fleet::RunOptions {
+        checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every: args.checkpoint_every,
+        halt_after_shards: args.halt_after_shards,
+    };
+    let outcome = eavs_bench::fleet::run_campaign(&spec, &opts)?;
+    let table = outcome.aggregate.table(&spec);
+    let mut out = table.render();
+    out.push_str(&format!(
+        "{}/{} shards done; {} session-runs this invocation ({:.0} runs/sec); peak shard {:.1} KiB\n",
+        outcome.aggregate.shards_done,
+        spec.num_shards(),
+        outcome.session_runs,
+        outcome.session_runs as f64 / outcome.wall_s.max(1e-9),
+        outcome.peak_shard_bytes as f64 / 1024.0,
+    ));
+    if outcome.status == eavs_fleet::CampaignStatus::Halted {
+        out.push_str("halted at --halt-after-shards; rerun with the same --checkpoint to resume\n");
+    }
+    if let Some(path) = &args.out {
+        if let Some(dir) = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+        std::fs::write(path, table.to_csv()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        out.push_str(&format!("[csv written to {path}]\n"));
     }
     Ok(out)
 }
@@ -391,6 +546,7 @@ pub fn run_session(args: &RunArgs, governor_name: &str) -> Result<SessionReport,
 pub fn execute(command: Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_owned()),
+        Command::Fleet(args) => run_fleet(&args),
         Command::List => {
             let mut out = String::new();
             out.push_str("governors: eavs performance powersave userspace ondemand conservative interactive schedutil\n");
@@ -656,6 +812,73 @@ mod tests {
         };
         let out = execute(Command::Run(args)).unwrap();
         assert!(out.contains("faults:"), "{out}");
+    }
+
+    #[test]
+    fn fleet_parses_flags() {
+        let cmd = parse(&argv(
+            "fleet --campaign smoke --sessions 40 --seed 9 --shard-size 10 \
+             --governors ondemand,eavs --checkpoint /tmp/x.ckpt --checkpoint-every 2 \
+             --halt-after-shards 3 --out /tmp/x.csv",
+        ))
+        .unwrap();
+        let Command::Fleet(args) = cmd else {
+            panic!("not a fleet")
+        };
+        assert_eq!(args.campaign, "smoke");
+        assert_eq!(args.sessions, Some(40));
+        assert_eq!(args.seed, Some(9));
+        assert_eq!(args.shard_size, Some(10));
+        assert_eq!(
+            args.governors,
+            Some(vec!["ondemand".to_owned(), "eavs".to_owned()])
+        );
+        assert_eq!(args.checkpoint.as_deref(), Some("/tmp/x.ckpt"));
+        assert_eq!(args.checkpoint_every, 2);
+        assert_eq!(args.halt_after_shards, Some(3));
+        assert_eq!(args.out.as_deref(), Some("/tmp/x.csv"));
+
+        assert_eq!(
+            parse(&argv("fleet")).unwrap(),
+            Command::Fleet(FleetArgs::default())
+        );
+        assert!(parse(&argv("fleet --sessions nope"))
+            .unwrap_err()
+            .contains("bad value"));
+        assert!(parse(&argv("fleet --frobnicate"))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn fleet_executes_tiny_campaign() {
+        let args = FleetArgs {
+            sessions: Some(4),
+            shard_size: Some(2),
+            governors: Some(vec!["eavs".to_owned()]),
+            ..FleetArgs::default()
+        };
+        let out = run_fleet(&args).unwrap();
+        assert!(out.contains("2/2 shards done"), "{out}");
+        assert!(out.contains("eavs"), "{out}");
+
+        let bad = FleetArgs {
+            campaign: "galactic".to_owned(),
+            ..FleetArgs::default()
+        };
+        assert!(run_fleet(&bad).unwrap_err().contains("unknown campaign"));
+        let bad = FleetArgs {
+            governors: Some(vec!["warp".to_owned()]),
+            ..args
+        };
+        assert!(run_fleet(&bad).unwrap_err().contains("unknown governor"));
+    }
+
+    #[test]
+    fn help_documents_resilience_and_fleet() {
+        for needle in ["--faults", "--retry", "--panic", "fleet", "EXAMPLES"] {
+            assert!(USAGE.contains(needle), "USAGE must mention {needle}");
+        }
     }
 
     #[test]

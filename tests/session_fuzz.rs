@@ -147,10 +147,7 @@ fn arbitrary_plan(rng: &mut SimRng) -> FaultPlan {
 /// Case count defaults to 64; CI raises it via `EAVS_CHAOS_CASES`.
 #[test]
 fn chaos_randomized_fault_plans() {
-    let cases: u64 = std::env::var("EAVS_CHAOS_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64);
+    let cases: u64 = eavs_bench::executor::env_knob("EAVS_CHAOS_CASES").unwrap_or(64);
     // One fixed master seed: the corpus is identical on every run and
     // machine, so a CI failure reproduces locally by case index.
     let mut rng = SimRng::new(0xC4A0_5EED);
