@@ -24,7 +24,17 @@
 //! `--smoke` writes `BENCH_sim.smoke.json` instead, so a quick CI pass
 //! never clobbers the full-mode report.
 //!
-//! Usage: `bench_report [--smoke]`. `EAVS_JOBS` sizes the pool as usual.
+//! `--profile` additionally runs one profiled session and embeds its
+//! per-phase (download/decode/display/governor) simulated-time and
+//! wall-time breakdown as a `"profile"` object.
+//!
+//! `--budget-s N` enforces a wall-clock budget *after* the report is
+//! written: if the whole run took longer than N seconds the process
+//! exits 1. CI uses this instead of wrapping the command in `timeout`,
+//! which could kill the process mid-write and leave a truncated report.
+//!
+//! Usage: `bench_report [--smoke] [--profile] [--budget-s N]`.
+//! `EAVS_JOBS` sizes the pool as usual.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -183,13 +193,44 @@ fn measure_fleet(smoke: bool) -> (f64, f64, u64, u64) {
     )
 }
 
+/// One profiled 1080p30 session; returns the phase-breakdown JSON.
+fn measure_profile(secs: u64) -> String {
+    let report = StreamingSession::builder(governor("eavs"))
+        .manifest(manifest_1080p30(secs))
+        .seed(SEED)
+        .profile(true)
+        .run();
+    report
+        .profile
+        .expect("profiled run must carry a breakdown")
+        .to_json()
+}
+
 fn main() {
+    let started = Instant::now();
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut profile = false;
+    let mut budget_s: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--profile" => profile = true,
+            "--budget-s" => {
+                let raw = args.next().unwrap_or_default();
+                match raw.parse::<f64>() {
+                    Ok(n) if n > 0.0 => budget_s = Some(n),
+                    _ => {
+                        eprintln!("error: --budget-s needs a positive number, got {raw:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("error: unknown argument {other:?}\nusage: bench_report [--smoke]");
+                eprintln!(
+                    "error: unknown argument {other:?}\n\
+                     usage: bench_report [--smoke] [--profile] [--budget-s N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -246,6 +287,16 @@ fn main() {
         segment.hits, segment.misses, trace.hits, trace.misses,
     );
 
+    // Optional per-phase breakdown: one profiled session, reported as a
+    // "profile" object (wall times are host-dependent by design).
+    let profile_field = if profile {
+        let breakdown = measure_profile(session_secs);
+        eprintln!("  profile         {breakdown}");
+        format!("  \"profile\": {breakdown},\n")
+    } else {
+        String::new()
+    };
+
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -274,6 +325,7 @@ fn main() {
             "    \"cache_hit_rate\": {fleet_cache_hit_rate:.4},\n",
             "    \"peak_shard_bytes\": {fleet_peak_shard_bytes}\n",
             "  }},\n",
+            "{profile_field}",
             "  \"experiments\": {experiments},\n",
             "  \"workers\": {workers},\n",
             "  \"smoke\": {smoke},\n",
@@ -299,6 +351,7 @@ fn main() {
         fleet_sessions_per_sec = fleet_sessions_per_sec,
         fleet_cache_hit_rate = fleet_cache_hit_rate,
         fleet_peak_shard_bytes = fleet_peak_shard_bytes,
+        profile_field = profile_field,
         experiments = experiments,
         workers = workers,
         smoke = smoke,
@@ -317,4 +370,15 @@ fn main() {
     let path = dir.join(name);
     std::fs::write(&path, &json).expect("write bench report");
     eprintln!("wrote {}", path.display());
+
+    // Budget enforcement comes last so a slow run still leaves a
+    // complete report behind for diagnosis.
+    if let Some(budget) = budget_s {
+        let took = started.elapsed().as_secs_f64();
+        if took > budget {
+            eprintln!("error: bench_report took {took:.2} s, over the --budget-s {budget} budget");
+            std::process::exit(1);
+        }
+        eprintln!("within budget: {took:.2} s <= {budget} s");
+    }
 }

@@ -62,14 +62,45 @@ fn force_empty_faults() -> bool {
     *FORCE.get_or_init(|| std::env::var_os("EAVS_EMPTY_FAULTS").is_some())
 }
 
+/// A shared no-op trace sink attached to every session when
+/// `EAVS_NULL_TRACE` is set — the observability mirror of
+/// [`force_empty_faults`]. A [`NullSink`](eavs_obs::NullSink) must be a
+/// perfect behavioral no-op, so this mode is CI's proof that the
+/// tracing wiring leaves every committed figure byte-identical.
+fn forced_null_trace() -> Option<eavs_obs::SharedSink> {
+    static FORCE: OnceLock<Option<eavs_obs::SharedSink>> = OnceLock::new();
+    FORCE
+        .get_or_init(|| {
+            std::env::var_os("EAVS_NULL_TRACE").map(|_| {
+                let sink: eavs_obs::SharedSink = eavs_obs::shared(eavs_obs::NullSink);
+                sink
+            })
+        })
+        .clone()
+}
+
 /// Runs `builder` through the process-wide session cache: a hit returns
 /// the shared report without simulating; a miss simulates, caches and
 /// returns it; an unfingerprintable builder runs uncached.
+///
+/// Builders carrying an observer (trace sink or profiler) always run —
+/// a cache hit would skip the observer's side effects. The forced
+/// `EAVS_NULL_TRACE` sink is attached *after* that check: it is not a
+/// caller observer, and sessions must stay cacheable under it so the CI
+/// golden pass exercises the identical hit/miss pattern.
 pub fn run_session(builder: SessionBuilder) -> Arc<SessionReport> {
     let builder = if force_empty_faults() && !builder.has_faults() {
         builder.faults(eavs_faults::FaultPlan::default())
     } else {
         builder
+    };
+    if builder.has_observer() {
+        UNCACHEABLE.fetch_add(1, Ordering::Relaxed);
+        return Arc::new(builder.run());
+    }
+    let builder = match forced_null_trace() {
+        Some(sink) => builder.trace(sink),
+        None => builder,
     };
     run_session_inner(builder)
 }
@@ -153,6 +184,27 @@ mod tests {
         assert_eq!(cached.cpu_joules(), direct.cpu_joules());
         assert_eq!(cached.transitions, direct.transitions);
         assert_eq!(cached.events_processed, direct.events_processed);
+    }
+
+    #[test]
+    fn observed_builders_bypass_the_cache() {
+        use eavs_obs::{shared, RingSink};
+        let mk = || {
+            StreamingSession::builder(eavs_default())
+                .manifest(manifest_1080p30(4))
+                .seed(991)
+                .trace(shared(RingSink::new(256)))
+        };
+        let before = stats();
+        let a = run_session(mk());
+        let b = run_session(mk());
+        // Each run must actually simulate (the sink needs its events).
+        assert!(!Arc::ptr_eq(&a, &b));
+        let after = stats();
+        assert!(after.uncacheable >= before.uncacheable + 2);
+        // Determinism still holds between the uncached runs.
+        assert_eq!(a.cpu_joules(), b.cpu_joules());
+        assert_eq!(a.events_processed, b.events_processed);
     }
 
     #[test]

@@ -128,16 +128,30 @@ fn worker_loop(shared: &Shared, me: usize) {
 ///
 /// Every `EAVS_*` tuning variable — `EAVS_JOBS` here, `EAVS_CHAOS_CASES`
 /// in the chaos fuzz, the fleet campaign knobs — goes through this one
-/// helper so they all share the trim/parse/warn behavior.
+/// helper so they all share the trim/parse/warn behavior. The warning is
+/// emitted once per variable name: sweeps consult knobs per job, and a
+/// malformed value must not flood stderr thousands of times.
 pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
     let v = std::env::var(name).ok()?;
     match v.trim().parse::<T>() {
         Ok(n) => Some(n),
         Err(_) => {
-            eprintln!("warning: ignoring unparsable {name}={v:?}");
+            if first_warning_for(name) {
+                eprintln!("warning: ignoring unparsable {name}={v:?}");
+            }
             None
         }
     }
+}
+
+/// Records that `name` warned; `true` only on the first call per name.
+fn first_warning_for(name: &str) -> bool {
+    static WARNED: OnceLock<Mutex<std::collections::BTreeSet<String>>> = OnceLock::new();
+    WARNED
+        .get_or_init(|| Mutex::new(std::collections::BTreeSet::new()))
+        .lock()
+        .expect("env knob warning set poisoned")
+        .insert(name.to_string())
 }
 
 /// Pool size: `EAVS_JOBS` if set (clamped to ≥ 1), else available cores.
@@ -264,6 +278,21 @@ mod tests {
         std::env::set_var("EAVS_TEST_KNOB_BAD", "twelve");
         assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_BAD"), None);
         assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_UNSET"), None);
+    }
+
+    #[test]
+    fn malformed_knob_warns_only_once() {
+        // The warning itself goes to stderr; the once-per-name latch is
+        // what we can observe directly.
+        assert!(first_warning_for("EAVS_TEST_KNOB_ONCE"));
+        assert!(!first_warning_for("EAVS_TEST_KNOB_ONCE"));
+        assert!(!first_warning_for("EAVS_TEST_KNOB_ONCE"));
+        // A different name gets its own first warning.
+        assert!(first_warning_for("EAVS_TEST_KNOB_ONCE_B"));
+        // And a malformed knob still parses as None every time.
+        std::env::set_var("EAVS_TEST_KNOB_ONCE_C", "not-a-number");
+        assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_ONCE_C"), None);
+        assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_ONCE_C"), None);
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub struct SessionReport {
     /// EAVS panic re-races triggered (prediction breaches + rebuffers;
     /// zero unless panic recovery is enabled).
     pub panic_races: u64,
+    /// Per-phase simulated/wall time breakdown (only when profiling was
+    /// requested via the session builder; wall times are host-dependent
+    /// and never enter fingerprints, traces, or CSVs).
+    pub profile: Option<eavs_obs::PhaseProfile>,
 }
 
 impl SessionReport {
@@ -207,6 +211,7 @@ mod tests {
             decode_spikes: 0,
             decode_stalls: 0,
             panic_races: 0,
+            profile: None,
         }
     }
 

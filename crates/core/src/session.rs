@@ -33,6 +33,7 @@ use eavs_net::abr::{AbrAlgorithm, AbrContext, FixedAbr};
 use eavs_net::bandwidth::BandwidthTrace;
 use eavs_net::download::{Downloader, RetryPolicy};
 use eavs_net::radio::RadioModel;
+use eavs_obs::{Phase, PhaseProfile, SharedSink, TraceEvent};
 use eavs_sim::engine::{Scheduler, Simulation, World};
 use eavs_sim::fingerprint::{Fingerprint, Fingerprinter};
 use eavs_sim::queue::EventId;
@@ -131,6 +132,8 @@ pub struct SessionBuilder {
     late_policy: LatePolicy,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    trace: Option<SharedSink>,
+    profile: bool,
 }
 
 /// Which cluster of a big.LITTLE SoC hosts the player threads.
@@ -193,7 +196,38 @@ impl SessionBuilder {
             late_policy: LatePolicy::Stall,
             faults: None,
             retry: RetryPolicy::default(),
+            trace: None,
+            profile: false,
         }
+    }
+
+    /// Attaches a trace sink: every hot-path event (downloads, retries,
+    /// decode jobs, vsync outcomes, governor decisions, fault
+    /// injections) is recorded against simulated time. Sinks observe —
+    /// attaching one never changes any session outcome, which is why
+    /// [`SessionBuilder::fingerprint`] deliberately ignores them (see
+    /// [`SessionBuilder::has_observer`] for the caching implication).
+    pub fn trace(mut self, sink: SharedSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Enables per-phase profiling: the report carries a
+    /// [`PhaseProfile`] with simulated-time and handler wall-time
+    /// breakdowns for download/decode/display/governor work.
+    pub fn profile(mut self, enable: bool) -> Self {
+        self.profile = enable;
+        self
+    }
+
+    /// `true` if an observer (trace sink or profiler) is attached.
+    ///
+    /// Observers don't perturb outcomes, but their *output* (the trace,
+    /// the wall-time profile) is per-run, so observed sessions must not
+    /// be served from a memoization cache — the cached report would
+    /// carry no side effects for the observer.
+    pub fn has_observer(&self) -> bool {
+        self.trace.is_some() || self.profile
     }
 
     /// Injects a fault plan: network blackouts, stalled/corrupt segment
@@ -356,6 +390,12 @@ impl SessionBuilder {
     /// session cache memoizes on. Returns `None` when any component
     /// carries state the fingerprint cannot capture (e.g. a pre-warmed
     /// predictor or governor), making the session uncacheable.
+    ///
+    /// Observers (trace sinks, the profiler) are intentionally *not*
+    /// hashed: they never influence outcomes, so a traced and an
+    /// untraced builder share a fingerprint. Callers that memoize must
+    /// additionally check [`SessionBuilder::has_observer`] — cache hits
+    /// would silently skip the observer's side effects.
     pub fn fingerprint(&self) -> Option<Fingerprint> {
         let mut fp = Fingerprinter::new("eavs-session/v1");
         self.governor.fingerprint(&mut fp);
@@ -539,8 +579,19 @@ impl StreamingSession {
             end_time: None,
             segments_downloaded: 0,
             max_buffer_frames,
+            trace: b.trace,
+            profile: b.profile.then(PhaseProfile::new),
         };
         let mut sim = Simulation::new(world);
+        if let Some(sink) = sim.world().trace.clone() {
+            // Engine-level tap: record every raw dispatch ahead of its
+            // handler, so timelines show the scheduler's view too.
+            sim.scheduler().set_tap(Box::new(move |at, ev: &Ev| {
+                sink.lock()
+                    .expect("trace sink poisoned")
+                    .record(at, &TraceEvent::Dispatch { kind: ev.kind() });
+            }));
+        }
 
         // Initial governor target and first download.
         {
@@ -637,6 +688,38 @@ enum Ev {
     AmbientStep,
 }
 
+impl Ev {
+    /// Stable name for the engine-dispatch trace tap.
+    fn kind(&self) -> &'static str {
+        match self {
+            Ev::Start => "start",
+            Ev::DownloadDone => "download_done",
+            Ev::Vsync => "vsync",
+            Ev::DecodeDone => "decode_done",
+            Ev::Sample => "sample",
+            Ev::Background => "background",
+            Ev::DownloadTimeout => "download_timeout",
+            Ev::RetryDownload => "retry_download",
+            Ev::DecodeResume => "decode_resume",
+            Ev::AmbientStep => "ambient_step",
+        }
+    }
+
+    /// Which pipeline phase this engine event's handler belongs to (for
+    /// the wall-time profiler).
+    fn phase(&self) -> Phase {
+        match self {
+            Ev::Start | Ev::DownloadDone | Ev::DownloadTimeout | Ev::RetryDownload => {
+                Phase::Download
+            }
+            Ev::DecodeDone | Ev::DecodeResume => Phase::Decode,
+            Ev::Vsync => Phase::Display,
+            Ev::Sample => Phase::Governor,
+            Ev::Background | Ev::AmbientStep => Phase::Other,
+        }
+    }
+}
+
 struct SessionWorld {
     cluster: Cluster,
     fs: CpufreqFs,
@@ -701,6 +784,12 @@ struct SessionWorld {
     max_buffer_frames: usize,
     freq_series: Option<StepSeries>,
     buffer_series: Option<StepSeries>,
+    /// Attached trace sink, if any. `None` keeps every emit site down to
+    /// a single predictable branch (events are built inside closures, so
+    /// nothing is even constructed).
+    trace: Option<SharedSink>,
+    /// Wall/sim per-phase accounting, when profiling was requested.
+    profile: Option<PhaseProfile>,
 }
 
 impl World for SessionWorld {
@@ -709,6 +798,23 @@ impl World for SessionWorld {
     fn handle(&mut self, sched: &mut Scheduler<Ev>, event: Ev) {
         let now = sched.now();
         self.cluster.advance(now);
+        if self.profile.is_some() {
+            // Wall-clock only ever feeds the profiler, never the model:
+            // the dispatch below is identical either way.
+            let start = std::time::Instant::now();
+            self.dispatch(sched, now, event);
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            if let Some(p) = &mut self.profile {
+                p.note(event.phase(), wall_ns);
+            }
+        } else {
+            self.dispatch(sched, now, event);
+        }
+    }
+}
+
+impl SessionWorld {
+    fn dispatch(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, event: Ev) {
         match event {
             Ev::Start => {
                 self.maybe_request_download(sched, now);
@@ -724,9 +830,19 @@ impl World for SessionWorld {
             Ev::AmbientStep => self.on_ambient_step(sched, now),
         }
     }
-}
 
-impl SessionWorld {
+    /// Records a trace event if a sink is attached. The event is built
+    /// inside the closure, so when nothing listens the cost is one
+    /// branch and no construction.
+    #[inline]
+    fn emit(&self, now: SimTime, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.trace {
+            let event = ev();
+            sink.lock()
+                .expect("trace sink poisoned")
+                .record(now, &event);
+        }
+    }
     fn buffered_media(&self) -> SimDuration {
         SimDuration::from_nanos(
             self.manifest.frame_duration().as_nanos() * self.pipeline.frames_buffered() as u64,
@@ -783,12 +899,21 @@ impl SessionWorld {
             // The server wedged: the radio burns energy but no completion
             // instant exists. Only the watchdog can recover this.
             self.downloader.start_stalled(now, segment.size_bytes());
+            self.emit(now, || TraceEvent::DownloadStalled {
+                segment: segment.index,
+                attempt,
+            });
         } else {
             let done = self
                 .downloader
                 .start(now, segment.size_bytes())
                 .expect("bandwidth trace stalls forever; transfer cannot complete");
             self.download_event = Some(sched.schedule_at(done, Ev::DownloadDone));
+            self.emit(now, || TraceEvent::DownloadStart {
+                segment: segment.index,
+                attempt,
+                bytes: segment.size_bytes(),
+            });
         }
         self.pending_segment = Some(segment);
         if let Some(timeout) = self.retry.timeout {
@@ -807,10 +932,17 @@ impl SessionWorld {
     ) {
         if next_attempt > self.retry.max_retries {
             self.segments_abandoned += 1;
+            self.emit(now, || TraceEvent::DownloadAbandoned {
+                segment: segment.index,
+            });
             self.maybe_request_download(sched, now);
             return;
         }
         self.attempt = next_attempt;
+        self.emit(now, || TraceEvent::DownloadRetry {
+            segment: segment.index,
+            attempt: next_attempt,
+        });
         self.retry_segment = Some(segment);
         let wait = self.retry.backoff(next_attempt - 1);
         sched.schedule_at(now + wait, Ev::RetryDownload);
@@ -829,6 +961,10 @@ impl SessionWorld {
         }
         self.downloader.abort(now);
         self.download_timeouts += 1;
+        self.emit(now, || TraceEvent::DownloadTimeout {
+            segment: segment.index,
+            attempt: self.attempt,
+        });
         self.schedule_retry(sched, now, segment, self.attempt + 1);
         self.govern(sched, now);
     }
@@ -857,10 +993,18 @@ impl SessionWorld {
             // The bytes arrived but fail integrity checks: the transfer
             // cost real radio energy, yet the segment must be re-fetched.
             self.corrupt_downloads += 1;
+            self.emit(now, || TraceEvent::DownloadCorrupt {
+                segment: segment.index,
+                attempt: self.attempt,
+            });
             self.schedule_retry(sched, now, segment, self.attempt + 1);
             self.govern(sched, now);
             return;
         }
+        self.emit(now, || TraceEvent::DownloadDone {
+            segment: segment.index,
+            bytes: segment.size_bytes(),
+        });
         let rep = self.manifest.representation(segment.representation_id);
         self.bitrates.push(rep.bitrate_kbps);
         self.last_rep = Some(segment.representation_id);
@@ -905,6 +1049,10 @@ impl SessionWorld {
                         self.stall_frame = idx;
                         self.decoder_stall_event =
                             Some(sched.schedule_at(now + pause, Ev::DecodeResume));
+                        self.emit(now, || TraceEvent::DecodeStall {
+                            frame: idx,
+                            resume_in_us: pause.as_micros(),
+                        });
                     }
                     return;
                 }
@@ -914,11 +1062,19 @@ impl SessionWorld {
         let cycles = match self.faults.decode_spike(frame.index) {
             Some(factor) => {
                 self.decode_spikes += 1;
+                self.emit(now, || TraceEvent::DecodeSpike {
+                    frame: frame.index,
+                    factor_milli: (factor * 1000.0).round() as u64,
+                });
                 frame.decode_cycles.scale(factor)
             }
             None => frame.decode_cycles,
         };
         self.cluster.start_job(now, 0, cycles);
+        self.emit(now, || TraceEvent::DecodeStart {
+            frame: frame.index,
+            freq_khz: u64::from(self.cluster.current_freq().khz()),
+        });
         self.decode_initial = Some(cycles);
         let done = self
             .cluster
@@ -940,6 +1096,9 @@ impl SessionWorld {
     fn on_ambient_step(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
         self.update_thermal(sched, now);
         if let Some(step) = self.ambient_queue.pop_front() {
+            self.emit(now, || TraceEvent::AmbientStep {
+                milli_c: (step.ambient_c * 1000.0).round() as i64,
+            });
             if let Some((model, _)) = &mut self.thermal {
                 model.set_ambient(step.ambient_c);
             }
@@ -960,6 +1119,7 @@ impl SessionWorld {
             .take()
             .expect("decode completion without initial cycles");
         let frame = self.pipeline.finish_decode();
+        self.emit(now, || TraceEvent::DecodeDone { frame: frame.index });
         if let GovernorChoice::Eavs(g) = &mut self.governor {
             g.observe_decode(FrameMeta::from(&frame), actual);
         }
@@ -986,6 +1146,7 @@ impl SessionWorld {
             .playback
             .maybe_start(now, self.pipeline.frames_buffered(), downloads_done)
         {
+            self.emit(now, || TraceEvent::PlaybackStart);
             self.schedule_vsync(sched, now);
         }
     }
@@ -1001,7 +1162,8 @@ impl SessionWorld {
             return;
         }
         match self.playback.on_vsync(now, &mut self.pipeline) {
-            VsyncOutcome::Displayed(_) => {
+            VsyncOutcome::Displayed(frame) => {
+                self.emit(now, || TraceEvent::VsyncDisplayed { frame: frame.index });
                 self.record_buffer(now);
                 self.try_start_decode(sched, now);
                 self.maybe_request_download(sched, now);
@@ -1009,11 +1171,20 @@ impl SessionWorld {
                 self.govern(sched, now);
             }
             VsyncOutcome::DecoderLate => {
+                self.emit(now, || TraceEvent::VsyncLate {
+                    frame: self.playback.next_display(),
+                });
                 self.schedule_vsync(sched, now + self.manifest.frame_duration());
                 self.govern(sched, now);
             }
             VsyncOutcome::Dropped => {
+                self.emit(now, || TraceEvent::VsyncDropped {
+                    frame: self.playback.next_display(),
+                });
                 if self.playback.phase() == PlaybackPhase::Ended {
+                    self.emit(now, || TraceEvent::PlaybackEnd {
+                        frame: self.playback.next_display(),
+                    });
                     self.end_time = Some(now);
                     sched.stop();
                     return;
@@ -1025,6 +1196,9 @@ impl SessionWorld {
                 self.govern(sched, now);
             }
             VsyncOutcome::Starved => {
+                self.emit(now, || TraceEvent::Rebuffer {
+                    frame: self.playback.next_display(),
+                });
                 if let GovernorChoice::Eavs(g) = &mut self.governor {
                     // Rebuffer: with panic recovery enabled, the next
                     // decision re-races to clear the backlog (no-op for
@@ -1045,7 +1219,9 @@ impl SessionWorld {
                 self.maybe_request_download(sched, now);
                 self.govern(sched, now);
             }
-            VsyncOutcome::Ended(_) => {
+            VsyncOutcome::Ended(frame) => {
+                self.emit(now, || TraceEvent::VsyncDisplayed { frame: frame.index });
+                self.emit(now, || TraceEvent::PlaybackEnd { frame: frame.index });
                 self.end_time = Some(now);
                 sched.stop();
             }
@@ -1121,6 +1297,9 @@ impl SessionWorld {
                 .power_w,
         );
         g.set_energy_floor(floor);
+        self.emit(now, || TraceEvent::Migration {
+            to_little: fits_little,
+        });
         self.govern(sched, now);
     }
 
@@ -1133,6 +1312,7 @@ impl SessionWorld {
                 .current_freq()
                 .cycles_in(bg.period.mul_f64(bg.duty));
             self.cluster.start_job(now, 1, cycles);
+            self.emit(now, || TraceEvent::BackgroundBurst);
         }
         sched.schedule_at(now + bg.period, Ev::Background);
     }
@@ -1199,6 +1379,10 @@ impl SessionWorld {
         match (&mut self.governor, sample) {
             (GovernorChoice::Baseline(g), Some(sample)) => {
                 let idx = g.on_sample(&sample, self.cluster.opps(), self.cluster.limits());
+                self.emit(now, || TraceEvent::GovernorDecision {
+                    cur_khz: u64::from(self.cluster.current_freq().khz()),
+                    target_khz: u64::from(self.cluster.opps().freq(idx).khz()),
+                });
                 self.apply_target(sched, now, idx);
             }
             (GovernorChoice::Eavs(_), _) => self.govern(sched, now),
@@ -1215,6 +1399,18 @@ impl SessionWorld {
         if matches!(self.governor, GovernorChoice::Baseline(_)) {
             return;
         }
+        // Panic races are counted inside the governor; sample the counter
+        // around the decision so the trace can mark the exact instant.
+        // Only paid when a sink is listening.
+        let tracing = self.trace.is_some();
+        let panics_before = if tracing {
+            match &self.governor {
+                GovernorChoice::Eavs(g) => g.panics(),
+                GovernorChoice::Baseline(_) => 0,
+            }
+        } else {
+            0
+        };
         let snapshot = self.snapshot(now);
         let GovernorChoice::Eavs(g) = &mut self.governor else {
             unreachable!("checked above");
@@ -1225,7 +1421,17 @@ impl SessionWorld {
             self.cluster.limits(),
             self.cluster.current_index(),
         );
+        let panics_after = if tracing { g.panics() } else { 0 };
         self.snapshot_scratch = snapshot.upcoming;
+        if tracing {
+            if panics_after > panics_before {
+                self.emit(now, || TraceEvent::PanicRace);
+            }
+            self.emit(now, || TraceEvent::GovernorDecision {
+                cur_khz: u64::from(self.cluster.current_freq().khz()),
+                target_khz: u64::from(self.cluster.opps().freq(idx).khz()),
+            });
+        }
         self.apply_target(sched, now, idx);
     }
 
@@ -1272,6 +1478,10 @@ impl SessionWorld {
             self.cluster.set_target(now, idx);
         }
         if self.cluster.target_index() != before {
+            self.emit(now, || TraceEvent::FreqChange {
+                from_khz: u64::from(self.cluster.opps().freq(before).khz()),
+                to_khz: u64::from(self.cluster.opps().freq(self.cluster.target_index()).khz()),
+            });
             if let Some(s) = &mut self.freq_series {
                 s.set(
                     now,
@@ -1336,6 +1546,29 @@ impl SessionWorld {
             GovernorChoice::Eavs(g) => g.panics(),
             GovernorChoice::Baseline(_) => 0,
         };
+        if let Some(p) = &mut self.profile {
+            // Simulated occupancy comes from the authoritative model
+            // state, filled once here rather than summed incrementally,
+            // so it cannot drift from the rest of the report.
+            let download: SimDuration = self
+                .downloader
+                .activity(end)
+                .iter()
+                .map(|a| a.end.saturating_duration_since(a.start))
+                .sum();
+            p.set_sim_ns(Phase::Download, download.as_nanos());
+            p.set_sim_ns(Phase::Decode, self.cluster.core_busy_total(0).as_nanos());
+            p.set_sim_ns(
+                Phase::Display,
+                session_length
+                    .saturating_sub(startup_delay)
+                    .saturating_sub(qoe.rebuffer_time)
+                    .as_nanos(),
+            );
+            // Governor decisions are instantaneous on the simulated
+            // clock; their cost shows up in events and wall time only.
+            p.set_sim_ns(Phase::Governor, 0);
+        }
         // Frames still upstream of the decoder (undecoded + in flight);
         // decoded-queue leftovers are already counted in frames_decoded.
         let frames_pending = (self.pipeline.frames_buffered() - self.pipeline.decoded_len()) as u64;
@@ -1376,6 +1609,7 @@ impl SessionWorld {
             decode_spikes: self.decode_spikes,
             decode_stalls: self.decode_stalls,
             panic_races,
+            profile: self.profile,
         }
     }
 }
@@ -1743,6 +1977,71 @@ mod tests {
             od.cpu_joules()
         );
         assert_eq!(ev.qoe.late_vsyncs, 0);
+    }
+
+    #[test]
+    fn traced_session_is_unperturbed_and_timeline_is_deterministic() {
+        use eavs_obs::{shared, RingSink};
+        let plain = run(eavs());
+        let record = || {
+            let sink = shared(RingSink::new(1 << 16));
+            let report = StreamingSession::builder(eavs())
+                .manifest(short_manifest())
+                .seed(3)
+                .trace(sink.clone())
+                .run();
+            let ring = sink.lock().unwrap();
+            (report, ring.to_jsonl(), ring.total_recorded())
+        };
+        let (traced, jsonl_a, recorded) = record();
+        // Observation changes nothing about the outcome...
+        assert_eq!(plain.cpu_joules(), traced.cpu_joules());
+        assert_eq!(plain.events_processed, traced.events_processed);
+        assert_eq!(plain.transitions, traced.transitions);
+        assert_eq!(plain.qoe.frames_displayed, traced.qoe.frames_displayed);
+        // ...the timeline is rich (engine dispatches + semantic events)...
+        assert!(recorded > traced.events_processed, "tap + handler events");
+        assert!(jsonl_a.contains(r#""ev":"playback_start""#));
+        assert!(jsonl_a.contains(r#""ev":"governor_decision""#));
+        assert!(jsonl_a.contains(r#""ev":"decode_start""#));
+        // ...and byte-identical on a re-run.
+        let (_, jsonl_b, _) = record();
+        assert_eq!(jsonl_a, jsonl_b);
+    }
+
+    #[test]
+    fn observers_do_not_perturb_the_fingerprint() {
+        use eavs_obs::{shared, NullSink};
+        let base = StreamingSession::builder(eavs())
+            .manifest(short_manifest())
+            .seed(3);
+        let fp_plain = base.fingerprint().expect("cacheable");
+        let observed = StreamingSession::builder(eavs())
+            .manifest(short_manifest())
+            .seed(3)
+            .trace(shared(NullSink))
+            .profile(true);
+        assert!(observed.has_observer());
+        assert_eq!(Some(fp_plain), observed.fingerprint());
+        assert!(!base.has_observer());
+    }
+
+    #[test]
+    fn profile_reports_phase_breakdown() {
+        let r = StreamingSession::builder(eavs())
+            .manifest(short_manifest())
+            .seed(3)
+            .profile(true)
+            .run();
+        let p = r.profile.expect("profiling was requested");
+        assert!(p.total_events() > 0);
+        assert_eq!(p.total_events(), r.events_processed);
+        assert!(p.download.sim_ns > 0, "segments were transferred");
+        assert!(p.decode.sim_ns > 0, "frames were decoded");
+        assert!(p.display.sim_ns > 0, "playback happened");
+        assert!(p.display.events > 0, "vsyncs were handled");
+        // Unprofiled runs carry no breakdown.
+        assert!(run(eavs()).profile.is_none());
     }
 
     #[test]

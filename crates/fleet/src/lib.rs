@@ -32,6 +32,7 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod checkpoint;
+pub mod prom;
 pub mod spec;
 
 pub use aggregate::{FleetAggregate, GovAggregate};

@@ -1,0 +1,221 @@
+//! Prometheus text-exposition rendering.
+//!
+//! [`PromWriter`] builds a metrics page in the Prometheus text format
+//! (version 0.0.4) without any HTTP machinery — callers write the
+//! string to a file (`eavsctl fleet --metrics-out metrics.prom`) for a
+//! node-exporter-style textfile collector to pick up, or serve it
+//! however they like.
+//!
+//! Formatting rules that keep output deterministic:
+//!
+//! - Metrics appear in the order they were added; no sorting happens
+//!   behind the caller's back.
+//! - Values render via Rust's shortest-round-trip float `Display`, so
+//!   the same numbers always produce the same bytes.
+//! - Histograms follow the Prometheus convention: cumulative `le`
+//!   buckets (including everything below the histogram's range in the
+//!   first bucket), a `+Inf` bucket, then `_count` and `_sum` samples.
+
+use std::fmt::Write as _;
+
+use eavs_metrics::histogram::Histogram;
+
+/// Builds a Prometheus text-exposition page.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// Creates an empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a `# HELP` line for `name`.
+    pub fn help(&mut self, name: &str, text: &str) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {text}");
+        self
+    }
+
+    /// Adds a `# TYPE` line for `name` (`counter`, `gauge`, `histogram`...).
+    pub fn type_(&mut self, name: &str, kind: &str) -> &mut Self {
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Adds one sample line: `name{labels} value`.
+    ///
+    /// `labels` are `(key, value)` pairs; pass `&[]` for none. Label
+    /// values are escaped per the exposition format.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {}", PromNum(value));
+        self
+    }
+
+    /// Adds a whole histogram in the standard exposition shape:
+    /// cumulative `le` buckets, `+Inf`, `_count`, `_sum`.
+    ///
+    /// `sum` is supplied by the caller because [`Histogram`] stores
+    /// counts only; fleet aggregates carry the matching exact sums.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+        sum: f64,
+    ) -> &mut Self {
+        let mut cumulative = h.underflow();
+        for i in 0..h.num_bins() {
+            cumulative += h.bin_count(i);
+            let (_, hi) = h.bin_edges(i);
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            write_labels_with_le(&mut self.out, labels, &PromNum(hi).to_string());
+            let _ = writeln!(self.out, " {cumulative}");
+        }
+        cumulative += h.overflow();
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        write_labels_with_le(&mut self.out, labels, "+Inf");
+        let _ = writeln!(self.out, " {cumulative}");
+
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {}", h.total());
+
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {}", PromNum(sum));
+        self
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Borrowed view of the page so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+/// Renders a float the Prometheus way: integers without a trailing
+/// `.0`, everything else via shortest-round-trip `Display`.
+struct PromNum(f64);
+
+impl std::fmt::Display for PromNum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.0;
+        if v.is_infinite() {
+            return f.write_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+        }
+        if v.is_nan() {
+            return f.write_str("NaN");
+        }
+        if v == v.trunc() && v.abs() < 1e15 {
+            write!(f, "{}", v as i64)
+        } else {
+            write!(f, "{v}")
+        }
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+fn write_labels_with_le(out: &mut String, labels: &[(&str, &str)], le: &str) {
+    out.push('{');
+    for (k, v) in labels {
+        let _ = write!(out, "{k}=\"{}\",", escape_label(v));
+    }
+    let _ = write!(out, "le=\"{le}\"");
+    out.push('}');
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_and_headers_render() {
+        let mut w = PromWriter::new();
+        w.help("eavs_sessions_total", "Sessions completed.")
+            .type_("eavs_sessions_total", "counter")
+            .sample("eavs_sessions_total", &[("governor", "eavs")], 42.0)
+            .sample("eavs_wall_seconds", &[], 1.5);
+        let page = w.finish();
+        assert_eq!(
+            page,
+            "# HELP eavs_sessions_total Sessions completed.\n\
+             # TYPE eavs_sessions_total counter\n\
+             eavs_sessions_total{governor=\"eavs\"} 42\n\
+             eavs_wall_seconds 1.5\n"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-1.0); // underflow
+        h.record(1.0); // bin 0
+        h.record(6.0); // bin 1
+        h.record(6.5); // bin 1
+        h.record(99.0); // overflow
+        let mut w = PromWriter::new();
+        w.histogram("eavs_energy_j", &[("governor", "eavs")], &h, 111.5);
+        let page = w.finish();
+        assert_eq!(
+            page,
+            "eavs_energy_j_bucket{governor=\"eavs\",le=\"5\"} 2\n\
+             eavs_energy_j_bucket{governor=\"eavs\",le=\"10\"} 4\n\
+             eavs_energy_j_bucket{governor=\"eavs\",le=\"+Inf\"} 5\n\
+             eavs_energy_j_count{governor=\"eavs\"} 5\n\
+             eavs_energy_j_sum{governor=\"eavs\"} 111.5\n"
+        );
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut w = PromWriter::new();
+        w.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        assert_eq!(w.as_str(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn numbers_render_deterministically() {
+        assert_eq!(PromNum(3.0).to_string(), "3");
+        assert_eq!(PromNum(0.1).to_string(), "0.1");
+        assert_eq!(PromNum(f64::INFINITY).to_string(), "+Inf");
+        assert_eq!(PromNum(-0.0).to_string(), "0");
+    }
+}

@@ -31,6 +31,8 @@
 //! assert_eq!(sim.now(), SimTime::from_millis(40));
 //! ```
 
+use std::fmt;
+
 use crate::queue::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
@@ -43,13 +45,34 @@ pub trait World {
     fn handle(&mut self, sched: &mut Scheduler<Self::Event>, event: Self::Event);
 }
 
+/// A pre-dispatch observer: invoked with each popped event immediately
+/// before the world's handler runs, at the event's own timestamp.
+///
+/// Taps observe; they get no scheduler access and cannot influence the
+/// run. Attaching or removing a tap must never change simulation
+/// outcomes — this is the engine-level hook the observability layer
+/// (`eavs-obs`) hangs session timelines on.
+pub type DispatchTap<E> = Box<dyn FnMut(SimTime, &E) + Send>;
+
 /// The clock plus pending-event queue, handed to event handlers.
-#[derive(Debug)]
 pub struct Scheduler<E> {
     now: SimTime,
     queue: EventQueue<E>,
     stop_requested: bool,
     processed: u64,
+    tap: Option<DispatchTap<E>>,
+}
+
+impl<E: fmt::Debug> fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("queue", &self.queue)
+            .field("stop_requested", &self.stop_requested)
+            .field("processed", &self.processed)
+            .field("tap", &self.tap.as_ref().map(|_| "FnMut(..)"))
+            .finish()
+    }
 }
 
 impl<E> Scheduler<E> {
@@ -59,7 +82,18 @@ impl<E> Scheduler<E> {
             queue: EventQueue::new(),
             stop_requested: false,
             processed: 0,
+            tap: None,
         }
+    }
+
+    /// Installs a dispatch tap, replacing any existing one.
+    pub fn set_tap(&mut self, tap: DispatchTap<E>) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes the dispatch tap, returning it if one was installed.
+    pub fn clear_tap(&mut self) -> Option<DispatchTap<E>> {
+        self.tap.take()
     }
 
     /// The current simulation time.
@@ -173,6 +207,9 @@ impl<W: World> Simulation<W> {
                 debug_assert!(time >= self.sched.now, "event queue went backwards");
                 self.sched.now = time;
                 self.sched.processed += 1;
+                if let Some(tap) = self.sched.tap.as_mut() {
+                    tap(time, &event);
+                }
                 self.world.handle(&mut self.sched, event);
                 true
             }
@@ -342,6 +379,30 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(2));
         sim.run_for(SimDuration::from_secs(2));
         assert_eq!(sim.world().log.len(), 2);
+    }
+
+    #[test]
+    fn tap_sees_every_dispatch_before_the_handler() {
+        use std::sync::{Arc, Mutex};
+        let mut sim = Simulation::new(Recorder::new());
+        let seen: Arc<Mutex<Vec<(SimTime, Ev)>>> = Arc::new(Mutex::new(Vec::new()));
+        let tap_log = Arc::clone(&seen);
+        sim.scheduler().set_tap(Box::new(move |at, ev: &Ev| {
+            tap_log.lock().unwrap().push((at, *ev));
+        }));
+        sim.scheduler().schedule_at(SimTime::from_secs(2), Ev::Boom);
+        sim.scheduler().schedule_at(SimTime::from_secs(1), Ev::Tick);
+        sim.run();
+        let tapped = seen.lock().unwrap().clone();
+        // The tap saw the same ordered stream the world handled.
+        assert_eq!(tapped, sim.world().log);
+        assert_eq!(tapped.len(), 2);
+        // Removing the tap returns it and stops observation.
+        assert!(sim.scheduler().clear_tap().is_some());
+        sim.scheduler().schedule_at(SimTime::from_secs(3), Ev::Tick);
+        sim.run();
+        assert_eq!(seen.lock().unwrap().len(), 2);
+        assert_eq!(sim.world().log.len(), 3);
     }
 
     #[test]

@@ -28,10 +28,36 @@ pub enum Command {
     Compare(RunArgs, Vec<String>),
     /// Run (or resume) a population campaign and print the fleet table.
     Fleet(FleetArgs),
+    /// Run one traced session and dump its event timeline.
+    Trace(TraceArgs),
     /// Print the available names (governors, predictors, SoCs, …).
     List,
     /// Print usage.
     Help,
+}
+
+/// Parameters of a `trace` invocation: one session plus dump options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceArgs {
+    /// The session to trace (all `run` flags apply).
+    pub run: RunArgs,
+    /// Write the dump here instead of stdout.
+    pub out: Option<String>,
+    /// Emit Chrome trace-event JSON (Perfetto-loadable) instead of JSONL.
+    pub chrome: bool,
+    /// Ring-buffer capacity; older events are dropped beyond this.
+    pub events: usize,
+}
+
+impl Default for TraceArgs {
+    fn default() -> Self {
+        TraceArgs {
+            run: RunArgs::default(),
+            out: None,
+            chrome: false,
+            events: 65_536,
+        }
+    }
 }
 
 /// Parameters of a `fleet` campaign invocation.
@@ -55,6 +81,8 @@ pub struct FleetArgs {
     pub halt_after_shards: Option<u64>,
     /// Also write the population table as CSV here.
     pub out: Option<String>,
+    /// Also write Prometheus text-exposition metrics here.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for FleetArgs {
@@ -69,6 +97,7 @@ impl Default for FleetArgs {
             checkpoint_every: 1,
             halt_after_shards: None,
             out: None,
+            metrics_out: None,
         }
     }
 }
@@ -116,6 +145,8 @@ pub struct RunArgs {
     pub retry: Option<String>,
     /// Enable EAVS panic recovery (re-race to max on breach/rebuffer).
     pub panic_recovery: bool,
+    /// Collect a per-phase time breakdown and print it with the report.
+    pub profile: bool,
 }
 
 impl Default for RunArgs {
@@ -141,6 +172,7 @@ impl Default for RunArgs {
             faults: "none".to_owned(),
             retry: None,
             panic_recovery: false,
+            profile: false,
         }
     }
 }
@@ -153,6 +185,8 @@ USAGE:
   eavsctl run [OPTIONS]              run one streaming session
   eavsctl compare g1,g2,.. [OPTIONS] same workload under several governors
   eavsctl fleet [FLEET OPTIONS]      run a population campaign (F26-style)
+  eavsctl trace [OPTIONS] [TRACE OPTIONS]
+                                     run one traced session, dump the timeline
   eavsctl list                       print available names
   eavsctl help                       this text
 
@@ -180,6 +214,14 @@ OPTIONS (with defaults):
                           (download watchdog + exponential backoff)
   --panic                 enable EAVS panic recovery (re-race to max OPP
                           on prediction breach or rebuffer; eavs only)
+  --profile               print a per-phase (download/decode/display/governor)
+                          simulated-time and wall-time breakdown
+
+TRACE OPTIONS (all run OPTIONS also apply):
+  --out PATH              write the dump to PATH instead of stdout
+  --chrome                Chrome trace-event JSON (load in Perfetto /
+                          chrome://tracing) instead of JSONL
+  --events 65536          ring-buffer capacity; oldest events drop beyond it
 
 FLEET OPTIONS (defaults come from the chosen preset):
   --campaign smoke        smoke | global — preset device/network/content mix
@@ -192,13 +234,20 @@ FLEET OPTIONS (defaults come from the chosen preset):
   --halt-after-shards N   stop (with checkpoint) after N shards — the
                           deterministic 'kill' half of kill/resume
   --out PATH              also write the population table as CSV
+  --metrics-out PATH      also write Prometheus text-exposition metrics
+                          (shard progress, cache hit rate, per-governor
+                          energy/QoE histograms, fault counters)
 
 EXAMPLES:
   eavsctl run --governor eavs --network lte_drive --abr buffer
   eavsctl run --faults heavy:7 --retry balanced --panic
       fault injection with watchdog retries and EAVS panic recovery
   eavsctl compare ondemand,schedutil,eavs --duration 30
+  eavsctl trace --seed 7 --duration 10 --out /tmp/session.jsonl
+  eavsctl trace --chrome --out /tmp/session.trace.json
+      open the Chrome dump in https://ui.perfetto.dev
   eavsctl fleet --campaign smoke --out /tmp/f26_smoke.csv
+  eavsctl fleet --campaign smoke --metrics-out /tmp/f26.prom
   eavsctl fleet --campaign global --checkpoint /tmp/global.ckpt
       kill it any time; rerun the same command to resume where it stopped
 ";
@@ -225,6 +274,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "fleet" => {
             let rest: Vec<String> = it.cloned().collect();
             Ok(Command::Fleet(parse_fleet_args(&rest)?))
+        }
+        "trace" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Trace(parse_trace_args(&rest)?))
         }
         "compare" => {
             let governors: Vec<String> = it
@@ -273,6 +326,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 );
             }
             "--sysfs" => out.sysfs = true,
+            "--profile" => out.profile = true,
             "--late-policy" => out.late_policy = value("late-policy")?.clone(),
             "--faults" => out.faults = value("faults")?.clone(),
             "--retry" => out.retry = Some(value("retry")?.clone()),
@@ -309,9 +363,33 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
                     Some(parse_num(value("halt-after-shards")?, "halt-after-shards")?);
             }
             "--out" => out.out = Some(value("out")?.clone()),
+            "--metrics-out" => out.metrics_out = Some(value("metrics-out")?.clone()),
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
         }
     }
+    Ok(out)
+}
+
+/// Splits the trace-specific flags off and parses the rest as `run`
+/// flags, so `trace` accepts every workload option `run` does.
+fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
+    let mut out = TraceArgs::default();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("--{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out.out = Some(value("out")?.clone()),
+            "--chrome" => out.chrome = true,
+            "--events" => {
+                out.events = parse_num::<usize>(value("events")?, "events")?.max(1);
+            }
+            _ => rest.push(flag.clone()),
+        }
+    }
+    out.run = parse_run_args(&rest)?;
     Ok(out)
 }
 
@@ -359,16 +437,58 @@ pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
         out.push_str("halted at --halt-after-shards; rerun with the same --checkpoint to resume\n");
     }
     if let Some(path) = &args.out {
-        if let Some(dir) = std::path::Path::new(path)
-            .parent()
-            .filter(|d| !d.as_os_str().is_empty())
-        {
-            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
-        }
-        std::fs::write(path, table.to_csv()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        write_output_file(path, &table.to_csv())?;
         out.push_str(&format!("[csv written to {path}]\n"));
     }
+    if let Some(path) = &args.metrics_out {
+        write_output_file(path, &fleet_metrics_page(&outcome.aggregate, &spec))?;
+        out.push_str(&format!("[metrics written to {path}]\n"));
+    }
     Ok(out)
+}
+
+/// Renders the campaign's Prometheus page plus the process-local
+/// session-cache counters (hits/misses/bytes), which live in the bench
+/// harness rather than the campaign aggregate.
+fn fleet_metrics_page(agg: &eavs_fleet::FleetAggregate, spec: &eavs_fleet::CampaignSpec) -> String {
+    let mut w = eavs_obs::PromWriter::new();
+    eavs_fleet::prom::write_into(&mut w, agg, spec);
+    let cache = eavs_bench::cache::stats();
+    w.help(
+        "eavs_session_cache_hits_total",
+        "Sessions served from the content-addressed cache.",
+    )
+    .type_("eavs_session_cache_hits_total", "counter")
+    .sample("eavs_session_cache_hits_total", &[], cache.hits as f64);
+    w.help(
+        "eavs_session_cache_misses_total",
+        "Sessions simulated and then cached.",
+    )
+    .type_("eavs_session_cache_misses_total", "counter")
+    .sample("eavs_session_cache_misses_total", &[], cache.misses as f64);
+    w.help(
+        "eavs_session_cache_uncacheable_total",
+        "Sessions that ran uncached (unfingerprintable or observed).",
+    )
+    .type_("eavs_session_cache_uncacheable_total", "counter")
+    .sample(
+        "eavs_session_cache_uncacheable_total",
+        &[],
+        cache.uncacheable as f64,
+    );
+    w.help(
+        "eavs_session_cache_resident_bytes",
+        "Approximate resident bytes of the cached reports.",
+    )
+    .type_("eavs_session_cache_resident_bytes", "gauge")
+    .sample("eavs_session_cache_resident_bytes", &[], cache.bytes as f64);
+    w.help(
+        "eavs_session_cache_hit_ratio",
+        "Fraction of cacheable lookups served from the cache.",
+    )
+    .type_("eavs_session_cache_hit_ratio", "gauge")
+    .sample("eavs_session_cache_hit_ratio", &[], cache.hit_rate());
+    w.finish()
 }
 
 fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
@@ -491,6 +611,16 @@ fn build_abr(name: &str) -> Result<Box<dyn AbrAlgorithm>, String> {
 ///
 /// Returns a message for unknown names or invalid values.
 pub fn run_session(args: &RunArgs, governor_name: &str) -> Result<SessionReport, String> {
+    Ok(build_session(args, governor_name)?.run())
+}
+
+/// Builds (without running) the session described by `args`, so callers
+/// can attach observers — `trace` hangs a ring sink off the same
+/// builder `run` uses, guaranteeing both see the identical workload.
+fn build_session(
+    args: &RunArgs,
+    governor_name: &str,
+) -> Result<eavs_core::session::SessionBuilder, String> {
     let duration = SimDuration::from_secs(args.duration_s.max(1));
     let manifest = match &args.abr {
         Some(_) => Manifest::standard_ladder(duration, args.fps.max(1)),
@@ -535,7 +665,56 @@ pub fn run_session(args: &RunArgs, governor_name: &str) -> Result<SessionReport,
     if let Some(retry) = &args.retry {
         builder = builder.retry(build_retry(retry)?);
     }
-    Ok(builder.run())
+    if args.profile {
+        builder = builder.profile(true);
+    }
+    Ok(builder)
+}
+
+/// Runs one traced session and renders its timeline: JSONL by default,
+/// Chrome trace-event JSON with `--chrome`. Without `--out` the dump
+/// itself is the command output, so shell pipelines (and the CI
+/// determinism gate's `cmp`) see the raw bytes.
+///
+/// # Errors
+///
+/// Propagates session-construction errors and dump-file I/O failures.
+pub fn run_trace(args: &TraceArgs) -> Result<String, String> {
+    let ring = eavs_obs::shared(eavs_obs::RingSink::new(args.events));
+    let sink: eavs_obs::SharedSink = ring.clone();
+    let report = build_session(&args.run, &args.run.governor)?
+        .trace(sink)
+        .run();
+    let ring = ring.lock().expect("trace sink poisoned");
+    let body = if args.chrome {
+        ring.to_chrome_trace(&format!("eavsctl {}", report.governor))
+    } else {
+        ring.to_jsonl()
+    };
+    match &args.out {
+        Some(path) => {
+            write_output_file(path, &body)?;
+            Ok(format!(
+                "{} events recorded ({} dropped, ring {}); {} written to {path}\n",
+                ring.total_recorded(),
+                ring.dropped(),
+                args.events,
+                if args.chrome { "chrome trace" } else { "jsonl" },
+            ))
+        }
+        None => Ok(body),
+    }
+}
+
+/// Writes `contents` to `path`, creating parent directories as needed.
+fn write_output_file(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path:?}: {e}"))
 }
 
 /// Executes a parsed command, writing human output to the returned string.
@@ -547,6 +726,7 @@ pub fn execute(command: Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_owned()),
         Command::Fleet(args) => run_fleet(&args),
+        Command::Trace(args) => run_trace(&args),
         Command::List => {
             let mut out = String::new();
             out.push_str("governors: eavs performance powersave userspace ondemand conservative interactive schedutil\n");
@@ -573,6 +753,9 @@ pub fn execute(command: Command) -> Result<String, String> {
                     report.decode_stalls,
                     report.panic_races,
                 ));
+            }
+            if let Some(profile) = &report.profile {
+                out.push_str(&format!("  profile: {}\n", profile.to_json()));
             }
             Ok(out)
         }
@@ -876,9 +1059,123 @@ mod tests {
 
     #[test]
     fn help_documents_resilience_and_fleet() {
-        for needle in ["--faults", "--retry", "--panic", "fleet", "EXAMPLES"] {
+        for needle in [
+            "--faults",
+            "--retry",
+            "--panic",
+            "fleet",
+            "EXAMPLES",
+            "trace",
+            "--chrome",
+            "--profile",
+            "--metrics-out",
+        ] {
             assert!(USAGE.contains(needle), "USAGE must mention {needle}");
         }
+    }
+
+    #[test]
+    fn trace_parses_mixed_run_and_trace_flags() {
+        let cmd = parse(&argv(
+            "trace --governor ondemand --out /tmp/t.jsonl --duration 5 --chrome --events 128",
+        ))
+        .unwrap();
+        let Command::Trace(args) = cmd else {
+            panic!("not a trace")
+        };
+        assert_eq!(args.run.governor, "ondemand");
+        assert_eq!(args.run.duration_s, 5);
+        assert_eq!(args.out.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(args.chrome);
+        assert_eq!(args.events, 128);
+
+        assert_eq!(
+            parse(&argv("trace")).unwrap(),
+            Command::Trace(TraceArgs::default())
+        );
+        assert!(parse(&argv("trace --frobnicate 1"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&argv("trace --events nope"))
+            .unwrap_err()
+            .contains("bad value"));
+    }
+
+    #[test]
+    fn trace_dumps_deterministic_jsonl_to_stdout() {
+        let args = TraceArgs {
+            run: RunArgs {
+                duration_s: 4,
+                bitrate_kbps: 1_500,
+                width: 854,
+                height: 480,
+                ..RunArgs::default()
+            },
+            ..TraceArgs::default()
+        };
+        let a = run_trace(&args).unwrap();
+        let b = run_trace(&args).unwrap();
+        assert_eq!(a, b, "same seed must dump byte-identical JSONL");
+        let first = a.lines().next().unwrap();
+        assert!(first.starts_with("{\"seq\":0,"), "{first}");
+        assert!(a.contains("\"ev\":\"playback_start\""));
+        assert!(a.contains("\"ev\":\"governor_decision\""));
+    }
+
+    #[test]
+    fn trace_chrome_dump_is_json_array() {
+        let args = TraceArgs {
+            run: RunArgs {
+                duration_s: 4,
+                bitrate_kbps: 1_500,
+                width: 854,
+                height: 480,
+                ..RunArgs::default()
+            },
+            chrome: true,
+            ..TraceArgs::default()
+        };
+        let dump = run_trace(&args).unwrap();
+        assert!(dump.starts_with('['), "{dump}");
+        assert!(dump.trim_end().ends_with(']'), "{dump}");
+        assert!(dump.contains("\"ph\":\"M\""));
+        assert!(dump.contains("cpu_freq_khz"));
+    }
+
+    #[test]
+    fn run_profile_appends_phase_breakdown() {
+        let args = RunArgs {
+            duration_s: 4,
+            bitrate_kbps: 1_500,
+            width: 854,
+            height: 480,
+            profile: true,
+            ..RunArgs::default()
+        };
+        let out = execute(Command::Run(args)).unwrap();
+        assert!(out.contains("profile:"), "{out}");
+        assert!(out.contains("\"download\""), "{out}");
+        assert!(out.contains("\"governor\""), "{out}");
+    }
+
+    #[test]
+    fn fleet_metrics_out_writes_prometheus_page() {
+        let dir = std::env::temp_dir().join("eavs_cli_metrics_test");
+        let path = dir.join("f26.prom");
+        let args = FleetArgs {
+            sessions: Some(4),
+            shard_size: Some(2),
+            governors: Some(vec!["eavs".to_owned()]),
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+            ..FleetArgs::default()
+        };
+        let out = run_fleet(&args).unwrap();
+        assert!(out.contains("[metrics written to"), "{out}");
+        let page = std::fs::read_to_string(&path).unwrap();
+        assert!(page.contains("# TYPE eavs_fleet_cpu_joules histogram"));
+        assert!(page.contains("eavs_fleet_shards_done"));
+        assert!(page.contains("eavs_session_cache_hits_total"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

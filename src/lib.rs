@@ -21,6 +21,7 @@ pub use eavs_fleet as fleet;
 pub use eavs_governors as governors;
 pub use eavs_metrics as metrics;
 pub use eavs_net as net;
+pub use eavs_obs as obs;
 pub use eavs_sim as sim;
 pub use eavs_sysfs as sysfs;
 pub use eavs_trace as tracegen;

@@ -1,0 +1,99 @@
+//! The zero-cost-when-off guard: attaching a [`NullSink`] (the sink CI
+//! forces onto every session via `EAVS_NULL_TRACE`) must not add heap
+//! allocations to the session hot path beyond the constant handful for
+//! the shared sink handle and the dispatch tap. Event payloads are
+//! built lazily behind the `Option<SharedSink>` branch, so the no-sink
+//! path allocates nothing and the NullSink path allocates only setup.
+//!
+//! One test, alone in this binary: integration tests compile to their
+//! own executable, so the counting global allocator here observes only
+//! this measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use eavs::obs::{shared, NullSink, SharedSink};
+use eavs::scaling::governor::{EavsConfig, EavsGovernor};
+use eavs::scaling::predictor::predictor_by_name;
+use eavs::scaling::session::{GovernorChoice, SessionBuilder, StreamingSession};
+use eavs::sim::time::SimDuration;
+use eavs::video::manifest::Manifest;
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn builder(manifest: &Arc<Manifest>) -> SessionBuilder {
+    StreamingSession::builder(GovernorChoice::Eavs(EavsGovernor::new(
+        predictor_by_name("hybrid").unwrap(),
+        EavsConfig::default(),
+    )))
+    .manifest(Arc::clone(manifest))
+    .seed(4242)
+}
+
+fn allocs_for(run: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    run();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn null_sink_adds_no_measurable_allocations() {
+    let manifest = Arc::new(Manifest::single(
+        6_000,
+        1920,
+        1080,
+        SimDuration::from_secs(10),
+        30,
+    ));
+    // Warm the one-time memos (segment/trace generation) so both
+    // measurements see only the session hot path.
+    builder(&manifest).run();
+    builder(&manifest).trace(shared(NullSink)).run();
+
+    let plain = allocs_for(|| {
+        builder(&manifest).run();
+    });
+    let nulled = allocs_for(|| {
+        let sink: SharedSink = shared(NullSink);
+        builder(&manifest).trace(sink).run();
+    });
+
+    // The PR-2 hot-path diet pinned warm sessions at ~1700 allocations;
+    // leave generous slack for allocator/runtime noise, but fail well
+    // before a per-event or per-frame regression (300 frames here).
+    assert!(
+        plain < 2_600,
+        "plain warm session allocated {plain} times (diet regression?)"
+    );
+    // A NullSink costs setup only: the Arc<Mutex<..>>, its clones into
+    // the world and the boxed dispatch tap — nothing per event.
+    let delta = nulled.saturating_sub(plain);
+    assert!(
+        delta <= 16,
+        "NullSink added {delta} allocations over a plain run ({plain} -> {nulled}); \
+         tracing must be zero-cost when off"
+    );
+}
