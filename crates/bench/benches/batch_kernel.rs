@@ -1,0 +1,49 @@
+//! Batched SoA kernel throughput: the same 16-session workload pushed
+//! through [`eavs_core::run_batch`] at widths 1 / 8 / 64, against the
+//! scalar `builder.run()` loop as the baseline. Width 1 isolates the
+//! kernel + scratch overhead; wider lanes show how much the arena
+//! recycling and lock-step stepping buy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use eavs_bench::harness::{governor, single_manifest, SEED};
+use eavs_core::session::{SessionBuilder, StreamingSession};
+use eavs_trace::content::ContentProfile;
+
+const SESSIONS: u64 = 16;
+
+fn builders() -> Vec<SessionBuilder> {
+    let manifest = std::sync::Arc::new(single_manifest(3_000, 1280, 720, 10, 30));
+    (0..SESSIONS)
+        .map(|i| {
+            StreamingSession::builder(governor("eavs"))
+                .manifest(std::sync::Arc::clone(&manifest))
+                .content(ContentProfile::Film)
+                .seed(SEED + i)
+        })
+        .collect()
+}
+
+fn bench_batch_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_kernel_16x10s_720p30");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS));
+
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let joules: f64 = builders().into_iter().map(|b| b.run().cpu_joules()).sum();
+            black_box(joules)
+        })
+    });
+    for width in [1usize, 8, 64] {
+        group.bench_function(&format!("width_{width}"), |b| {
+            b.iter(|| {
+                let reports = eavs_core::run_batch(builders(), width);
+                black_box(reports.iter().map(|r| r.cpu_joules()).sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_kernel);
+criterion_main!(benches);

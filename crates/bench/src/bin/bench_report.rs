@@ -137,6 +137,33 @@ fn measure_sessions_per_sec(sessions: usize, secs_each: u64) -> (f64, f64) {
     (sessions as f64 / elapsed, allocs as f64 / sessions as f64)
 }
 
+/// Complete streaming sessions per second through the batched SoA
+/// kernel ([`eavs_core::run_batch`]), on exactly the workload (and
+/// seeds) [`measure_sessions_per_sec`] just ran — segment/trace
+/// generation is already memoized, so both numbers isolate session
+/// simulation. Width is capped at a quarter of the session count so
+/// every lane recycles its scratch arena a few times, as it would in a
+/// real sweep.
+fn measure_kernel_sessions_per_sec(sessions: usize, secs_each: u64) -> (f64, f64) {
+    let manifest = std::sync::Arc::new(manifest_1080p30(secs_each));
+    let width = (sessions / 4).clamp(1, eavs_core::DEFAULT_WIDTH);
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let started = Instant::now();
+    let reports = eavs_core::run_batch(
+        (0..sessions).map(|i| {
+            StreamingSession::builder(governor("eavs"))
+                .manifest(std::sync::Arc::clone(&manifest))
+                .seed(SEED + i as u64)
+        }),
+        width,
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(reports.len(), sessions);
+    std::hint::black_box(&reports);
+    (sessions as f64 / elapsed, allocs as f64 / sessions as f64)
+}
+
 /// Wall-clock to regenerate experiments (all of them, or a smoke subset).
 fn measure_run_all(smoke: bool) -> (f64, usize) {
     // f12 runs real sessions, so even the smoke report exercises (and
@@ -164,11 +191,10 @@ fn measure_run_all(smoke: bool) -> (f64, usize) {
     (started.elapsed().as_secs_f64(), count)
 }
 
-/// Fleet campaign throughput through the pooled, cached runner: the
-/// smoke campaign as-is in `--smoke` mode, scaled to 1 000 sessions in
-/// full mode. Returns (session-runs/sec, campaign cache hit rate, peak
-/// shard bytes, session-runs).
-fn measure_fleet(smoke: bool) -> (f64, f64, u64, u64) {
+/// Fleet campaign stats through the pooled, cached runner: the smoke
+/// campaign as-is in `--smoke` mode, scaled to 1 000 sessions in full
+/// mode. Returns (session-runs/sec, campaign cache hit rate, outcome).
+fn measure_fleet(smoke: bool) -> (f64, f64, eavs_fleet::CampaignOutcome) {
     let mut spec = eavs_fleet::CampaignSpec::smoke();
     if !smoke {
         spec.name = "bench-report-fleet".to_owned();
@@ -188,8 +214,7 @@ fn measure_fleet(smoke: bool) -> (f64, f64, u64, u64) {
     (
         outcome.session_runs as f64 / outcome.wall_s.max(1e-9),
         hit_rate,
-        outcome.peak_shard_bytes,
-        outcome.session_runs,
+        outcome,
     )
 }
 
@@ -253,6 +278,13 @@ fn main() {
     eprintln!("  sessions/sec    {sessions_per_sec:.2} ({sessions} x {session_secs} s sessions)");
     eprintln!("  allocs/session  {allocations_per_session:.0}");
 
+    let (kernel_sessions_per_sec, kernel_allocations_per_session) =
+        measure_kernel_sessions_per_sec(sessions, session_secs);
+    eprintln!(
+        "  kernel/sec      {kernel_sessions_per_sec:.2} (batched SoA, single thread, \
+         {kernel_allocations_per_session:.0} allocs/session)"
+    );
+
     let (run_all_wall_s, experiments) = measure_run_all(smoke);
     eprintln!("  run_all cold    {run_all_wall_s:.2} s ({experiments} experiments)");
 
@@ -262,11 +294,15 @@ fn main() {
     let warm_speedup = run_all_wall_s / run_all_warm_wall_s.max(1e-9);
     eprintln!("  run_all warm    {run_all_warm_wall_s:.2} s ({warm_speedup:.1}x)");
 
-    let (fleet_sessions_per_sec, fleet_cache_hit_rate, fleet_peak_shard_bytes, fleet_session_runs) =
-        measure_fleet(smoke);
+    let (fleet_sessions_per_sec, fleet_cache_hit_rate, fleet_outcome) = measure_fleet(smoke);
+    let fleet_session_runs = fleet_outcome.session_runs;
+    let fleet_peak_shard_bytes = fleet_outcome.peak_shard_bytes;
     eprintln!(
         "  fleet           {fleet_sessions_per_sec:.0} session-runs/sec \
-         ({fleet_session_runs} runs, {:.0}% cache hits, peak shard {:.1} KiB)",
+         ({fleet_session_runs} runs, {} replayed, {} batched, {:.0}% cache hits, \
+         peak shard {:.1} KiB)",
+        fleet_outcome.replayed,
+        fleet_outcome.batched,
         fleet_cache_hit_rate * 100.0,
         fleet_peak_shard_bytes as f64 / 1024.0,
     );
@@ -274,17 +310,27 @@ fn main() {
     let session = eavs_bench::cache::stats();
     let segment = eavs_trace::memo::segment_cache_stats();
     let trace = eavs_trace::memo::trace_cache_stats();
+    let timeline = eavs_trace::memo::decision_timeline_stats();
+    let replayed_sessions = eavs_core::session::replayed_sessions();
+    let injected_decisions = eavs_core::session::injected_decisions();
     eprintln!(
-        "  session cache   {} hits / {} misses / {} uncacheable ({:.0}% hit, {:.1} MiB)",
+        "  session cache   {} hits / {} misses / {} uncacheable / {} evicted \
+         ({:.0}% hit, {:.1} MiB)",
         session.hits,
         session.misses,
         session.uncacheable,
+        session.evictions,
         session.hit_rate() * 100.0,
         session.bytes as f64 / (1024.0 * 1024.0),
     );
     eprintln!(
         "  segment cache   {} hits / {} misses; trace cache {} hits / {} misses",
         segment.hits, segment.misses, trace.hits, trace.misses,
+    );
+    eprintln!(
+        "  replay          {} sessions replayed, {} decisions injected \
+         ({} timeline hits / {} misses)",
+        replayed_sessions, injected_decisions, timeline.hits, timeline.misses,
     );
 
     // Optional per-phase breakdown: one profiled session, reported as a
@@ -306,7 +352,9 @@ fn main() {
             "{{\n",
             "  \"events_per_sec\": {events_per_sec:.0},\n",
             "  \"sessions_per_sec\": {sessions_per_sec:.3},\n",
+            "  \"kernel_sessions_per_sec\": {kernel_sessions_per_sec:.3},\n",
             "  \"allocations_per_session\": {allocations_per_session:.0},\n",
+            "  \"kernel_allocations_per_session\": {kernel_allocations_per_session:.0},\n",
             "  \"run_all_wall_s\": {run_all_wall_s:.3},\n",
             "  \"run_all_warm_wall_s\": {run_all_warm_wall_s:.3},\n",
             "  \"warm_speedup\": {warm_speedup:.2},\n",
@@ -315,14 +363,23 @@ fn main() {
             "    \"misses\": {session_misses},\n",
             "    \"uncacheable\": {session_uncacheable},\n",
             "    \"bytes\": {session_bytes},\n",
+            "    \"evictions\": {session_evictions},\n",
             "    \"hit_rate\": {session_hit_rate:.4}\n",
             "  }},\n",
             "  \"segment_cache\": {{ \"hits\": {segment_hits}, \"misses\": {segment_misses} }},\n",
             "  \"trace_cache\": {{ \"hits\": {trace_hits}, \"misses\": {trace_misses} }},\n",
+            "  \"replay\": {{\n",
+            "    \"sessions_replayed\": {replayed_sessions},\n",
+            "    \"decisions_injected\": {injected_decisions},\n",
+            "    \"timeline_hits\": {timeline_hits},\n",
+            "    \"timeline_misses\": {timeline_misses}\n",
+            "  }},\n",
             "  \"fleet\": {{\n",
             "    \"session_runs\": {fleet_session_runs},\n",
             "    \"sessions_per_sec\": {fleet_sessions_per_sec:.1},\n",
             "    \"cache_hit_rate\": {fleet_cache_hit_rate:.4},\n",
+            "    \"replayed\": {fleet_replayed},\n",
+            "    \"batched\": {fleet_batched},\n",
             "    \"peak_shard_bytes\": {fleet_peak_shard_bytes}\n",
             "  }},\n",
             "{profile_field}",
@@ -334,7 +391,9 @@ fn main() {
         ),
         events_per_sec = events_per_sec,
         sessions_per_sec = sessions_per_sec,
+        kernel_sessions_per_sec = kernel_sessions_per_sec,
         allocations_per_session = allocations_per_session,
+        kernel_allocations_per_session = kernel_allocations_per_session,
         run_all_wall_s = run_all_wall_s,
         run_all_warm_wall_s = run_all_warm_wall_s,
         warm_speedup = warm_speedup,
@@ -342,14 +401,21 @@ fn main() {
         session_misses = session.misses,
         session_uncacheable = session.uncacheable,
         session_bytes = session.bytes,
+        session_evictions = session.evictions,
         session_hit_rate = session.hit_rate(),
         segment_hits = segment.hits,
         segment_misses = segment.misses,
         trace_hits = trace.hits,
         trace_misses = trace.misses,
+        replayed_sessions = replayed_sessions,
+        injected_decisions = injected_decisions,
+        timeline_hits = timeline.hits,
+        timeline_misses = timeline.misses,
         fleet_session_runs = fleet_session_runs,
         fleet_sessions_per_sec = fleet_sessions_per_sec,
         fleet_cache_hit_rate = fleet_cache_hit_rate,
+        fleet_replayed = fleet_outcome.replayed,
+        fleet_batched = fleet_outcome.batched,
         fleet_peak_shard_bytes = fleet_peak_shard_bytes,
         profile_field = profile_field,
         experiments = experiments,

@@ -12,8 +12,8 @@
 //! identical, so whichever insert wins is indistinguishable.
 
 use eavs_core::report::SessionReport;
-use eavs_core::session::SessionBuilder;
-use std::collections::HashMap;
+use eavs_core::session::{ReplayCtl, SessionBuilder};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -29,6 +29,8 @@ pub struct SessionCacheStats {
     pub uncacheable: u64,
     /// Approximate resident bytes of the cached reports.
     pub bytes: u64,
+    /// Reports evicted to stay under the byte cap.
+    pub evictions: u64,
 }
 
 impl SessionCacheStats {
@@ -46,11 +48,52 @@ impl SessionCacheStats {
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static UNCACHEABLE: AtomicU64 = AtomicU64::new(0);
-static BYTES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
-fn map() -> &'static Mutex<HashMap<u128, Arc<SessionReport>>> {
-    static MAP: OnceLock<Mutex<HashMap<u128, Arc<SessionReport>>>> = OnceLock::new();
-    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+/// The bounded report store: insertion order doubles as eviction order.
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<u128, Arc<SessionReport>>,
+    /// Keys in insertion order; the front is next to evict.
+    order: VecDeque<u128>,
+    /// Approximate resident bytes of `map`.
+    bytes: u64,
+}
+
+fn cache() -> &'static Mutex<CacheInner> {
+    static MAP: OnceLock<Mutex<CacheInner>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(CacheInner::default()))
+}
+
+/// Resident-byte cap: `EAVS_SESSION_CACHE_MB` (default 64). Reports are
+/// a few KB each (tens of KB with series), so the default holds every
+/// figure of a full `run_all` with room to spare while bounding
+/// pathological callers.
+fn cap_bytes() -> u64 {
+    static CAP: OnceLock<u64> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        crate::executor::env_knob::<u64>("EAVS_SESSION_CACHE_MB").unwrap_or(64) << 20
+    })
+}
+
+/// Inserts under the cap, evicting oldest-inserted entries first. The
+/// just-inserted report is never evicted (the loop stops at one resident
+/// entry), so an oversized report still gets returned and cached until
+/// the next insert. No-op if the key is already present.
+fn insert_bounded(inner: &mut CacheInner, cap: u64, key: u128, report: &Arc<SessionReport>) {
+    if inner.map.contains_key(&key) {
+        return;
+    }
+    inner.bytes += report.approx_bytes();
+    inner.map.insert(key, Arc::clone(report));
+    inner.order.push_back(key);
+    while inner.bytes > cap && inner.order.len() > 1 {
+        let oldest = inner.order.pop_front().expect("len checked");
+        if let Some(evicted) = inner.map.remove(&oldest) {
+            inner.bytes = inner.bytes.saturating_sub(evicted.approx_bytes());
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// `true` when `EAVS_EMPTY_FAULTS` is set: every session without a
@@ -110,20 +153,199 @@ fn run_session_inner(builder: SessionBuilder) -> Arc<SessionReport> {
         UNCACHEABLE.fetch_add(1, Ordering::Relaxed);
         return Arc::new(builder.run());
     };
-    if let Some(r) = map().lock().expect("session cache poisoned").get(&fp.0) {
+    if let Some(r) = cache()
+        .lock()
+        .expect("session cache poisoned")
+        .map
+        .get(&fp.0)
+    {
         HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(r);
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
     let report = Arc::new(builder.run());
-    BYTES.fetch_add(report.approx_bytes(), Ordering::Relaxed);
-    Arc::clone(
-        map()
+    let mut inner = cache().lock().expect("session cache poisoned");
+    if let Some(r) = inner.map.get(&fp.0) {
+        return Arc::clone(r); // a racer inserted first; identical by determinism
+    }
+    insert_bounded(&mut inner, cap_bytes(), fp.0, &report);
+    report
+}
+
+/// Runs a labeled batch of sessions through the cache, the differential
+/// replay store and (under `EAVS_BATCH`) the struct-of-arrays kernel,
+/// returning reports in input order.
+///
+/// This is the vectorized [`run_session`]: identical per-session
+/// semantics (empty-faults decoration, observer bypass, forced null
+/// trace, fingerprint caching), plus two batch-only optimizations that
+/// are invisible in the results:
+///
+/// - **Differential replay.** Cache misses are grouped by
+///   [`SessionBuilder::replay_prefix`]. The first miss of each prefix
+///   runs in a leading wave — recording its decision timeline (or
+///   injecting a previously stored one); the remaining misses run in a
+///   trailing wave with the recorded timeline injected, paying full
+///   decision cost only from their divergence point on.
+/// - **Batched execution.** With `EAVS_BATCH` set, each wave runs
+///   through [`eavs_core::batch::run_batch`] in width-sized lanes.
+///
+/// Every scheduling decision (wave membership, decoration, cache
+/// insertion order) happens on the calling thread in input order, so
+/// counters and eviction order are independent of `EAVS_JOBS`.
+pub fn run_sessions(jobs: Vec<(String, SessionBuilder)>) -> Vec<Arc<SessionReport>> {
+    enum Slot {
+        Done(Arc<SessionReport>),
+        /// Resolve from this call's miss results by fingerprint.
+        Miss(u128),
+        /// Resolve from the uncached run results by position.
+        Uncached(usize),
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
+    let mut misses: Vec<(String, SessionBuilder, u128)> = Vec::new();
+    let mut claimed: HashSet<u128> = HashSet::new();
+    let mut uncached: Vec<(String, SessionBuilder)> = Vec::new();
+
+    for (label, builder) in jobs {
+        let builder = if force_empty_faults() && !builder.has_faults() {
+            builder.faults(eavs_faults::FaultPlan::default())
+        } else {
+            builder
+        };
+        if builder.has_observer() {
+            UNCACHEABLE.fetch_add(1, Ordering::Relaxed);
+            slots.push(Slot::Uncached(uncached.len()));
+            uncached.push((label, builder));
+            continue;
+        }
+        let builder = match forced_null_trace() {
+            Some(sink) => builder.trace(sink),
+            None => builder,
+        };
+        let Some(fp) = builder.fingerprint() else {
+            UNCACHEABLE.fetch_add(1, Ordering::Relaxed);
+            slots.push(Slot::Uncached(uncached.len()));
+            uncached.push((label, builder));
+            continue;
+        };
+        if let Some(r) = cache()
             .lock()
             .expect("session cache poisoned")
-            .entry(fp.0)
-            .or_insert(report),
-    )
+            .map
+            .get(&fp.0)
+        {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            slots.push(Slot::Done(Arc::clone(r)));
+        } else if claimed.contains(&fp.0) {
+            // Duplicate of an earlier miss in this very call.
+            HITS.fetch_add(1, Ordering::Relaxed);
+            slots.push(Slot::Miss(fp.0));
+        } else {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            claimed.insert(fp.0);
+            slots.push(Slot::Miss(fp.0));
+            misses.push((label, builder, fp.0));
+        }
+    }
+
+    // Wave split: the first miss of each replay prefix leads (recording
+    // its timeline unless one is already stored); prefix siblings trail
+    // and inject. Prefix-less builders (baselines, auto placement) join
+    // the leading wave undecorated.
+    let mut wave1: Vec<(String, SessionBuilder, u128)> = Vec::new();
+    let mut wave2: Vec<(String, SessionBuilder, u128, u128)> = Vec::new();
+    let mut leading: HashSet<u128> = HashSet::new();
+    for (label, builder, fp) in misses {
+        match builder.replay_prefix() {
+            Some(key) if !leading.insert(key) => wave2.push((label, builder, fp, key)),
+            Some(key) => {
+                let decorated = match eavs_trace::memo::decision_timeline(key) {
+                    Some(timeline) => builder.replay(ReplayCtl::Inject(timeline)),
+                    None => builder.replay(ReplayCtl::Record(key)),
+                };
+                wave1.push((label, decorated, fp));
+            }
+            None => wave1.push((label, builder, fp)),
+        }
+    }
+
+    let mut local: HashMap<u128, Arc<SessionReport>> = HashMap::new();
+    let run_wave = |wave: Vec<(String, SessionBuilder, u128)>,
+                    local: &mut HashMap<u128, Arc<SessionReport>>| {
+        let fps: Vec<u128> = wave.iter().map(|(_, _, fp)| *fp).collect();
+        let jobs: Vec<(String, SessionBuilder)> =
+            wave.into_iter().map(|(l, b, _)| (l, b)).collect();
+        let reports = execute_wave(jobs);
+        let mut inner = cache().lock().expect("session cache poisoned");
+        for (fp, report) in fps.into_iter().zip(reports) {
+            let report = Arc::new(report);
+            insert_bounded(&mut inner, cap_bytes(), fp, &report);
+            local.insert(fp, report);
+        }
+    };
+    run_wave(wave1, &mut local);
+    let wave2: Vec<(String, SessionBuilder, u128)> = wave2
+        .into_iter()
+        .map(|(label, builder, fp, key)| {
+            let decorated = match eavs_trace::memo::decision_timeline(key) {
+                Some(timeline) => builder.replay(ReplayCtl::Inject(timeline)),
+                None => builder, // recorder ran un-clean; pay full cost
+            };
+            (label, decorated, fp)
+        })
+        .collect();
+    run_wave(wave2, &mut local);
+    let uncached_reports: Vec<Arc<SessionReport>> =
+        execute_wave(uncached).into_iter().map(Arc::new).collect();
+
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(r) => r,
+            Slot::Miss(fp) => Arc::clone(&local[&fp]),
+            Slot::Uncached(i) => Arc::clone(&uncached_reports[i]),
+        })
+        .collect()
+}
+
+/// Runs one wave of builders: width-sized chunks through the
+/// struct-of-arrays kernel when `EAVS_BATCH` asks for it, the scalar
+/// work-stealing pool otherwise. Results in input order either way.
+fn execute_wave(jobs: Vec<(String, SessionBuilder)>) -> Vec<SessionReport> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    match crate::executor::batch_width() {
+        Some(width) => {
+            let mut chunks: Vec<(String, Vec<SessionBuilder>)> = Vec::new();
+            for (label, builder) in jobs {
+                match chunks.last_mut() {
+                    Some((_, chunk)) if chunk.len() < width => chunk.push(builder),
+                    _ => chunks.push((format!("batch {label}"), vec![builder])),
+                }
+            }
+            crate::executor::run_parallel_labeled(
+                chunks
+                    .into_iter()
+                    .map(|(label, chunk)| {
+                        let job = move || eavs_core::batch::run_batch(chunk, width);
+                        (label, job)
+                    })
+                    .collect(),
+            )
+            .into_iter()
+            .flatten()
+            .collect()
+        }
+        None => crate::executor::run_parallel_labeled(
+            jobs.into_iter()
+                .map(|(label, builder)| {
+                    let job = move || builder.run();
+                    (label, job)
+                })
+                .collect(),
+        ),
+    }
 }
 
 /// Counters of the session cache.
@@ -132,7 +354,8 @@ pub fn stats() -> SessionCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         uncacheable: UNCACHEABLE.load(Ordering::Relaxed),
-        bytes: BYTES.load(Ordering::Relaxed),
+        bytes: cache().lock().expect("session cache poisoned").bytes,
+        evictions: EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -217,5 +440,72 @@ mod tests {
         let a = run_session(mk());
         let b = run_session(mk());
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn eviction_is_insertion_ordered_and_spares_the_newest() {
+        // Drive the bounded store directly (not through env knobs, which
+        // are process-wide OnceLocks) with a cap below one report.
+        let mut inner = CacheInner::default();
+        let report = Arc::new(builder().run());
+        let before = EVICTIONS.load(Ordering::Relaxed);
+        insert_bounded(&mut inner, 1, 0xA, &report);
+        assert!(
+            inner.map.contains_key(&0xA),
+            "newest entry is never evicted"
+        );
+        insert_bounded(&mut inner, 1, 0xB, &report);
+        insert_bounded(&mut inner, 1, 0xC, &report);
+        assert_eq!(inner.order.len(), 1);
+        assert!(inner.map.contains_key(&0xC));
+        assert!(!inner.map.contains_key(&0xA) && !inner.map.contains_key(&0xB));
+        assert_eq!(EVICTIONS.load(Ordering::Relaxed) - before, 2);
+        assert_eq!(inner.bytes, report.approx_bytes());
+        // A roomy cap evicts nothing.
+        let mut roomy = CacheInner::default();
+        insert_bounded(&mut roomy, u64::MAX, 0xA, &report);
+        insert_bounded(&mut roomy, u64::MAX, 0xB, &report);
+        assert_eq!(roomy.map.len(), 2);
+    }
+
+    #[test]
+    fn run_sessions_matches_scalar_runs_and_replays_prefix_siblings() {
+        use crate::harness::eavs_with;
+        use eavs_core::governor::EavsConfig;
+        // A margin sweep: one replay prefix, five variants. Seed unique
+        // to this test so every lookup is a genuine miss.
+        let margins = [0.0, 0.10, 0.15, 0.30, 0.50];
+        let mk = |margin| {
+            StreamingSession::builder(eavs_with(
+                EavsConfig {
+                    margin,
+                    ..EavsConfig::default()
+                },
+                "hybrid",
+            ))
+            .manifest(manifest_1080p30(4))
+            .seed(31_337)
+        };
+        let expected: Vec<String> = margins
+            .iter()
+            .map(|&m| format!("{:?}", mk(m).run()))
+            .collect();
+        let replayed_before = eavs_core::session::replayed_sessions();
+        let got = run_sessions(
+            margins
+                .iter()
+                .map(|&m| (format!("margin {m}"), mk(m)))
+                .collect(),
+        );
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(format!("{:?}", **r), expected[i], "margin {}", margins[i]);
+        }
+        assert!(
+            eavs_core::session::replayed_sessions() > replayed_before,
+            "prefix siblings must have injected the recorded timeline"
+        );
+        // A duplicate job in the same call shares the result.
+        let twice = run_sessions(vec![("a".into(), mk(0.15)), ("b".into(), mk(0.15))]);
+        assert!(Arc::ptr_eq(&twice[0], &twice[1]));
     }
 }

@@ -15,14 +15,13 @@ use eavs_core::session::SessionBuilder;
 use eavs_fleet::{CampaignOutcome, CampaignSpec, RunOptions};
 use eavs_metrics::table::Table;
 
-/// The production shard runner: labeled jobs fan out on the shared
-/// work-stealing pool and each session goes through the session cache.
+/// The production shard runner: labeled jobs go through the wave
+/// scheduler ([`crate::cache::run_sessions`]), which dedupes against
+/// the session cache, replays decision timelines across knob variants,
+/// and — when `EAVS_BATCH` selects a width — runs misses through the
+/// batched SoA kernel.
 pub fn pooled_runner(jobs: Vec<(String, SessionBuilder)>) -> Vec<Arc<SessionReport>> {
-    crate::executor::run_parallel_labeled(
-        jobs.into_iter()
-            .map(|(label, builder)| (label, move || crate::cache::run_session(builder)))
-            .collect(),
-    )
+    crate::cache::run_sessions(jobs)
 }
 
 /// Runs (or resumes) a campaign on the pooled, cached runner.

@@ -114,7 +114,7 @@ pub fn emit_into(dir: &std::path::Path, id: &str, table: &Table) {
     }
 }
 
-pub use crate::cache::run_session;
+pub use crate::cache::{run_session, run_sessions};
 pub use crate::executor::{run_parallel, run_parallel_labeled};
 
 #[cfg(test)]

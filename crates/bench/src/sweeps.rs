@@ -3,12 +3,10 @@
 
 use std::sync::Arc;
 
-use crate::harness::{
-    eavs_with, governor, manifest_1080p30, run_parallel_labeled, run_session, single_manifest, SEED,
-};
+use crate::harness::{eavs_with, governor, manifest_1080p30, run_sessions, single_manifest, SEED};
 use eavs_core::governor::EavsConfig;
 use eavs_core::predictor::PREDICTOR_NAMES;
-use eavs_core::session::StreamingSession;
+use eavs_core::session::{SessionBuilder, StreamingSession};
 use eavs_metrics::table::Table;
 use eavs_trace::content::ContentProfile;
 use eavs_video::manifest::Manifest;
@@ -24,17 +22,11 @@ const RUNGS: [(u32, u32, u32, &str); 5] = [
 
 const SWEEP_GOVERNORS: [&str; 4] = ["performance", "ondemand", "interactive", "eavs"];
 
-fn run_one(
-    gov: &str,
-    manifest: Arc<Manifest>,
-    content: ContentProfile,
-) -> Arc<eavs_core::SessionReport> {
-    run_session(
-        StreamingSession::builder(governor(gov))
-            .manifest(manifest)
-            .content(content)
-            .seed(SEED),
-    )
+fn build_one(gov: &str, manifest: Arc<Manifest>, content: ContentProfile) -> SessionBuilder {
+    StreamingSession::builder(governor(gov))
+        .manifest(manifest)
+        .content(content)
+        .seed(SEED)
 }
 
 /// F7: CPU energy vs bitrate/resolution rung (30 fps, film).
@@ -51,13 +43,14 @@ pub fn f7_bitrate_sweep() -> Table {
     t.set_title("F7: CPU energy across the quality ladder — 60 s film @30fps");
     for (kbps, w, h, label) in RUNGS {
         let manifest = Arc::new(single_manifest(kbps, w, h, 60, 30));
-        let reports = run_parallel_labeled(
+        let reports = run_sessions(
             SWEEP_GOVERNORS
                 .iter()
                 .map(|&g| {
-                    let manifest = Arc::clone(&manifest);
-                    let job = move || run_one(g, manifest, ContentProfile::Film);
-                    (format!("f7 {label} {g}"), job)
+                    (
+                        format!("f7 {label} {g}"),
+                        build_one(g, Arc::clone(&manifest), ContentProfile::Film),
+                    )
                 })
                 .collect(),
         );
@@ -89,13 +82,14 @@ pub fn f8_framerate_sweep() -> Table {
     t.set_title("F8: frame-rate sweep — 60 s of 1080p film at 24/30/60 fps");
     for fps in [24u32, 30, 60] {
         let manifest = Arc::new(single_manifest(6_000, 1920, 1080, 60, fps));
-        let reports = run_parallel_labeled(
+        let reports = run_sessions(
             SWEEP_GOVERNORS
                 .iter()
                 .map(|&g| {
-                    let manifest = Arc::clone(&manifest);
-                    let job = move || run_one(g, manifest, ContentProfile::Film);
-                    (format!("f8 {fps}fps {g}"), job)
+                    (
+                        format!("f8 {fps}fps {g}"),
+                        build_one(g, Arc::clone(&manifest), ContentProfile::Film),
+                    )
                 })
                 .collect(),
         );
@@ -121,24 +115,19 @@ pub fn f10_margin_sweep() -> Table {
     let mut t = Table::new(&["margin", "cpu (J)", "late vsyncs", "miss %", "transitions"]);
     t.set_title("F10: EAVS safety-margin sweep — 60 s of 1080p30 sport");
     let manifest = Arc::new(manifest_1080p30(60));
-    let reports = run_parallel_labeled(
+    let reports = run_sessions(
         margins
             .iter()
             .map(|&margin| {
-                let manifest = Arc::clone(&manifest);
-                let job = move || {
-                    let cfg = EavsConfig {
-                        margin,
-                        ..EavsConfig::default()
-                    };
-                    run_session(
-                        StreamingSession::builder(eavs_with(cfg, "hybrid"))
-                            .manifest(manifest)
-                            .content(ContentProfile::Sport)
-                            .seed(SEED),
-                    )
+                let cfg = EavsConfig {
+                    margin,
+                    ..EavsConfig::default()
                 };
-                (format!("f10 margin {margin:.2}"), job)
+                let builder = StreamingSession::builder(eavs_with(cfg, "hybrid"))
+                    .manifest(Arc::clone(&manifest))
+                    .content(ContentProfile::Sport)
+                    .seed(SEED);
+                (format!("f10 margin {margin:.2}"), builder)
             })
             .collect(),
     );
@@ -262,22 +251,15 @@ pub fn f13_ablations() -> Table {
 
     let manifest = Arc::new(manifest_1080p30(60));
     for content in [ContentProfile::Sport, ContentProfile::Animation] {
-        let reports = run_parallel_labeled(
+        let reports = run_sessions(
             variants
                 .iter()
                 .map(|v| {
-                    let predictor = v.predictor;
-                    let config = v.config;
-                    let manifest = Arc::clone(&manifest);
-                    let job = move || {
-                        run_session(
-                            StreamingSession::builder(eavs_with(config, predictor))
-                                .manifest(manifest)
-                                .content(content)
-                                .seed(SEED),
-                        )
-                    };
-                    (format!("f13 {} {}", v.label, content.name()), job)
+                    let builder = StreamingSession::builder(eavs_with(v.config, v.predictor))
+                        .manifest(Arc::clone(&manifest))
+                        .content(content)
+                        .seed(SEED);
+                    (format!("f13 {} {}", v.label, content.name()), builder)
                 })
                 .collect(),
         );

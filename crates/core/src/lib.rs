@@ -39,14 +39,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod governor;
 pub mod predictor;
 pub mod report;
 pub mod selector;
 pub mod session;
 
+pub use batch::{batch_stats, run_batch, BatchStats, DEFAULT_WIDTH};
 pub use governor::{EavsConfig, EavsGovernor, PipelineSnapshot};
 pub use predictor::{FrameMeta, Hybrid, WorkloadPredictor};
 pub use report::SessionReport;
 pub use selector::{required_hz, DemandItem, OppSelector};
-pub use session::{ClusterSelect, GovernorChoice, SessionBuilder, StreamingSession};
+pub use session::{
+    injected_decisions, replayed_sessions, ClusterSelect, GovernorChoice, KernelHot, ReplayCtl,
+    SessionBuilder, SessionScratch, SessionState, StreamingSession,
+};

@@ -34,12 +34,13 @@ use eavs_net::bandwidth::BandwidthTrace;
 use eavs_net::download::{Downloader, RetryPolicy};
 use eavs_net::radio::RadioModel;
 use eavs_obs::{Phase, PhaseProfile, SharedSink, TraceEvent};
-use eavs_sim::engine::{Scheduler, Simulation, World};
+use eavs_sim::engine::{Scheduler, Simulation, StepOutcome, World};
 use eavs_sim::fingerprint::{Fingerprint, Fingerprinter};
 use eavs_sim::queue::EventId;
 use eavs_sim::time::{SimDuration, SimTime};
 use eavs_sysfs::CpufreqFs;
 use eavs_trace::content::ContentProfile;
+use eavs_trace::memo::{self, DecisionRecord, DecisionTimeline};
 use eavs_trace::video_gen::VideoGenerator;
 use eavs_video::display::{LatePolicy, Playback, PlaybackPhase, VsyncOutcome};
 use eavs_video::manifest::Manifest;
@@ -47,7 +48,66 @@ use eavs_video::pipeline::DecodePipeline;
 use eavs_video::qoe::QoeReport;
 use eavs_video::segment::Segment;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Sessions that completed with at least one injected (replayed)
+/// decision, process-wide. These counters live outside [`SessionReport`]
+/// on purpose: a replayed session's report must stay byte-identical to
+/// its fully-simulated twin.
+static REPLAYED_SESSIONS: AtomicU64 = AtomicU64::new(0);
+/// Governor decisions answered from a recorded timeline, process-wide.
+static INJECTED_DECISIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Sessions that completed with at least one injected decision since
+/// process start.
+pub fn replayed_sessions() -> u64 {
+    REPLAYED_SESSIONS.load(Ordering::Relaxed)
+}
+
+/// Governor decisions answered from a recorded timeline since process
+/// start.
+pub fn injected_decisions() -> u64 {
+    INJECTED_DECISIONS.load(Ordering::Relaxed)
+}
+
+/// Decision-timeline control for differential sweep replay.
+///
+/// Outcome-preserving and observer-like: attaching either mode never
+/// changes the session's report, so — like trace sinks — it is not part
+/// of the fingerprint. `Record` publishes the session's decision
+/// timeline under a [`SessionBuilder::replay_prefix`] key once the run
+/// proves fault-clean; `Inject` answers each decision from a recorded
+/// timeline while the trajectory provably matches the recorder's, and
+/// falls back to full decisions from the first divergence on.
+pub enum ReplayCtl {
+    /// Record this session's decision timeline under the given
+    /// replay-prefix key.
+    Record(u128),
+    /// Inject decisions from a previously recorded timeline.
+    Inject(Arc<DecisionTimeline>),
+}
+
+/// Runtime state of the replay control inside the session world.
+enum ReplayState {
+    /// No replay attached; every decision runs the full governor.
+    Off,
+    /// Recording: collect one [`DecisionRecord`] per decision, publish
+    /// the timeline at report time if the run stayed fault-clean.
+    Record {
+        key: u128,
+        records: Vec<DecisionRecord>,
+    },
+    /// Injecting: answer decisions from `timeline[pos..]` while `live`;
+    /// the first mismatch (or any fault effect) drops to full decisions
+    /// for the rest of the session.
+    Inject {
+        timeline: Arc<DecisionTimeline>,
+        pos: usize,
+        live: bool,
+        injected: u64,
+    },
+}
 
 /// Which governor drives the session.
 pub enum GovernorChoice {
@@ -134,6 +194,7 @@ pub struct SessionBuilder {
     retry: RetryPolicy,
     trace: Option<SharedSink>,
     profile: bool,
+    replay: Option<ReplayCtl>,
 }
 
 /// Which cluster of a big.LITTLE SoC hosts the player threads.
@@ -198,7 +259,15 @@ impl SessionBuilder {
             retry: RetryPolicy::default(),
             trace: None,
             profile: false,
+            replay: None,
         }
+    }
+
+    /// Attaches a replay control (record or inject a decision timeline).
+    /// Outcome-preserving, so — like observers — not fingerprinted.
+    pub fn replay(mut self, ctl: ReplayCtl) -> Self {
+        self.replay = Some(ctl);
+        self
     }
 
     /// Attaches a trace sink: every hot-path event (downloads, retries,
@@ -464,6 +533,80 @@ impl SessionBuilder {
         fp.finish()
     }
 
+    /// The differential-replay prefix key: a digest of everything that
+    /// shapes governor decision *instants* and demand *values*, but not
+    /// of the knobs replay handles live (margin, hysteresis, fill race,
+    /// energy floor, panic recovery) nor of fault plans and retry
+    /// policies — those perturb a session only through observable
+    /// divergence that injection detects online. Two builders with equal
+    /// prefixes are the "one knob changed" pairs of a sweep: the first
+    /// records its decision timeline, the rest inject it and pay full
+    /// decision cost only from their divergence point on.
+    ///
+    /// `None` for baselines (their decisions are cheap and not
+    /// replayable), automatic cluster placement (migration compares live
+    /// demand that injection skips) and builders with unfingerprintable
+    /// state.
+    pub fn replay_prefix(&self) -> Option<u128> {
+        let GovernorChoice::Eavs(g) = &self.governor else {
+            return None;
+        };
+        if matches!(self.cluster_select, ClusterSelect::Auto) {
+            return None;
+        }
+        let mut fp = Fingerprinter::new("eavs-session-prefix/v1");
+        g.fingerprint_replay_prefix(&mut fp);
+        fp.write_str(self.soc.name());
+        fp.write_str(self.content.name());
+        self.manifest.fingerprint(&mut fp);
+        self.network.fingerprint(&mut fp);
+        fp.write_f64(self.radio.active_power_w);
+        fp.write_f64(self.radio.tail1_power_w);
+        fp.write_u64(self.radio.tail1.as_nanos());
+        fp.write_f64(self.radio.tail2_power_w);
+        fp.write_u64(self.radio.tail2.as_nanos());
+        fp.write_f64(self.radio.idle_power_w);
+        fp.write_f64(self.radio.promotion_energy_j);
+        fp.write_u64(self.radio.promotion_latency.as_nanos());
+        self.abr.fingerprint(&mut fp);
+        fp.write_u64(self.seed);
+        fp.write_u64(self.max_buffer.as_nanos());
+        fp.write_usize(self.decoded_cap);
+        fp.write_usize(self.startup_frames);
+        fp.write_usize(self.resume_frames);
+        fp.write_u64(self.rtt.as_nanos());
+        fp.write_bool(self.record_series);
+        fp.write_bool(self.drive_via_sysfs);
+        fp.write_opt_u64(self.horizon.map(|h| h.as_nanos()));
+        match &self.thermal {
+            None => fp.write_u8(0),
+            Some((model, throttle)) => {
+                fp.write_u8(1);
+                model.fingerprint(&mut fp);
+                fp.write_f64(throttle.throttle_start_c);
+                fp.write_f64(throttle.throttle_full_c);
+            }
+        }
+        match &self.background {
+            None => fp.write_u8(0),
+            Some(bg) => {
+                fp.write_u8(1);
+                fp.write_f64(bg.duty);
+                fp.write_u64(bg.period.as_nanos());
+            }
+        }
+        fp.write_u8(match self.cluster_select {
+            ClusterSelect::Big => 0,
+            ClusterSelect::Little => 1,
+            ClusterSelect::Auto => unreachable!("excluded above"),
+        });
+        fp.write_u8(match self.late_policy {
+            LatePolicy::Stall => 0,
+            LatePolicy::Drop => 1,
+        });
+        fp.finish().map(|f| f.0)
+    }
+
     /// Runs the session to completion and reports.
     pub fn run(self) -> SessionReport {
         StreamingSession::run_built(self)
@@ -480,6 +623,71 @@ impl StreamingSession {
     }
 
     fn run_built(b: SessionBuilder) -> SessionReport {
+        let mut scratch = SessionScratch::default();
+        let mut state = SessionState::with_scratch(b, &mut scratch);
+        while state.step() {}
+        state.finish_into(&mut scratch)
+    }
+}
+
+/// Recycled per-session buffers for the step kernel.
+///
+/// A shard runner keeps one `SessionScratch` per lane and threads it
+/// through [`SessionState::with_scratch`] / [`SessionState::finish_into`]:
+/// each session inherits the previous one's backing stores (cleared, not
+/// freed), driving steady-state allocations per session toward zero.
+/// `Default` yields empty buffers, so the scalar path pays nothing extra.
+#[derive(Default)]
+pub struct SessionScratch {
+    /// Backing store for [`PipelineSnapshot::upcoming`].
+    snapshot: Vec<FrameMeta>,
+    /// Per-segment ground-truth buffer for oracle preloads.
+    truth: Vec<(FrameMeta, Cycles)>,
+    /// Per-segment bitrate log (QoE input).
+    bitrates: Vec<u32>,
+    /// Time-in-state accumulation buffer.
+    tis: Vec<SimDuration>,
+}
+
+/// A read-only projection of one running session's hot state, cheap
+/// enough to refresh after every kernel step. Batch runners mirror these
+/// into struct-of-arrays lanes for scheduling decisions without touching
+/// the full world.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KernelHot {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// OPP index the cluster is running at.
+    pub opp_index: usize,
+    /// Frames sitting decoded, ready for display.
+    pub decoded_depth: usize,
+    /// Frames buffered but not yet decoded.
+    pub queue_depth: usize,
+    /// Time until the next display deadline (zero unless playing).
+    pub slack: SimDuration,
+    /// Governor decisions taken so far (0 for baselines).
+    pub decisions: u64,
+}
+
+/// The pure step kernel: one streaming session, advanced one event at a
+/// time.
+///
+/// [`SessionState::with_scratch`] performs all construction and initial
+/// scheduling; [`SessionState::step`] processes exactly one event (the
+/// only mutation point); [`SessionState::finish_into`] consumes the
+/// state into a [`SessionReport`], returning the scratch buffers for the
+/// next session. `run()` on the builder is exactly
+/// `with_scratch → step* → finish_into`, so scalar and batched execution
+/// share one code path and byte-identical results by construction.
+pub struct SessionState {
+    sim: Simulation<SessionWorld>,
+    horizon: SimTime,
+    done: bool,
+}
+
+impl SessionState {
+    /// Builds the session world, borrowing backing stores from `scratch`.
+    pub fn with_scratch(b: SessionBuilder, scratch: &mut SessionScratch) -> SessionState {
         let horizon = b.horizon.unwrap_or_else(|| {
             SimTime::ZERO + b.manifest.total_duration() * 6 + SimDuration::from_secs(60)
         });
@@ -508,9 +716,23 @@ impl StreamingSession {
             .unwrap_or_default();
         // Blackout windows rewrite the trace; otherwise the shared Arc is
         // used untouched (keeps sweep jobs on one allocation).
+        let blackout_cutoff = faults.first_blackout_start();
         let network = match faults.apply_to_trace(&b.network) {
             Some(t) => Arc::new(t),
             None => Arc::clone(&b.network),
+        };
+        let replay = match b.replay {
+            None => ReplayState::Off,
+            Some(ReplayCtl::Record(key)) => ReplayState::Record {
+                key,
+                records: Vec::with_capacity(4096),
+            },
+            Some(ReplayCtl::Inject(timeline)) => ReplayState::Inject {
+                timeline,
+                pos: 0,
+                live: true,
+                injected: 0,
+            },
         };
         let ambient_queue: VecDeque<AmbientStep> = if b.thermal.is_some() {
             faults.ambient_steps().iter().copied().collect()
@@ -524,6 +746,15 @@ impl StreamingSession {
             .max(b.manifest.frames_per_segment * 2) as usize;
         let num_segments = b.manifest.num_segments as usize;
         let frames_per_segment = b.manifest.frames_per_segment as usize;
+        let mut bitrates = std::mem::take(&mut scratch.bitrates);
+        bitrates.clear();
+        bitrates.reserve(num_segments);
+        let mut snapshot_scratch = std::mem::take(&mut scratch.snapshot);
+        snapshot_scratch.clear();
+        snapshot_scratch.reserve(16);
+        let mut truth_scratch = std::mem::take(&mut scratch.truth);
+        truth_scratch.clear();
+        truth_scratch.reserve(frames_per_segment);
         let world = SessionWorld {
             monitor: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
             monitor_bg: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
@@ -569,9 +800,9 @@ impl StreamingSession {
             next_segment: 0,
             pending_segment: None,
             last_rep: None,
-            bitrates: Vec::with_capacity(num_segments),
-            snapshot_scratch: Vec::with_capacity(16),
-            truth_scratch: Vec::with_capacity(frames_per_segment),
+            bitrates,
+            snapshot_scratch,
+            truth_scratch,
             decode_event: None,
             decode_initial: None,
             vsync_event: None,
@@ -581,6 +812,10 @@ impl StreamingSession {
             max_buffer_frames,
             trace: b.trace,
             profile: b.profile.then(PhaseProfile::new),
+            replay,
+            replay_dead: false,
+            ambient_fired: false,
+            blackout_cutoff,
         };
         let mut sim = Simulation::new(world);
         if let Some(sink) = sim.world().trace.clone() {
@@ -653,13 +888,63 @@ impl StreamingSession {
             let at = sim.world().ambient_queue[i].at;
             sim.scheduler().schedule_at(at, Ev::AmbientStep);
         }
-        sim.run_until(horizon);
+        SessionState {
+            sim,
+            horizon,
+            done: false,
+        }
+    }
 
-        let end = sim.world().end_time.unwrap_or(sim.now());
-        let events = sim.scheduler().events_processed();
-        let mut world = sim.into_world();
+    /// Processes exactly one event. Returns `false` once the session is
+    /// over (playback ended, queue drained, or horizon reached); further
+    /// calls stay `false`.
+    pub fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        match self.sim.step_until(self.horizon) {
+            StepOutcome::Progressed => true,
+            StepOutcome::QueueEmpty | StepOutcome::HorizonReached | StepOutcome::Stopped => {
+                self.done = true;
+                false
+            }
+        }
+    }
+
+    /// Whether the session has finished.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Snapshot of the hot state for batch scheduling.
+    pub fn hot(&self) -> KernelHot {
+        let w = self.sim.world();
+        let now = self.sim.now();
+        KernelHot {
+            now,
+            opp_index: w.cluster.current_index(),
+            decoded_depth: w.pipeline.decoded_len(),
+            queue_depth: w.pipeline.undecoded_len(),
+            slack: if w.playback.phase() == PlaybackPhase::Playing {
+                w.next_vsync_at.saturating_duration_since(now)
+            } else {
+                SimDuration::ZERO
+            },
+            decisions: match &w.governor {
+                GovernorChoice::Eavs(g) => g.decisions(),
+                GovernorChoice::Baseline(_) => 0,
+            },
+        }
+    }
+
+    /// Consumes the finished (or horizon-cut) session into its report,
+    /// returning the recycled buffers through `scratch`.
+    pub fn finish_into(mut self, scratch: &mut SessionScratch) -> SessionReport {
+        let end = self.sim.world().end_time.unwrap_or(self.sim.now());
+        let events = self.sim.scheduler().events_processed();
+        let mut world = self.sim.into_world();
         world.playback.finalize(end);
-        world.build_report(end, events)
+        world.build_report(end, events, scratch)
     }
 }
 
@@ -790,6 +1075,18 @@ struct SessionWorld {
     trace: Option<SharedSink>,
     /// Wall/sim per-phase accounting, when profiling was requested.
     profile: Option<PhaseProfile>,
+    /// Differential-replay state (record, inject, or off).
+    replay: ReplayState,
+    /// A download stalled or straddled a blackout rewrite: the timeline
+    /// is (or is about to become) divergent in a way `chosen`-matching
+    /// cannot see, so replay goes (and stays) dead.
+    replay_dead: bool,
+    /// An ambient-temperature fault step fired (perturbs throttling).
+    ambient_fired: bool,
+    /// Start of the earliest blackout window when the bandwidth trace
+    /// was rewritten; transfers scheduled to complete at or after this
+    /// instant kill replay (see [`SessionWorld::begin_transfer`]).
+    blackout_cutoff: Option<SimTime>,
 }
 
 impl World for SessionWorld {
@@ -898,6 +1195,7 @@ impl SessionWorld {
         if self.faults.is_stalled(segment.index, attempt) {
             // The server wedged: the radio burns energy but no completion
             // instant exists. Only the watchdog can recover this.
+            self.replay_dead = true;
             self.downloader.start_stalled(now, segment.size_bytes());
             self.emit(now, || TraceEvent::DownloadStalled {
                 segment: segment.index,
@@ -908,6 +1206,15 @@ impl SessionWorld {
                 .downloader
                 .start(now, segment.size_bytes())
                 .expect("bandwidth trace stalls forever; transfer cannot complete");
+            if self.blackout_cutoff.is_some_and(|cutoff| done >= cutoff) {
+                // The transfer overlaps a blackout rewrite: its completion
+                // instant differs from the recorder's, and every decision
+                // from here depends on it. Replay dies at the *scheduling*
+                // instant — decision instants up to this point were
+                // provably identical to the recorder's, so injections so
+                // far remain valid.
+                self.replay_dead = true;
+            }
             self.download_event = Some(sched.schedule_at(done, Ev::DownloadDone));
             self.emit(now, || TraceEvent::DownloadStart {
                 segment: segment.index,
@@ -1096,6 +1403,7 @@ impl SessionWorld {
     fn on_ambient_step(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
         self.update_thermal(sched, now);
         if let Some(step) = self.ambient_queue.pop_front() {
+            self.ambient_fired = true;
             self.emit(now, || TraceEvent::AmbientStep {
                 milli_c: (step.ambient_c * 1000.0).round() as i64,
             });
@@ -1411,16 +1719,57 @@ impl SessionWorld {
         } else {
             0
         };
+        let clean = self.replay_clean();
         let snapshot = self.snapshot(now);
         let GovernorChoice::Eavs(g) = &mut self.governor else {
             unreachable!("checked above");
         };
-        let idx = g.decide(
-            &snapshot,
-            self.cluster.opps(),
-            self.cluster.limits(),
-            self.cluster.current_index(),
-        );
+        let opps = self.cluster.opps();
+        let limits = self.cluster.limits();
+        let cur = self.cluster.current_index();
+        let idx = match &mut self.replay {
+            ReplayState::Off => g.decide(&snapshot, opps, limits, cur),
+            ReplayState::Record { records, .. } => {
+                g.decide_recorded(&snapshot, opps, limits, cur, records)
+            }
+            ReplayState::Inject {
+                timeline,
+                pos,
+                live,
+                injected,
+            } => {
+                let mut answered = None;
+                if *live && clean {
+                    if let Some(rec) = timeline.records.get(*pos).copied() {
+                        answered = g.decide_replayed(&snapshot, opps, limits, cur, &rec);
+                        match answered {
+                            Some(idx) => {
+                                *pos += 1;
+                                *injected += 1;
+                                if idx as u16 != rec.chosen {
+                                    // This variant's own knobs diverged
+                                    // from the recorder here. The injected
+                                    // decision is still exact (the
+                                    // trajectory matched up to this
+                                    // instant), but every later recorded
+                                    // demand belongs to a different future.
+                                    *live = false;
+                                }
+                            }
+                            None => *live = false,
+                        }
+                    } else {
+                        *live = false;
+                    }
+                } else {
+                    *live = false;
+                }
+                match answered {
+                    Some(idx) => idx,
+                    None => g.decide(&snapshot, opps, limits, cur),
+                }
+            }
+        };
         let panics_after = if tracing { g.panics() } else { 0 };
         self.snapshot_scratch = snapshot.upcoming;
         if tracing {
@@ -1433,6 +1782,22 @@ impl SessionWorld {
             });
         }
         self.apply_target(sched, now, idx);
+    }
+
+    /// Whether the run has, so far, shown no fault effect that could
+    /// desynchronize it from a fault-free recording. Every fault counter
+    /// is bumped *before* the same handler calls [`SessionWorld::govern`],
+    /// and stale timeout events return before either, so this is exact at
+    /// each decision site.
+    fn replay_clean(&self) -> bool {
+        !self.replay_dead
+            && !self.ambient_fired
+            && self.download_timeouts == 0
+            && self.corrupt_downloads == 0
+            && self.download_retries == 0
+            && self.segments_abandoned == 0
+            && self.decode_spikes == 0
+            && self.decode_stalls == 0
     }
 
     fn snapshot(&mut self, now: SimTime) -> PipelineSnapshot {
@@ -1503,7 +1868,30 @@ impl SessionWorld {
         }
     }
 
-    fn build_report(mut self, end: SimTime, events_processed: u64) -> SessionReport {
+    fn build_report(
+        mut self,
+        end: SimTime,
+        events_processed: u64,
+        scratch: &mut SessionScratch,
+    ) -> SessionReport {
+        // Replay epilogue. A timeline is published only when the run
+        // stayed fully clean end to end: fault effects embed themselves
+        // in recorded demand values in ways a later injector cannot
+        // detect by `chosen`-matching alone.
+        match std::mem::replace(&mut self.replay, ReplayState::Off) {
+            ReplayState::Off => {}
+            ReplayState::Record { key, records } => {
+                if self.replay_clean() && self.blackout_cutoff.is_none() {
+                    memo::store_decision_timeline(key, records);
+                }
+            }
+            ReplayState::Inject { injected, .. } => {
+                if injected > 0 {
+                    REPLAYED_SESSIONS.fetch_add(1, Ordering::Relaxed);
+                    INJECTED_DECISIONS.fetch_add(injected, Ordering::Relaxed);
+                }
+            }
+        }
         let session_length = end - SimTime::ZERO;
         let mut cpu_energy = self.cluster.energy_at(end);
         if let Some(standby) = &mut self.standby {
@@ -1517,7 +1905,9 @@ impl SessionWorld {
         let radio = self
             .radio
             .account(self.downloader.activity(end), session_length);
-        let mut tis = Vec::with_capacity(self.cluster.opps().len());
+        let mut tis = std::mem::take(&mut scratch.tis);
+        tis.clear();
+        tis.reserve(self.cluster.opps().len());
         self.cluster.time_in_state_into(end, &mut tis);
         let mut time_in_state: Vec<(Frequency, SimDuration)> = Vec::with_capacity(tis.len());
         time_in_state.extend(
@@ -1535,6 +1925,7 @@ impl SessionWorld {
                 .sum::<f64>()
                 / total.as_secs_f64()
         };
+        scratch.tis = tis;
         let startup_delay = self.playback.startup_delay().unwrap_or(session_length);
         let qoe = QoeReport::from_playback(
             &self.playback,
@@ -1542,6 +1933,13 @@ impl SessionWorld {
             startup_delay,
             session_length,
         );
+        // QoE was the last reader; hand the recycled buffers back.
+        self.bitrates.clear();
+        scratch.bitrates = std::mem::take(&mut self.bitrates);
+        self.snapshot_scratch.clear();
+        scratch.snapshot = std::mem::take(&mut self.snapshot_scratch);
+        self.truth_scratch.clear();
+        scratch.truth = std::mem::take(&mut self.truth_scratch);
         let panic_races = match &self.governor {
             GovernorChoice::Eavs(g) => g.panics(),
             GovernorChoice::Baseline(_) => 0,
@@ -2052,5 +2450,135 @@ mod tests {
             .network(BandwidthTrace::constant(1e6))
             .run();
         assert!(r.qoe.rebuffer_events > 0 || r.qoe.frames_displayed < r.qoe.total_frames);
+    }
+
+    fn eavs_with(config: EavsConfig) -> GovernorChoice {
+        GovernorChoice::Eavs(EavsGovernor::new(Box::new(Hybrid::default()), config))
+    }
+
+    fn replay_pair(config: EavsConfig, seed: u64) -> (SessionBuilder, SessionBuilder) {
+        let mk = || {
+            StreamingSession::builder(eavs_with(config))
+                .manifest(short_manifest())
+                .seed(seed)
+        };
+        (mk(), mk())
+    }
+
+    #[test]
+    fn replay_prefix_collapses_live_knobs_and_excludes_faults() {
+        let base = replay_pair(EavsConfig::default(), 3).0;
+        let variant = StreamingSession::builder(eavs_with(EavsConfig {
+            margin: 0.40,
+            down_hysteresis: 1,
+            race_on_fill: false,
+            ..EavsConfig::default()
+        }))
+        .manifest(short_manifest())
+        .seed(3);
+        assert_eq!(
+            base.replay_prefix().expect("prefixable"),
+            variant.replay_prefix().expect("prefixable"),
+            "margin/hysteresis/race are live knobs, not prefix inputs"
+        );
+        assert_ne!(base.fingerprint(), variant.fingerprint());
+        let faulted = StreamingSession::builder(eavs_with(EavsConfig::default()))
+            .manifest(short_manifest())
+            .seed(3)
+            .faults(FaultPlan::standard_storm());
+        assert_eq!(
+            base.replay_prefix(),
+            faulted.replay_prefix(),
+            "fault plans diverge observably, so they stay out of the prefix"
+        );
+        let other_seed = replay_pair(EavsConfig::default(), 4).0;
+        assert_ne!(base.replay_prefix(), other_seed.replay_prefix());
+        let baseline = StreamingSession::builder(GovernorChoice::Baseline(Box::new(Performance)))
+            .manifest(short_manifest());
+        assert_eq!(baseline.replay_prefix(), None);
+    }
+
+    #[test]
+    fn replayed_variant_is_byte_identical_to_full_simulation() {
+        let variant_cfg = EavsConfig {
+            margin: 0.35,
+            down_hysteresis: 1,
+            ..EavsConfig::default()
+        };
+        // Full simulations of recorder and variant, untouched by replay.
+        let (rec_full, _) = replay_pair(EavsConfig::default(), 9);
+        let key = rec_full.replay_prefix().expect("prefixable");
+        let expected = {
+            let b = StreamingSession::builder(eavs_with(variant_cfg))
+                .manifest(short_manifest())
+                .seed(9);
+            format!("{:?}", b.run())
+        };
+        // Record the base timeline, then inject it into the variant.
+        let _ = replay_pair(EavsConfig::default(), 9)
+            .0
+            .replay(ReplayCtl::Record(key))
+            .run();
+        let timeline = memo::decision_timeline(key).expect("timeline stored");
+        assert!(!timeline.records.is_empty());
+        let injected_before = injected_decisions();
+        let replayed_before = replayed_sessions();
+        let got = StreamingSession::builder(eavs_with(variant_cfg))
+            .manifest(short_manifest())
+            .seed(9)
+            .replay(ReplayCtl::Inject(timeline))
+            .run();
+        assert_eq!(format!("{got:?}"), expected, "replay must be invisible");
+        assert!(
+            injected_decisions() > injected_before,
+            "some decisions must have been answered from the timeline"
+        );
+        assert_eq!(replayed_sessions(), replayed_before + 1);
+    }
+
+    #[test]
+    fn faulted_recording_is_never_published() {
+        let b = StreamingSession::builder(eavs())
+            .manifest(short_manifest())
+            .seed(11)
+            .faults(FaultPlan::standard_storm());
+        let key = b.replay_prefix().expect("prefixable");
+        let _ = b.replay(ReplayCtl::Record(key)).run();
+        assert!(
+            memo::decision_timeline(key).is_none(),
+            "a fault-perturbed timeline must not be stored"
+        );
+    }
+
+    #[test]
+    fn faulted_injection_falls_back_to_full_decisions() {
+        // Record clean, inject into a *faulted* twin: the report must
+        // match the faulted full simulation exactly.
+        let clean = StreamingSession::builder(eavs())
+            .manifest(short_manifest())
+            .seed(13);
+        let key = clean.replay_prefix().expect("prefixable");
+        let _ = StreamingSession::builder(eavs())
+            .manifest(short_manifest())
+            .seed(13)
+            .replay(ReplayCtl::Record(key))
+            .run();
+        let timeline = memo::decision_timeline(key).expect("stored");
+        let plan = FaultPlan::standard_storm();
+        let expected = format!(
+            "{:?}",
+            StreamingSession::builder(eavs())
+                .manifest(short_manifest())
+                .seed(13)
+                .faults(plan.clone())
+                .run()
+        );
+        let got = StreamingSession::builder(eavs())
+            .manifest(short_manifest())
+            .seed(13)
+            .faults(plan)
+            .replay(ReplayCtl::Inject(timeline))
+            .run();
+        assert_eq!(format!("{got:?}"), expected);
     }
 }

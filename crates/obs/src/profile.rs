@@ -37,6 +37,8 @@ pub struct PhaseProfile {
     pub display: PhaseStats,
     /// Governor sampling and decisions.
     pub governor: PhaseStats,
+    /// Batched-kernel shard-runner overhead.
+    pub batch_step: PhaseStats,
     /// Everything else.
     pub other: PhaseStats,
 }
@@ -54,6 +56,7 @@ impl PhaseProfile {
             Phase::Decode => &mut self.decode,
             Phase::Display => &mut self.display,
             Phase::Governor => &mut self.governor,
+            Phase::BatchStep => &mut self.batch_step,
             Phase::Other => &mut self.other,
         }
     }
@@ -65,6 +68,7 @@ impl PhaseProfile {
             Phase::Decode => &self.decode,
             Phase::Display => &self.display,
             Phase::Governor => &self.governor,
+            Phase::BatchStep => &self.batch_step,
             Phase::Other => &self.other,
         }
     }
@@ -160,7 +164,7 @@ mod tests {
         assert!(json
             .starts_with(r#"{"download":{"events":1,"sim_ms":482.125000,"wall_us":13},"decode":"#));
         assert!(json.ends_with(r#""other":{"events":0,"sim_ms":0.000000,"wall_us":0}}"#));
-        // All five phases present, in order.
+        // All six phases present, in order.
         for p in Phase::ALL {
             assert!(json.contains(&format!(r#""{}":{{"#, p.name())));
         }

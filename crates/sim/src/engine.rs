@@ -145,6 +145,14 @@ impl<E> Scheduler<E> {
     pub fn next_event_time(&mut self) -> Option<SimTime> {
         self.queue.peek_time()
     }
+
+    /// Whether a handler has requested the run loop stop. Cleared at the
+    /// start of every [`Simulation::run_until`] call; incremental drivers
+    /// built on [`Simulation::step_until`] observe it through the
+    /// [`StepOutcome`] instead.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested
+    }
 }
 
 /// Outcome of a [`Simulation::run_until`] call.
@@ -156,6 +164,42 @@ pub enum RunOutcome {
     HorizonReached,
     /// A handler called [`Scheduler::stop`].
     Stopped,
+}
+
+/// Outcome of a single [`Simulation::step_until`] call.
+///
+/// `Progressed` means exactly one event was handled and the run may
+/// continue; the three terminal variants mirror [`RunOutcome`] so
+/// `run_until` is precisely a loop over `step_until`. External drivers
+/// (the batched shard runner) interleave many simulations by calling
+/// `step_until` round-robin and retiring a lane on its first terminal
+/// outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// One event was handled; more work may remain.
+    Progressed,
+    /// The event queue drained before the horizon.
+    QueueEmpty,
+    /// The next event lies past the horizon; the clock was advanced to it.
+    HorizonReached,
+    /// The handler of the event just dispatched called [`Scheduler::stop`].
+    Stopped,
+}
+
+impl StepOutcome {
+    /// Folds a terminal step outcome into the equivalent run outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`StepOutcome::Progressed`], which is not terminal.
+    pub fn into_run_outcome(self) -> RunOutcome {
+        match self {
+            StepOutcome::Progressed => panic!("Progressed is not a terminal outcome"),
+            StepOutcome::QueueEmpty => RunOutcome::QueueEmpty,
+            StepOutcome::HorizonReached => RunOutcome::HorizonReached,
+            StepOutcome::Stopped => RunOutcome::Stopped,
+        }
+    }
 }
 
 /// A discrete-event simulation: a [`World`] plus its [`Scheduler`].
@@ -229,17 +273,34 @@ impl<W: World> Simulation<W> {
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         self.sched.stop_requested = false;
         loop {
-            match self.sched.queue.peek_time() {
-                None => return RunOutcome::QueueEmpty,
-                Some(t) if t > horizon => {
-                    self.sched.now = horizon.max(self.sched.now);
-                    return RunOutcome::HorizonReached;
-                }
-                Some(_) => {
-                    self.step();
-                    if self.sched.stop_requested {
-                        return RunOutcome::Stopped;
-                    }
+            match self.step_until(horizon) {
+                StepOutcome::Progressed => {}
+                terminal => return terminal.into_run_outcome(),
+            }
+        }
+    }
+
+    /// Advances the simulation by at most one event, honouring `horizon`
+    /// exactly as [`Simulation::run_until`] does: an event *at* the
+    /// horizon is dispatched, the first event *past* it advances the
+    /// clock to the horizon and terminates. Unlike `run_until`, a prior
+    /// stop request is not cleared — callers that resume after
+    /// [`StepOutcome::Stopped`] reset it via [`Scheduler::stop`]'s
+    /// counterpart semantics in `run_until`, or simply treat the lane as
+    /// retired (the session kernel does the latter).
+    pub fn step_until(&mut self, horizon: SimTime) -> StepOutcome {
+        match self.sched.queue.peek_time() {
+            None => StepOutcome::QueueEmpty,
+            Some(t) if t > horizon => {
+                self.sched.now = horizon.max(self.sched.now);
+                StepOutcome::HorizonReached
+            }
+            Some(_) => {
+                self.step();
+                if self.sched.stop_requested {
+                    StepOutcome::Stopped
+                } else {
+                    StepOutcome::Progressed
                 }
             }
         }
@@ -403,6 +464,47 @@ mod tests {
         sim.run();
         assert_eq!(seen.lock().unwrap().len(), 2);
         assert_eq!(sim.world().log.len(), 3);
+    }
+
+    #[test]
+    fn step_until_matches_run_until_event_for_event() {
+        let mut stepped = Simulation::new(Recorder::new());
+        let mut ran = Simulation::new(Recorder::new());
+        for sim in [&mut stepped, &mut ran] {
+            sim.scheduler().schedule_at(SimTime::from_secs(1), Ev::Tick);
+            sim.scheduler().schedule_at(SimTime::from_secs(2), Ev::Boom);
+            sim.scheduler().schedule_at(SimTime::from_secs(5), Ev::Tick);
+        }
+        let horizon = SimTime::from_secs(3);
+        let run = ran.run_until(horizon);
+        let mut last = StepOutcome::Progressed;
+        while last == StepOutcome::Progressed {
+            last = stepped.step_until(horizon);
+        }
+        assert_eq!(last.into_run_outcome(), run);
+        assert_eq!(stepped.world().log, ran.world().log);
+        assert_eq!(stepped.now(), ran.now());
+        assert_eq!(
+            stepped.scheduler().events_processed(),
+            ran.scheduler().events_processed()
+        );
+    }
+
+    #[test]
+    fn step_until_reports_stop_and_queue_empty() {
+        let mut sim = Simulation::new(Recorder::new());
+        sim.world_mut().stop_after = Some(1);
+        sim.scheduler().schedule_at(SimTime::from_secs(1), Ev::Tick);
+        sim.scheduler().schedule_at(SimTime::from_secs(2), Ev::Tick);
+        assert_eq!(sim.step_until(SimTime::MAX), StepOutcome::Stopped);
+        assert!(sim.scheduler().stop_requested());
+        // A drained queue reports QueueEmpty without advancing the clock.
+        let mut empty = Simulation::new(Recorder::new());
+        assert_eq!(
+            empty.step_until(SimTime::from_secs(9)),
+            StepOutcome::QueueEmpty
+        );
+        assert_eq!(empty.now(), SimTime::ZERO);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod trace;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
-    pub use crate::engine::{RunOutcome, Scheduler, Simulation, World};
+    pub use crate::engine::{RunOutcome, Scheduler, Simulation, StepOutcome, World};
     pub use crate::fingerprint::{Fingerprint, Fingerprinter};
     pub use crate::queue::{EventId, EventQueue};
     pub use crate::rng::SimRng;
@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::trace::{TraceEntry, TraceLog};
 }
 
-pub use engine::{RunOutcome, Scheduler, Simulation, World};
+pub use engine::{RunOutcome, Scheduler, Simulation, StepOutcome, World};
 pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;

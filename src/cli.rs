@@ -83,6 +83,9 @@ pub struct FleetArgs {
     pub out: Option<String>,
     /// Also write Prometheus text-exposition metrics here.
     pub metrics_out: Option<String>,
+    /// Batched-kernel lane width (`--batch N`; equivalent to setting
+    /// `EAVS_BATCH=N` in the environment).
+    pub batch: Option<usize>,
 }
 
 impl Default for FleetArgs {
@@ -98,6 +101,7 @@ impl Default for FleetArgs {
             halt_after_shards: None,
             out: None,
             metrics_out: None,
+            batch: None,
         }
     }
 }
@@ -237,6 +241,9 @@ FLEET OPTIONS (defaults come from the chosen preset):
   --metrics-out PATH      also write Prometheus text-exposition metrics
                           (shard progress, cache hit rate, per-governor
                           energy/QoE histograms, fault counters)
+  --batch N               run shards through the batched SoA session
+                          kernel, N lanes per worker (same as EAVS_BATCH=N;
+                          results stay byte-identical)
 
 EXAMPLES:
   eavsctl run --governor eavs --network lte_drive --abr buffer
@@ -364,6 +371,7 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
             }
             "--out" => out.out = Some(value("out")?.clone()),
             "--metrics-out" => out.metrics_out = Some(value("metrics-out")?.clone()),
+            "--batch" => out.batch = Some(parse_num(value("batch")?, "batch")?),
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
         }
     }
@@ -422,15 +430,23 @@ pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
         checkpoint_every: args.checkpoint_every,
         halt_after_shards: args.halt_after_shards,
     };
+    if let Some(width) = args.batch {
+        // The executor reads EAVS_BATCH once; setting it before the
+        // first session runs routes every shard through the SoA kernel.
+        std::env::set_var("EAVS_BATCH", width.to_string());
+    }
     let outcome = eavs_bench::fleet::run_campaign(&spec, &opts)?;
     let table = outcome.aggregate.table(&spec);
     let mut out = table.render();
     out.push_str(&format!(
-        "{}/{} shards done; {} session-runs this invocation ({:.0} runs/sec); peak shard {:.1} KiB\n",
+        "{}/{} shards done; {} session-runs this invocation ({:.0} runs/sec); \
+         {} replayed, {} batched; peak shard {:.1} KiB\n",
         outcome.aggregate.shards_done,
         spec.num_shards(),
         outcome.session_runs,
         outcome.session_runs as f64 / outcome.wall_s.max(1e-9),
+        outcome.replayed,
+        outcome.batched,
         outcome.peak_shard_bytes as f64 / 1024.0,
     ));
     if outcome.status == eavs_fleet::CampaignStatus::Halted {
@@ -441,18 +457,23 @@ pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
         out.push_str(&format!("[csv written to {path}]\n"));
     }
     if let Some(path) = &args.metrics_out {
-        write_output_file(path, &fleet_metrics_page(&outcome.aggregate, &spec))?;
+        write_output_file(path, &fleet_metrics_page(&outcome, &spec))?;
         out.push_str(&format!("[metrics written to {path}]\n"));
     }
     Ok(out)
 }
 
-/// Renders the campaign's Prometheus page plus the process-local
-/// session-cache counters (hits/misses/bytes), which live in the bench
-/// harness rather than the campaign aggregate.
-fn fleet_metrics_page(agg: &eavs_fleet::FleetAggregate, spec: &eavs_fleet::CampaignSpec) -> String {
+/// Renders the campaign's Prometheus page plus the invocation execution
+/// counters (replayed/batched session-runs) and the process-local
+/// session-cache counters (hits/misses/bytes/evictions), which live in
+/// the bench harness rather than the campaign aggregate.
+fn fleet_metrics_page(
+    outcome: &eavs_fleet::CampaignOutcome,
+    spec: &eavs_fleet::CampaignSpec,
+) -> String {
     let mut w = eavs_obs::PromWriter::new();
-    eavs_fleet::prom::write_into(&mut w, agg, spec);
+    eavs_fleet::prom::write_into(&mut w, &outcome.aggregate, spec);
+    eavs_fleet::prom::write_outcome_into(&mut w, outcome, spec);
     let cache = eavs_bench::cache::stats();
     w.help(
         "eavs_session_cache_hits_total",
@@ -482,6 +503,16 @@ fn fleet_metrics_page(agg: &eavs_fleet::FleetAggregate, spec: &eavs_fleet::Campa
     )
     .type_("eavs_session_cache_resident_bytes", "gauge")
     .sample("eavs_session_cache_resident_bytes", &[], cache.bytes as f64);
+    w.help(
+        "eavs_session_cache_evictions_total",
+        "Reports evicted to keep the cache under its byte cap.",
+    )
+    .type_("eavs_session_cache_evictions_total", "counter")
+    .sample(
+        "eavs_session_cache_evictions_total",
+        &[],
+        cache.evictions as f64,
+    );
     w.help(
         "eavs_session_cache_hit_ratio",
         "Fraction of cacheable lookups served from the cache.",
