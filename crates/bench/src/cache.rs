@@ -259,8 +259,17 @@ pub fn run_sessions(jobs: Vec<(String, SessionBuilder)>) -> Vec<Arc<SessionRepor
         match builder.replay_prefix() {
             Some(key) if !leading.insert(key) => wave2.push((label, builder, fp, key)),
             Some(key) => {
-                let decorated = match eavs_trace::memo::decision_timeline(key) {
-                    Some(timeline) => builder.replay(ReplayCtl::Inject(timeline)),
+                // Probe without counting: a leader that finds nothing is
+                // the recorder, not a missed replay. Only when a timeline
+                // already exists (an earlier figure shared the prefix) is
+                // the counting lookup taken — that injection is a real
+                // replay and lands in the hit rate.
+                let decorated = match eavs_trace::memo::peek_decision_timeline(key) {
+                    Some(_) => {
+                        let timeline =
+                            eavs_trace::memo::decision_timeline(key).expect("just peeked");
+                        builder.replay(ReplayCtl::Inject(timeline))
+                    }
                     None => builder.replay(ReplayCtl::Record(key)),
                 };
                 wave1.push((label, decorated, fp));

@@ -154,14 +154,16 @@ fn first_warning_for(name: &str) -> bool {
         .insert(name.to_string())
 }
 
-/// Batch width from `EAVS_BATCH`: unset or `0` → scalar execution
-/// (`None`); `1` → the default struct-of-arrays width; any other `n` →
+/// Batch width from `EAVS_BATCH`: unset or `1` → the default
+/// struct-of-arrays width (batching is the default shard runner —
+/// byte-identical to scalar, see `eavs_core::batch`); `0` → scalar
+/// execution (`None`), the escape hatch CI exercises; any other `n` →
 /// `n` lanes. Read once — sweeps consult it per wave.
 pub fn batch_width() -> Option<usize> {
     static WIDTH: OnceLock<Option<usize>> = OnceLock::new();
     *WIDTH.get_or_init(|| match env_knob::<usize>("EAVS_BATCH") {
-        None | Some(0) => None,
-        Some(1) => Some(eavs_core::batch::DEFAULT_WIDTH),
+        Some(0) => None,
+        None | Some(1) => Some(eavs_core::batch::DEFAULT_WIDTH),
         Some(n) => Some(n),
     })
 }

@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod comparison;
+pub mod dispatch;
 pub mod executor;
 pub mod extensions;
 pub mod fleet;

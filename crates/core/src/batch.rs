@@ -66,6 +66,10 @@ struct ShardHot {
     queue_depth: Vec<u16>,
     slack_ns: Vec<u64>,
     active: Vec<bool>,
+    /// Governor lane class of the resident session — lanes are admitted
+    /// kind-major so equal classes sit adjacent and one governor's
+    /// decision kernel stays hot across consecutive scheduler picks.
+    gov_kind: Vec<u8>,
 }
 
 impl ShardHot {
@@ -77,6 +81,7 @@ impl ShardHot {
             queue_depth: vec![0; width],
             slack_ns: vec![0; width],
             active: vec![false; width],
+            gov_kind: vec![u8::MAX; width],
         }
     }
 
@@ -116,14 +121,25 @@ struct Lane {
 /// and returns the reports in input order. `width` is clamped to at
 /// least 1; `width == 1` degenerates to scalar execution through the
 /// same kernel.
+///
+/// Admission is *kind-major*: input slots are stably grouped by governor
+/// lane class before lanes fill, so sessions sharing a decision kernel
+/// are resident together and the dispatcher's `match` arm stays
+/// branch-predicted across consecutive scheduler picks. Reports still
+/// come back in input order — sessions are independent, so admission
+/// order is a pure locality decision.
 pub fn run_batch(
     builders: impl IntoIterator<Item = SessionBuilder>,
     width: usize,
 ) -> Vec<SessionReport> {
     let start = Instant::now();
     let width = width.max(1);
-    let mut pending = builders.into_iter().enumerate();
+    let mut queue: Vec<(usize, SessionBuilder)> = builders.into_iter().enumerate().collect();
+    queue.sort_by_key(|(slot, b)| (b.governor_lane_class(), *slot));
+    let total = queue.len();
+    let mut pending = queue.into_iter();
     let mut results: Vec<Option<SessionReport>> = Vec::new();
+    results.resize_with(total, || None);
     let mut scratches: Vec<SessionScratch> =
         (0..width).map(|_| SessionScratch::default()).collect();
     let mut lanes: Vec<Option<Lane>> = (0..width).map(|_| None).collect();
@@ -134,18 +150,18 @@ pub fn run_batch(
     let mut load = |lane: usize,
                     lanes: &mut Vec<Option<Lane>>,
                     hot: &mut ShardHot,
-                    results: &mut Vec<Option<SessionReport>>,
+                    _results: &mut Vec<Option<SessionReport>>,
                     scratches: &mut Vec<SessionScratch>| {
         if let Some((slot, builder)) = pending.next() {
-            if results.len() <= slot {
-                results.resize_with(slot + 1, || None);
-            }
+            let class = builder.governor_lane_class();
             let state = SessionState::with_scratch(builder, &mut scratches[lane]);
             hot.refresh(lane, &state);
             hot.active[lane] = true;
+            hot.gov_kind[lane] = class;
             lanes[lane] = Some(Lane { state, slot });
         } else {
             hot.active[lane] = false;
+            hot.gov_kind[lane] = u8::MAX;
             lanes[lane] = None;
         }
     };
@@ -246,6 +262,54 @@ mod tests {
         let batched = run_batch((0..4).map(faulted), 2);
         for (i, report) in batched.iter().enumerate() {
             assert_eq!(format!("{report:?}"), scalar[i], "faulted session {i}");
+        }
+    }
+
+    #[test]
+    fn kind_major_admission_keeps_input_order_byte_identical() {
+        // Interleave governor kinds so admission grouping actually
+        // reorders lane fill; reports must still match scalar, in input
+        // order.
+        let names = [
+            "ondemand",
+            "eavs",
+            "performance",
+            "schedutil",
+            "eavs",
+            "ondemand",
+        ];
+        let build = |i: usize| {
+            let gov = if names[i] == "eavs" {
+                GovernorChoice::Eavs(EavsGovernor::new(
+                    Box::new(Hybrid::default()),
+                    EavsConfig::default(),
+                ))
+            } else {
+                GovernorChoice::kind_by_name(names[i]).unwrap()
+            };
+            StreamingSession::builder(gov)
+                .manifest(Arc::new(Manifest::single(
+                    3_000,
+                    1280,
+                    720,
+                    SimDuration::from_secs(6),
+                    30,
+                )))
+                .seed(i as u64)
+        };
+        let scalar: Vec<String> = (0..names.len())
+            .map(|i| format!("{:?}", build(i).run()))
+            .collect();
+        for width in [2usize, 4, 16] {
+            let batched = run_batch((0..names.len()).map(build), width);
+            for (i, report) in batched.iter().enumerate() {
+                assert_eq!(
+                    format!("{report:?}"),
+                    scalar[i],
+                    "width {width}, session {i} ({}) diverged",
+                    names[i]
+                );
+            }
         }
     }
 

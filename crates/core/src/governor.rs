@@ -241,6 +241,21 @@ impl EavsGovernor {
         self.predictor.predict(meta)
     }
 
+    /// The demand items left behind by the most recent full `DEMAND`
+    /// decision (the scratch is reused across decisions, so this is only
+    /// meaningful immediately after such a decision — the session copies
+    /// it into its steady-tick cache right away).
+    pub(crate) fn last_demand(&self) -> &[DemandItem] {
+        &self.demand_scratch
+    }
+
+    /// Whether the predictor's observations are type-local (see
+    /// [`WorkloadPredictor::observe_is_type_local`]); gates the partial
+    /// steady-cache refresh after a decode completion.
+    pub(crate) fn observe_type_local(&self) -> bool {
+        self.predictor.observe_is_type_local()
+    }
+
     /// Computes the demand list for a snapshot (visible for tests and the
     /// ablation harness).
     pub fn demand(&self, snap: &PipelineSnapshot) -> Vec<DemandItem> {
@@ -334,6 +349,20 @@ impl EavsGovernor {
         idx
     }
 
+    /// [`decide`](Self::decide) exposing the branch tag and computed
+    /// demand, so the session can decide whether the decision's demand
+    /// list is cacheable for steady-tick reuse (only `DEMAND` branches
+    /// leave a meaningful list behind).
+    pub(crate) fn decide_tagged(
+        &mut self,
+        snap: &PipelineSnapshot,
+        table: &OppTable,
+        limits: PolicyLimits,
+        cur: OppIndex,
+    ) -> (OppIndex, u8, f64) {
+        self.decide_core(snap, table, limits, cur, None)
+    }
+
     /// Takes a decision by *injecting* a recorded demand value instead of
     /// re-running the predictor over the demand window — the expensive
     /// part of a decision. Everything else (panic bookkeeping, selector
@@ -361,6 +390,52 @@ impl EavsGovernor {
         }
         let required = f64::from_bits(rec.required_bits);
         Some(self.decide_core(snap, table, limits, cur, Some(required)).0)
+    }
+
+    /// A Playing-phase decision for a demand value the caller recomputed
+    /// from cached items — the steady-tick fast path. Between pipeline
+    /// events only the clock (and the in-flight frame's progress) moves,
+    /// so the session re-derives `required` from its cached demand list
+    /// and skips the snapshot/predictor walk entirely. This method is
+    /// [`decide_core`](Self::decide_core) specialised to
+    /// `phase == Playing` with a non-empty demand list: every state
+    /// transition — the decision counter, panic-window bookkeeping,
+    /// selector hysteresis, the energy floor — runs identically, so a
+    /// session interleaving fast and full decisions is bit-identical to
+    /// one taking full decisions throughout.
+    ///
+    /// Returns `(index, branch tag, required-for-record)` exactly as the
+    /// full decision would have recorded them.
+    pub(crate) fn decide_steady(
+        &mut self,
+        now: SimTime,
+        table: &OppTable,
+        limits: PolicyLimits,
+        cur: OppIndex,
+        required: f64,
+    ) -> (OppIndex, u8, f64) {
+        self.decisions += 1;
+        if self.config.panic_recovery {
+            if self.breach_pending {
+                self.breach_pending = false;
+                self.panics += 1;
+                self.panic_until = Some(now + self.config.panic_hold);
+            }
+            if let Some(until) = self.panic_until {
+                // Playing-phase by construction, so the Ended exemption
+                // of the full path cannot apply here.
+                if now < until {
+                    return (limits.max_index, decision_kind::STRUCTURAL_MAX, 0.0);
+                }
+                self.panic_until = None;
+            }
+        }
+        let idx = self.selector.select(table, limits, cur, required);
+        (
+            self.apply_floor(idx, true, limits),
+            decision_kind::DEMAND,
+            required,
+        )
     }
 
     /// Pure mirror of [`decide_core`](Self::decide_core)'s control flow:

@@ -68,6 +68,18 @@ pub trait WorkloadPredictor: std::fmt::Debug + Send {
     fn fingerprint(&self, fp: &mut Fingerprinter) {
         fp.mark_opaque();
     }
+
+    /// Whether [`observe`](Self::observe) can only ever change the
+    /// predictions of frames sharing the observed frame's `frame_type`.
+    /// Every built-in predictor keeps per-type (or, for the oracle,
+    /// per-index) state and answers `true`; the session's steady-demand
+    /// cache then refreshes only the observed type's cached items after
+    /// a decode completes instead of rebuilding the whole list. The
+    /// conservative default is `false`: cross-type coupling assumed,
+    /// full rebuild after every observation.
+    fn observe_is_type_local(&self) -> bool {
+        false
+    }
 }
 
 /// Cold-start estimate before any observation of a type: scale from coded
@@ -93,6 +105,10 @@ impl LastValue {
 impl WorkloadPredictor for LastValue {
     fn name(&self) -> &'static str {
         "last"
+    }
+
+    fn observe_is_type_local(&self) -> bool {
+        true
     }
 
     fn predict(&self, meta: FrameMeta) -> Cycles {
@@ -149,6 +165,10 @@ impl WorkloadPredictor for Ewma {
         "ewma"
     }
 
+    fn observe_is_type_local(&self) -> bool {
+        true
+    }
+
     fn predict(&self, meta: FrameMeta) -> Cycles {
         match self.mean[meta.frame_type.index()] {
             Some(v) => Cycles::new(v),
@@ -175,10 +195,19 @@ impl WorkloadPredictor for Ewma {
 }
 
 /// Per-type maximum over a sliding window of observations.
+///
+/// The running maximum is maintained incrementally at
+/// [`observe`](WorkloadPredictor::observe) time (re-scanning the window
+/// only when the evicted entry *was* the maximum), so the much more
+/// frequent [`predict`](WorkloadPredictor::predict) is a single cached
+/// read. The max of a set does not depend on scan order, so the cached
+/// value is bit-identical to the fold the predictor used to run per call.
 #[derive(Clone, Debug)]
 pub struct WindowMax {
     window: usize,
     history: [VecDeque<f64>; 3],
+    /// Cached per-type window maximum; NaN encodes an empty window.
+    max: [f64; 3],
 }
 
 impl WindowMax {
@@ -192,6 +221,7 @@ impl WindowMax {
         WindowMax {
             window,
             history: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            max: [f64::NAN; 3],
         }
     }
 }
@@ -207,20 +237,34 @@ impl WorkloadPredictor for WindowMax {
         "window-max"
     }
 
+    fn observe_is_type_local(&self) -> bool {
+        true
+    }
+
     fn predict(&self, meta: FrameMeta) -> Cycles {
-        let h = &self.history[meta.frame_type.index()];
-        match h.iter().cloned().fold(f64::NAN, f64::max) {
+        match self.max[meta.frame_type.index()] {
             v if v.is_nan() => cold_start(meta),
             v => Cycles::new(v),
         }
     }
 
     fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
-        let h = &mut self.history[meta.frame_type.index()];
+        let i = meta.frame_type.index();
+        let h = &mut self.history[i];
+        let mut evicted = None;
         if h.len() == self.window {
-            h.pop_front();
+            evicted = h.pop_front();
         }
         h.push_back(actual.get());
+        let m = self.max[i];
+        self.max[i] = if evicted.is_some_and(|e| e == m) {
+            // The maximum may have just left the window; rescan.
+            h.iter().cloned().fold(f64::NAN, f64::max)
+        } else if m.is_nan() {
+            actual.get()
+        } else {
+            m.max(actual.get())
+        };
     }
 
     fn fingerprint(&self, fp: &mut Fingerprinter) {
@@ -237,9 +281,67 @@ impl WorkloadPredictor for WindowMax {
 ///
 /// Maintains running first and second moments; falls back to the mean when
 /// size variance is degenerate.
+///
+/// The fitted line is refreshed once per [`observe`](WorkloadPredictor::observe)
+/// and cached, so [`predict`](WorkloadPredictor::predict) — called an order
+/// of magnitude more often (once per frame in the lookahead window, every
+/// decision) — is a handful of flops instead of re-deriving the fit's
+/// divisions each time. The cached coefficients are computed by the exact
+/// same expressions the per-call fit used, so predictions are bit-identical.
 #[derive(Clone, Debug, Default)]
 pub struct SizeRegression {
     stats: [RegState; 3],
+    fit: [Fit; 3],
+}
+
+/// The state of a cached per-type fit.
+#[derive(Clone, Copy, Debug, Default)]
+enum Fit {
+    /// No observations yet: predictions fall back to [`cold_start`].
+    #[default]
+    Cold,
+    /// Too few observations (or degenerate size variance): predict the
+    /// per-type mean.
+    Mean(f64),
+    /// A trusted line, pre-clamped to the sane band around the mean.
+    Line { a: f64, b: f64, lo: f64, hi: f64 },
+}
+
+impl Fit {
+    /// Derives the cached fit from the raw moments — the same arithmetic,
+    /// in the same order, as [`RegState::predict`] performed inline.
+    fn from_state(s: &RegState) -> Fit {
+        if s.n < 1.0 {
+            return Fit::Cold;
+        }
+        let mean = s.sum_y / s.n;
+        if s.n < 8.0 {
+            return Fit::Mean(mean);
+        }
+        let var_x = s.sum_xx - s.sum_x * s.sum_x / s.n;
+        if var_x < 1e-9 {
+            return Fit::Mean(mean);
+        }
+        let cov = s.sum_xy - s.sum_x * s.sum_y / s.n;
+        let b = cov / var_x;
+        let a = (s.sum_y - b * s.sum_x) / s.n;
+        Fit::Line {
+            a,
+            b,
+            lo: mean / 4.0,
+            hi: mean * 4.0,
+        }
+    }
+
+    /// Applies the fit to a coded size; `None` means cold.
+    #[inline]
+    fn apply(&self, x: f64) -> Option<f64> {
+        match *self {
+            Fit::Cold => None,
+            Fit::Mean(mean) => Some(mean),
+            Fit::Line { a, b, lo, hi } => Some((a + b * x).clamp(lo, hi)),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -260,14 +362,19 @@ impl RegState {
         self.sum_xy += x * y;
     }
 
+    /// Reference implementation of the fit, derived inline per call.
+    /// Production goes through the cached [`Fit`]; this stays as the
+    /// oracle the equivalence test compares against, bit for bit.
+    ///
+    /// With few observations a fitted line extrapolates wildly; trust
+    /// the per-type mean until the fit has support, and always clamp
+    /// the line's output to a sane band around the mean.
+    #[cfg(test)]
     fn predict(&self, x: f64) -> Option<f64> {
         if self.n < 1.0 {
             return None;
         }
         let mean = self.sum_y / self.n;
-        // With few observations a fitted line extrapolates wildly; trust
-        // the per-type mean until the fit has support, and always clamp
-        // the line's output to a sane band around the mean.
         if self.n < 8.0 {
             return Some(mean);
         }
@@ -294,15 +401,21 @@ impl WorkloadPredictor for SizeRegression {
         "size-regression"
     }
 
+    fn observe_is_type_local(&self) -> bool {
+        true
+    }
+
     fn predict(&self, meta: FrameMeta) -> Cycles {
-        match self.stats[meta.frame_type.index()].predict(f64::from(meta.size_bytes)) {
+        match self.fit[meta.frame_type.index()].apply(f64::from(meta.size_bytes)) {
             Some(v) => Cycles::new(v.max(10_000.0)),
             None => cold_start(meta),
         }
     }
 
     fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
-        self.stats[meta.frame_type.index()].observe(f64::from(meta.size_bytes), actual.get());
+        let i = meta.frame_type.index();
+        self.stats[i].observe(f64::from(meta.size_bytes), actual.get());
+        self.fit[i] = Fit::from_state(&self.stats[i]);
     }
 
     fn fingerprint(&self, fp: &mut Fingerprinter) {
@@ -354,6 +467,10 @@ impl Default for Hybrid {
 impl WorkloadPredictor for Hybrid {
     fn name(&self) -> &'static str {
         "hybrid"
+    }
+
+    fn observe_is_type_local(&self) -> bool {
+        true
     }
 
     fn predict(&self, meta: FrameMeta) -> Cycles {
@@ -414,6 +531,10 @@ impl Oracle {
 impl WorkloadPredictor for Oracle {
     fn name(&self) -> &'static str {
         "oracle"
+    }
+
+    fn observe_is_type_local(&self) -> bool {
+        true
     }
 
     fn predict(&self, meta: FrameMeta) -> Cycles {
@@ -597,6 +718,58 @@ mod tests {
         }
         let m = meta(FrameType::P, 20_000);
         assert!(safe.predict(m) > tight.predict(m));
+    }
+
+    #[test]
+    fn regression_cached_fit_is_bit_identical_to_inline_fit() {
+        // Deterministic varied stream: every (n, variance) regime of the
+        // fit — cold, low-support mean, degenerate variance, full line —
+        // must produce bit-for-bit the value the inline derivation gives.
+        let mut p = SizeRegression::new();
+        let types = [FrameType::I, FrameType::P, FrameType::B];
+        for step in 0u32..64 {
+            let ty = types[(step % 3) as usize];
+            for &probe in &[400u32, 9_000, 25_000, 1 << 20] {
+                let m = meta(ty, probe);
+                let inline = p.stats[ty.index()]
+                    .predict(f64::from(probe))
+                    .map_or(cold_start(m), |v| Cycles::new(v.max(10_000.0)));
+                assert_eq!(
+                    p.predict(m).get().to_bits(),
+                    inline.get().to_bits(),
+                    "step {step} type {ty:?} probe {probe}"
+                );
+            }
+            // Degenerate sizes for B (constant), spread for I/P.
+            let size = match ty {
+                FrameType::B => 700,
+                _ => 1_000 + 517 * step,
+            };
+            let cost = 5e6 + 300.0 * f64::from(size) + 1e5 * f64::from(step % 5);
+            p.observe(meta(ty, size), Cycles::new(cost));
+        }
+    }
+
+    #[test]
+    fn window_max_cached_max_matches_window_rescan() {
+        // Eviction of the maximum, duplicated maxima, and growth from
+        // empty all keep the cache equal to a full window scan.
+        let mut p = WindowMax::new(4);
+        let vals = [
+            9.0, 2.0, 9.0, 1.0, 3.0, 8.0, 8.0, 7.0, 1.0, 1.0, 1.0, 1.0, 2.0,
+        ];
+        for (i, &v) in vals.iter().enumerate() {
+            p.observe(meta(FrameType::P, 500), mc(v));
+            let scan = p.history[FrameType::P.index()]
+                .iter()
+                .cloned()
+                .fold(f64::NAN, f64::max);
+            assert_eq!(
+                p.predict(meta(FrameType::P, 500)),
+                Cycles::new(scan),
+                "after obs {i}"
+            );
+        }
     }
 
     #[test]

@@ -21,13 +21,14 @@
 use crate::governor::{EavsGovernor, InFlightMeta, PipelineSnapshot};
 use crate::predictor::FrameMeta;
 use crate::report::SessionReport;
+use crate::selector::{required_hz, DemandItem};
 use eavs_cpu::cluster::{Cluster, PolicyLimits};
 use eavs_cpu::freq::{Cycles, Frequency};
 use eavs_cpu::load::LoadMonitor;
 use eavs_cpu::soc::SocModel;
 use eavs_cpu::thermal::{ThermalModel, ThrottleController};
 use eavs_faults::{AmbientStep, FaultPlan, FaultSchedule};
-use eavs_governors::CpufreqGovernor;
+use eavs_governors::{CpufreqGovernor, GovernorKind, LutCache};
 use eavs_metrics::timeseries::StepSeries;
 use eavs_net::abr::{AbrAlgorithm, AbrContext, FixedAbr};
 use eavs_net::bandwidth::BandwidthTrace;
@@ -111,16 +112,36 @@ enum ReplayState {
 
 /// Which governor drives the session.
 pub enum GovernorChoice {
-    /// A workload-oblivious baseline.
+    /// A workload-oblivious baseline behind the trait-object escape
+    /// hatch (out-of-crate governors).
     Baseline(Box<dyn CpufreqGovernor>),
+    /// A baseline through the devirtualized decision kernel: static
+    /// dispatch plus a cached per-window [`DecisionLut`]
+    /// (decision-identical to [`Baseline`](GovernorChoice::Baseline),
+    /// see `eavs-governors/tests/kind_equivalence.rs`).
+    Kind {
+        /// The closed-enum governor.
+        kind: GovernorKind,
+        /// Per-session LUT cache, rebuilt when thermal limits move.
+        lut: LutCache,
+    },
     /// The video-aware EAVS governor.
     Eavs(EavsGovernor),
 }
 
 impl GovernorChoice {
+    /// A baseline by sysfs name through the devirtualized kernel.
+    pub fn kind_by_name(name: &str) -> Option<GovernorChoice> {
+        Some(GovernorChoice::Kind {
+            kind: GovernorKind::by_name(name)?,
+            lut: LutCache::default(),
+        })
+    }
+
     fn report_name(&self) -> String {
         match self {
             GovernorChoice::Baseline(g) => g.name().to_owned(),
+            GovernorChoice::Kind { kind, .. } => kind.name().to_owned(),
             GovernorChoice::Eavs(g) => format!("eavs/{}", g.predictor_name()),
         }
     }
@@ -128,23 +149,40 @@ impl GovernorChoice {
     fn sampling_interval(&self) -> SimDuration {
         match self {
             GovernorChoice::Baseline(g) => g.sampling_interval(),
+            GovernorChoice::Kind { kind, .. } => kind.sampling_interval(),
             GovernorChoice::Eavs(g) => g.config().decision_interval,
         }
     }
 
     /// Hashes the governor's identity and configuration into `fp`,
     /// branch-tagged so a baseline can never collide with EAVS. Governors
-    /// carrying learned state mark the fingerprint opaque.
+    /// carrying learned state mark the fingerprint opaque. Both baseline
+    /// shapes share tag 0: dispatch strategy is not identity.
     fn fingerprint(&self, fp: &mut Fingerprinter) {
         match self {
             GovernorChoice::Baseline(g) => {
                 fp.write_u8(0);
                 g.fingerprint(fp);
             }
+            GovernorChoice::Kind { kind, .. } => {
+                fp.write_u8(0);
+                kind.fingerprint(fp);
+            }
             GovernorChoice::Eavs(g) => {
                 fp.write_u8(1);
                 g.fingerprint(fp);
             }
+        }
+    }
+
+    /// Dense tag grouping sessions whose decision code paths coincide —
+    /// the batch runner admits lanes kind-major so one governor group's
+    /// decisions run over adjacent lanes.
+    pub(crate) fn lane_class(&self) -> u8 {
+        match self {
+            GovernorChoice::Kind { kind, .. } => kind.lane_class(),
+            GovernorChoice::Baseline(_) => 64,
+            GovernorChoice::Eavs(_) => 65,
         }
     }
 }
@@ -268,6 +306,13 @@ impl SessionBuilder {
     pub fn replay(mut self, ctl: ReplayCtl) -> Self {
         self.replay = Some(ctl);
         self
+    }
+
+    /// The governor's lane class (see [`GovernorChoice::lane_class`]):
+    /// the batch runner groups lanes of equal class so one governor's
+    /// decision kernel runs over adjacent lanes.
+    pub(crate) fn governor_lane_class(&self) -> u8 {
+        self.governor.lane_class()
     }
 
     /// Attaches a trace sink: every hot-path event (downloads, retries,
@@ -575,7 +620,10 @@ impl SessionBuilder {
         fp.write_usize(self.startup_frames);
         fp.write_usize(self.resume_frames);
         fp.write_u64(self.rtt.as_nanos());
-        fp.write_bool(self.record_series);
+        // `record_series` is deliberately NOT hashed: it only adds
+        // observability output and cannot perturb a decision, so a
+        // series-recording session (F2/F11/F12) replays the timeline
+        // of its series-less twin and vice versa.
         fp.write_bool(self.drive_via_sysfs);
         fp.write_opt_u64(self.horizon.map(|h| h.as_nanos()));
         match &self.thermal {
@@ -816,6 +864,8 @@ impl SessionState {
             replay_dead: false,
             ambient_fired: false,
             blackout_cutoff,
+            pipeline_epoch: 0,
+            steady: SteadyDemand::new(),
         };
         let mut sim = Simulation::new(world);
         if let Some(sink) = sim.world().trace.clone() {
@@ -852,6 +902,9 @@ impl SessionState {
             let initial = match &world.governor {
                 GovernorChoice::Baseline(g) => {
                     g.initial_index(world.cluster.opps(), world.cluster.limits())
+                }
+                GovernorChoice::Kind { kind, .. } => {
+                    kind.initial_index(world.cluster.opps(), world.cluster.limits())
                 }
                 GovernorChoice::Eavs(_) => world.cluster.limits().max_index,
             };
@@ -932,7 +985,7 @@ impl SessionState {
             },
             decisions: match &w.governor {
                 GovernorChoice::Eavs(g) => g.decisions(),
-                GovernorChoice::Baseline(_) => 0,
+                _ => 0,
             },
         }
     }
@@ -1087,6 +1140,47 @@ struct SessionWorld {
     /// was rewritten; transfers scheduled to complete at or after this
     /// instant kill replay (see [`SessionWorld::begin_transfer`]).
     blackout_cutoff: Option<SimTime>,
+    /// Monotonic counter of pipeline-mutating events: bumped for every
+    /// event except the pure sample tick, because the scheduler is the
+    /// only driver of state change — between events nothing but the
+    /// clock (and the in-flight decode's progress) moves.
+    pipeline_epoch: u64,
+    /// Demand items cached by the last full `DEMAND` decision, reusable
+    /// on steady timer ticks while [`Self::pipeline_epoch`] is unchanged.
+    steady: SteadyDemand,
+}
+
+/// The steady-tick demand cache (see [`SessionWorld::govern`]): between
+/// pipeline events a decision's demand list differs from the previous
+/// one only through the clock and the in-flight decode's progress, both
+/// of which are recomputed live — the predictor walk and the snapshot
+/// build are skipped entirely.
+struct SteadyDemand {
+    /// Pipeline epoch the items were derived under; `u64::MAX` = never.
+    epoch: u64,
+    /// Predicted cost and display deadline of the in-flight decode
+    /// (item 0). Its *remaining* cycles are recomputed each tick from
+    /// the core's live counter, exactly as a snapshot would see them.
+    inflight: Option<(Cycles, SimTime)>,
+    /// Demand items of the waiting frames — fixed between events.
+    tail: Vec<DemandItem>,
+    /// Frame metadata behind each `tail` item, kept so a decode
+    /// completion can re-predict just the observed type's items.
+    tail_meta: Vec<FrameMeta>,
+    /// Per-tick assembly buffer: `[in-flight?] ++ tail`.
+    scratch: Vec<DemandItem>,
+}
+
+impl SteadyDemand {
+    fn new() -> Self {
+        SteadyDemand {
+            epoch: u64::MAX,
+            inflight: None,
+            tail: Vec::new(),
+            tail_meta: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
 }
 
 impl World for SessionWorld {
@@ -1112,6 +1206,13 @@ impl World for SessionWorld {
 
 impl SessionWorld {
     fn dispatch(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, event: Ev) {
+        // Every event except the pure sample tick may mutate the pipeline
+        // (queue depths, vsync schedule, phase, predictor state); the tick
+        // itself only reads. Over-counting is harmless — an epoch bump
+        // merely sends the next decision down the full path.
+        if !matches!(event, Ev::Sample) {
+            self.pipeline_epoch += 1;
+        }
         match event {
             Ev::Start => {
                 self.maybe_request_download(sched, now);
@@ -1428,12 +1529,18 @@ impl SessionWorld {
             .expect("decode completion without initial cycles");
         let frame = self.pipeline.finish_decode();
         self.emit(now, || TraceEvent::DecodeDone { frame: frame.index });
+        let observed = FrameMeta::from(&frame);
         if let GovernorChoice::Eavs(g) = &mut self.governor {
-            g.observe_decode(FrameMeta::from(&frame), actual);
+            g.observe_decode(observed, actual);
         }
         self.maybe_migrate(sched, now);
+        let cache_live = self.steady.epoch.wrapping_add(1) == self.pipeline_epoch;
+        let skipped_before = self.frames_skipped;
         self.try_start_decode(sched, now);
         self.maybe_begin_playback(sched, now);
+        if cache_live && self.frames_skipped == skipped_before {
+            self.revalidate_steady_after_decode(observed);
+        }
         self.govern(sched, now);
     }
 
@@ -1473,9 +1580,15 @@ impl SessionWorld {
             VsyncOutcome::Displayed(frame) => {
                 self.emit(now, || TraceEvent::VsyncDisplayed { frame: frame.index });
                 self.record_buffer(now);
+                let cache_live = self.steady.epoch.wrapping_add(1) == self.pipeline_epoch;
+                let skipped_before = self.frames_skipped;
+                let inflight_before = self.decode_event.is_some();
                 self.try_start_decode(sched, now);
                 self.maybe_request_download(sched, now);
                 self.schedule_vsync(sched, now + self.manifest.frame_duration());
+                if cache_live && self.frames_skipped == skipped_before {
+                    self.revalidate_steady_after_display(inflight_before);
+                }
                 self.govern(sched, now);
             }
             VsyncOutcome::DecoderLate => {
@@ -1557,7 +1670,7 @@ impl SessionWorld {
         if (0..self.cluster.num_cores()).any(|c| self.cluster.is_core_busy(c)) {
             return;
         }
-        let snapshot = self.snapshot(now);
+        let snapshot = self.snapshot(now, 16);
         let GovernorChoice::Eavs(g) = &mut self.governor else {
             self.snapshot_scratch = snapshot.upcoming;
             return;
@@ -1657,6 +1770,15 @@ impl SessionWorld {
 
     fn on_sample(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
         self.update_thermal(sched, now);
+        if matches!(self.governor, GovernorChoice::Eavs(_)) {
+            // EAVS never reads utilization samples — its demand comes from
+            // the pipeline snapshot — so the decision tick skips the load
+            // monitor bookkeeping entirely.
+            self.govern(sched, now);
+            let interval = self.governor.sampling_interval();
+            sched.schedule_at(now + interval, Ev::Sample);
+            return;
+        }
         let busy = self.cluster.core_busy_total(0);
         let sample0 = self.monitor.sample(
             now,
@@ -1693,8 +1815,16 @@ impl SessionWorld {
                 });
                 self.apply_target(sched, now, idx);
             }
-            (GovernorChoice::Eavs(_), _) => self.govern(sched, now),
-            (GovernorChoice::Baseline(_), None) => {}
+            (GovernorChoice::Kind { kind, lut }, Some(sample)) => {
+                let idx = kind.decide(&sample, lut.get(self.cluster.opps(), self.cluster.limits()));
+                self.emit(now, || TraceEvent::GovernorDecision {
+                    cur_khz: u64::from(self.cluster.current_freq().khz()),
+                    target_khz: u64::from(self.cluster.opps().freq(idx).khz()),
+                });
+                self.apply_target(sched, now, idx);
+            }
+            (GovernorChoice::Eavs(_), _) => unreachable!("EAVS tick handled above"),
+            (GovernorChoice::Baseline(_) | GovernorChoice::Kind { .. }, None) => {}
         }
         let interval = self.governor.sampling_interval();
         sched.schedule_at(now + interval, Ev::Sample);
@@ -1702,11 +1832,124 @@ impl SessionWorld {
 
     /// EAVS event-driven decision (no-op for baselines, which only act on
     /// their sampling tick).
-    fn govern(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
-        // Baselines never act here; bail before building a snapshot.
-        if matches!(self.governor, GovernorChoice::Baseline(_)) {
+    /// Re-validates the steady demand cache across a clean `Displayed`
+    /// vsync. The display pop and the vsync advance cancel exactly in
+    /// every cached deadline — `(V+τ) + τ·(d−1+k) = V + τ·(d+k)` in
+    /// integer nanoseconds — and no observation ran, so the cached items
+    /// are bit-identical to what a fresh snapshot walk would produce.
+    /// When the freed decoded slot let a decode start, the cache
+    /// *slides* instead: the head tail item becomes the in-flight item
+    /// (same predicted cycles, same deadline, zero executed) and, if the
+    /// lookahead window is still full, the newly visible frame is
+    /// appended — the only predictor call on this path.
+    fn revalidate_steady_after_display(&mut self, inflight_before: bool) {
+        let started = !inflight_before && self.decode_event.is_some();
+        if !started {
+            // In-flight state untouched: every cached item is invariant.
+            self.steady.epoch = self.pipeline_epoch;
             return;
         }
+        if self.steady.inflight.is_some() || self.steady.tail.is_empty() {
+            // A start implies the cache saw an idle core and a nonempty
+            // window; anything else is stale — take the full path.
+            return;
+        }
+        self.slide_steady_head();
+    }
+
+    /// Re-validates the steady demand cache across a decode completion.
+    /// Dropping the finished item cancels the decoded-queue growth in
+    /// every remaining deadline (`base` stays `d+1`), so the cached tail
+    /// is deadline-exact. The predictor *did* observe the finished frame,
+    /// but its observations are type-local
+    /// ([`WorkloadPredictor::observe_is_type_local`]), so only cached
+    /// items of the observed type need a fresh prediction. If the freed
+    /// core picked up the next frame, the cache slides as in the display
+    /// path.
+    ///
+    /// [`WorkloadPredictor::observe_is_type_local`]:
+    /// crate::predictor::WorkloadPredictor::observe_is_type_local
+    fn revalidate_steady_after_decode(&mut self, observed: FrameMeta) {
+        if self.steady.inflight.is_none() {
+            // Stale: a completion implies a cached in-flight item.
+            return;
+        }
+        let GovernorChoice::Eavs(g) = &self.governor else {
+            return;
+        };
+        if !g.observe_type_local() {
+            return;
+        }
+        if self.steady.tail.is_empty() {
+            // Dropping the finished item leaves an *empty* demand list;
+            // the decision is no longer a `DEMAND` one (idle/ended
+            // branches take over) — only the full path can tell.
+            return;
+        }
+        self.steady.inflight = None;
+        for (item, meta) in self.steady.tail.iter_mut().zip(&self.steady.tail_meta) {
+            if meta.frame_type == observed.frame_type {
+                item.cycles = g.predict(*meta);
+            }
+        }
+        if self.decode_event.is_some() {
+            self.slide_steady_head();
+        } else {
+            self.steady.epoch = self.pipeline_epoch;
+        }
+    }
+
+    /// Slides the steady cache by one frame after a decode start: the
+    /// head tail item becomes the in-flight item (its deadline and
+    /// predicted cycles are invariant — see the call sites' proofs) and,
+    /// when the lookahead window is still full, the newly visible frame
+    /// gets the one fresh prediction on this path.
+    fn slide_steady_head(&mut self) {
+        let GovernorChoice::Eavs(g) = &self.governor else {
+            return;
+        };
+        let la = g.config().lookahead;
+        let mut entrant = None;
+        if la > 0 {
+            let mut seen = 0usize;
+            let mut last_meta = None;
+            for f in self.pipeline.peek_undecoded(la) {
+                seen += 1;
+                last_meta = Some(FrameMeta::from(f));
+            }
+            if seen == la {
+                let meta = last_meta.expect("seen == la > 0");
+                let tau = self.manifest.frame_duration();
+                let base = self.pipeline.decoded_len() as u64 + 1;
+                let j = (la - 1) as u64;
+                entrant = Some((
+                    DemandItem {
+                        cycles: g.predict(meta),
+                        deadline: self.next_vsync_at.saturating_add(tau * (base + j)),
+                    },
+                    meta,
+                ));
+            }
+        }
+        let head = self.steady.tail.remove(0);
+        self.steady.tail_meta.remove(0);
+        self.steady.inflight = Some((head.cycles, head.deadline));
+        if let Some((item, meta)) = entrant {
+            self.steady.tail.push(item);
+            self.steady.tail_meta.push(meta);
+        }
+        self.steady.epoch = self.pipeline_epoch;
+    }
+
+    fn govern(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        // Baselines never act here; bail before building a snapshot.
+        let GovernorChoice::Eavs(gov) = &self.governor else {
+            return;
+        };
+        // A decision consumes at most the lookahead window, so peek
+        // exactly that. At lookahead 0 one frame is still peeked: the
+        // fill/floor branches steer on waiting-queue emptiness.
+        let want = gov.config().lookahead.max(1);
         // Panic races are counted inside the governor; sample the counter
         // around the decision so the trace can mark the exact instant.
         // Only paid when a sink is listening.
@@ -1714,23 +1957,86 @@ impl SessionWorld {
         let panics_before = if tracing {
             match &self.governor {
                 GovernorChoice::Eavs(g) => g.panics(),
-                GovernorChoice::Baseline(_) => 0,
+                _ => 0,
             }
         } else {
             0
         };
+        // Steady-tick fast path: the pipeline is untouched since the last
+        // full DEMAND decision (no event but sample ticks fired), so the
+        // cached demand list is exact — only the clock moved and only the
+        // in-flight item's remaining cycles need re-deriving. Injection
+        // replay keeps the full path (its demand comes from the recorded
+        // timeline, not from this cache).
+        if self.steady.epoch == self.pipeline_epoch
+            && matches!(self.replay, ReplayState::Off | ReplayState::Record { .. })
+        {
+            let required = {
+                let c = &mut self.steady;
+                c.scratch.clear();
+                if let Some((predicted, deadline)) = c.inflight {
+                    let initial = self.decode_initial.expect("in-flight implies initial");
+                    let remaining = self.cluster.core(0).remaining().unwrap_or(Cycles::ZERO);
+                    let executed = initial.saturating_sub(remaining);
+                    // Same overrun rule as the snapshot path: an overshot
+                    // prediction leaves a 10% residual, not zero.
+                    let cycles = if executed.get() >= predicted.get() {
+                        predicted.scale(0.1)
+                    } else {
+                        predicted.saturating_sub(executed)
+                    };
+                    c.scratch.push(DemandItem { cycles, deadline });
+                }
+                c.scratch.extend_from_slice(&c.tail);
+                required_hz(now, &c.scratch)
+            };
+            let GovernorChoice::Eavs(g) = &mut self.governor else {
+                unreachable!("checked above");
+            };
+            let (idx, kind, recorded) = g.decide_steady(
+                now,
+                self.cluster.opps(),
+                self.cluster.limits(),
+                self.cluster.current_index(),
+                required,
+            );
+            if let ReplayState::Record { records, .. } = &mut self.replay {
+                records.push(DecisionRecord {
+                    kind,
+                    chosen: idx as u16,
+                    required_bits: recorded.to_bits(),
+                });
+            }
+            if tracing {
+                if g.panics() > panics_before {
+                    self.emit(now, || TraceEvent::PanicRace);
+                }
+                self.emit(now, || TraceEvent::GovernorDecision {
+                    cur_khz: u64::from(self.cluster.current_freq().khz()),
+                    target_khz: u64::from(self.cluster.opps().freq(idx).khz()),
+                });
+            }
+            self.apply_target(sched, now, idx);
+            return;
+        }
+
         let clean = self.replay_clean();
-        let snapshot = self.snapshot(now);
+        let snapshot = self.snapshot(now, want);
         let GovernorChoice::Eavs(g) = &mut self.governor else {
             unreachable!("checked above");
         };
         let opps = self.cluster.opps();
         let limits = self.cluster.limits();
         let cur = self.cluster.current_index();
-        let idx = match &mut self.replay {
-            ReplayState::Off => g.decide(&snapshot, opps, limits, cur),
+        let (idx, demand_live) = match &mut self.replay {
+            ReplayState::Off => {
+                let (idx, kind, _) = g.decide_tagged(&snapshot, opps, limits, cur);
+                (idx, kind == memo::decision_kind::DEMAND)
+            }
             ReplayState::Record { records, .. } => {
-                g.decide_recorded(&snapshot, opps, limits, cur, records)
+                let idx = g.decide_recorded(&snapshot, opps, limits, cur, records);
+                let kind = records.last().map(|r| r.kind);
+                (idx, kind == Some(memo::decision_kind::DEMAND))
             }
             ReplayState::Inject {
                 timeline,
@@ -1764,12 +2070,33 @@ impl SessionWorld {
                 } else {
                     *live = false;
                 }
-                match answered {
+                let idx = match answered {
                     Some(idx) => idx,
                     None => g.decide(&snapshot, opps, limits, cur),
-                }
+                };
+                (idx, false)
             }
         };
+        if demand_live {
+            // A live DEMAND decision just left its item list in the
+            // governor's scratch: copy it into the steady cache so timer
+            // ticks until the next pipeline event skip the rebuild. The
+            // in-flight item is re-keyed by its *predicted* cost (its
+            // remaining cycles are a function of the clock).
+            let inflight = snapshot
+                .in_flight
+                .map(|ifm| (g.predict(ifm.meta), g.last_demand()[0].deadline));
+            self.steady.tail.clear();
+            self.steady
+                .tail
+                .extend_from_slice(&g.last_demand()[usize::from(inflight.is_some())..]);
+            self.steady.tail_meta.clear();
+            self.steady
+                .tail_meta
+                .extend_from_slice(&snapshot.upcoming[..self.steady.tail.len()]);
+            self.steady.inflight = inflight;
+            self.steady.epoch = self.pipeline_epoch;
+        }
         let panics_after = if tracing { g.panics() } else { 0 };
         self.snapshot_scratch = snapshot.upcoming;
         if tracing {
@@ -1800,7 +2127,11 @@ impl SessionWorld {
             && self.decode_stalls == 0
     }
 
-    fn snapshot(&mut self, now: SimTime) -> PipelineSnapshot {
+    /// Builds a pipeline snapshot carrying up to `want` waiting frames.
+    /// Decisions only ever read the governor's lookahead window, so the
+    /// govern path asks for exactly that; the placement path asks for the
+    /// full 16-frame horizon its sustained-rate estimate integrates over.
+    fn snapshot(&mut self, now: SimTime, want: usize) -> PipelineSnapshot {
         let in_flight = self.pipeline.in_flight().map(|frame| {
             let initial = self.decode_initial.expect("in-flight implies initial");
             let remaining = self.cluster.core(0).remaining().unwrap_or(Cycles::ZERO);
@@ -1811,7 +2142,7 @@ impl SessionWorld {
         });
         let mut upcoming = std::mem::take(&mut self.snapshot_scratch);
         upcoming.clear();
-        upcoming.extend(self.pipeline.peek_undecoded(16).map(FrameMeta::from));
+        upcoming.extend(self.pipeline.peek_undecoded(want).map(FrameMeta::from));
         PipelineSnapshot {
             now,
             phase: self.playback.phase(),
@@ -1942,7 +2273,7 @@ impl SessionWorld {
         scratch.truth = std::mem::take(&mut self.truth_scratch);
         let panic_races = match &self.governor {
             GovernorChoice::Eavs(g) => g.panics(),
-            GovernorChoice::Baseline(_) => 0,
+            _ => 0,
         };
         if let Some(p) = &mut self.profile {
             // Simulated occupancy comes from the authoritative model

@@ -16,7 +16,7 @@ use eavs_core::predictor::Hybrid;
 use eavs_core::report::SessionReport;
 use eavs_core::session::{GovernorChoice, SessionBuilder, StreamingSession};
 use eavs_cpu::soc::SocModel;
-use eavs_governors::by_name;
+
 use eavs_net::abr::{BufferBasedAbr, RateBasedAbr};
 use eavs_net::bandwidth::BandwidthTrace;
 use eavs_net::radio::RadioModel;
@@ -140,9 +140,9 @@ pub fn governor_choice(name: &str) -> Result<GovernorChoice, String> {
             Box::new(Hybrid::default()),
             EavsConfig::resilient(),
         ))),
-        other => by_name(other)
-            .map(GovernorChoice::Baseline)
-            .ok_or_else(|| format!("unknown governor {other:?}")),
+        other => {
+            GovernorChoice::kind_by_name(other).ok_or_else(|| format!("unknown governor {other:?}"))
+        }
     }
 }
 

@@ -1,0 +1,129 @@
+//! Equivalence proptest: the devirtualized [`GovernorKind`] dispatcher
+//! must be indistinguishable from the `Box<dyn CpufreqGovernor>` path —
+//! same decisions, same mutable-state evolution, same fingerprints — for
+//! every baseline governor over random load streams, OPP tables, and
+//! (possibly narrowed, mid-stream shifting) policy limits.
+
+use eavs_cpu::cluster::PolicyLimits;
+use eavs_cpu::load::LoadSample;
+use eavs_cpu::opp::OppTable;
+use eavs_governors::{by_name, DecisionLut, GovernorKind, LutCache, BASELINE_NAMES};
+use eavs_sim::fingerprint::Fingerprinter;
+use eavs_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A random but valid ascending OPP table of 2..=12 rungs.
+fn random_table(steps_mhz: &[u32]) -> OppTable {
+    let mut mhz = 300u32;
+    let rows: Vec<(u32, u32)> = steps_mhz
+        .iter()
+        .map(|&step| {
+            mhz += 100 + step % 900;
+            (mhz, 800 + mhz / 4)
+        })
+        .collect();
+    OppTable::from_mhz_mv(&rows).expect("ascending by construction")
+}
+
+fn fingerprint_of(write: impl FnOnce(&mut Fingerprinter)) -> Option<u128> {
+    let mut fp = Fingerprinter::new("kind-equivalence");
+    write(&mut fp);
+    fp.finish().map(|f| f.0)
+}
+
+proptest! {
+    /// Lockstep run: decisions, fingerprints (before, during, and after
+    /// the stream), and the fed-back current index must agree between
+    /// enum and dyn dispatch at every step, even as limits shift.
+    #[test]
+    fn enum_dispatch_matches_dyn_dispatch(
+        steps in proptest::collection::vec(0u32..900, 2..12),
+        loads in proptest::collection::vec(0.0f64..1.0, 1..80),
+        min in 0usize..12,
+        span in 0usize..12,
+        shift_at in 0usize..80,
+    ) {
+        let tbl = random_table(&steps);
+        let top = tbl.max_index();
+        let limits = PolicyLimits {
+            min_index: min.min(top),
+            max_index: (min.min(top) + span).min(top),
+        };
+        // Second window exercises the LUT rebuild on a limits change.
+        let shifted = PolicyLimits {
+            min_index: 0,
+            max_index: (span + 1).min(top),
+        };
+        for name in BASELINE_NAMES {
+            let mut k = GovernorKind::by_name(name).unwrap();
+            let mut d = by_name(name).unwrap();
+            prop_assert_eq!(k.name(), d.name());
+            prop_assert_eq!(k.sampling_interval(), d.sampling_interval());
+            prop_assert_eq!(
+                fingerprint_of(|fp| k.fingerprint(fp)),
+                fingerprint_of(|fp| d.fingerprint(fp)),
+                "{} fresh fingerprint diverged", name
+            );
+            prop_assert_eq!(
+                k.initial_index(&tbl, limits),
+                d.initial_index(&tbl, limits),
+                "{} initial index diverged", name
+            );
+
+            let mut lut = LutCache::default();
+            let mut cur = limits.min_index;
+            for (i, &load) in loads.iter().enumerate() {
+                let window = if i < shift_at { limits } else { shifted };
+                let s = LoadSample {
+                    now: SimTime::from_millis(i as u64 * 10),
+                    window: SimDuration::from_millis(10),
+                    busy_fraction: load,
+                    cur_freq: tbl.freq(cur),
+                    cur_index: cur,
+                };
+                let a = k.decide(&s, lut.get(&tbl, window));
+                let b = d.on_sample(&s, &tbl, window);
+                prop_assert_eq!(a, b, "{} diverged at step {}", name, i);
+                prop_assert_eq!(
+                    fingerprint_of(|fp| k.fingerprint(fp)),
+                    fingerprint_of(|fp| d.fingerprint(fp)),
+                    "{} mid-stream fingerprint diverged at step {}", name, i
+                );
+                cur = window.clamp(a);
+            }
+        }
+    }
+
+    /// The branchless LUT lookup is bit-identical to the linear table
+    /// scan for arbitrary tables, windows, and targets (including
+    /// exact-boundary and out-of-range targets).
+    #[test]
+    fn lut_lookup_equals_linear_scan(
+        steps in proptest::collection::vec(0u32..900, 2..12),
+        min in 0usize..12,
+        span in 0usize..12,
+        targets in proptest::collection::vec(-1.0e6f64..4.0e6, 1..40),
+    ) {
+        let tbl = random_table(&steps);
+        let top = tbl.max_index();
+        let limits = PolicyLimits {
+            min_index: min.min(top),
+            max_index: (min.min(top) + span).min(top),
+        };
+        let lut = DecisionLut::build(&tbl, limits);
+        for &t in &targets {
+            prop_assert_eq!(
+                lut.lookup(t),
+                eavs_governors::governor::lowest_index_for_khz(&tbl, limits, t)
+            );
+        }
+        // Exact rung frequencies are the boundary cases that matter.
+        for i in 0..=top {
+            let f = tbl.freq(i).khz() as f64;
+            prop_assert_eq!(
+                lut.lookup(f),
+                eavs_governors::governor::lowest_index_for_khz(&tbl, limits, f)
+            );
+        }
+    }
+}

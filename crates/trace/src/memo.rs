@@ -182,21 +182,29 @@ fn timelines() -> &'static TimelineStore {
 }
 
 /// Looks up the recorded decision timeline for a session replay-prefix
-/// key. Counts a hit or miss.
+/// key. Counts a hit or miss: call this only where a replay could
+/// actually be injected, so the hit rate measures replay opportunities.
 pub fn decision_timeline(key: u128) -> Option<Arc<DecisionTimeline>> {
     let store = timelines();
-    let found = store
-        .map
-        .lock()
-        .expect("timeline store poisoned")
-        .0
-        .get(&key)
-        .cloned();
+    let found = peek_decision_timeline(key);
     match &found {
         Some(_) => store.hits.fetch_add(1, Ordering::Relaxed),
         None => store.misses.fetch_add(1, Ordering::Relaxed),
     };
     found
+}
+
+/// [`decision_timeline`] without touching the hit/miss counters — for
+/// schedulers probing whether a key was recorded yet (a wave leader's
+/// cold probe is not a replay opportunity and must not dilute the rate).
+pub fn peek_decision_timeline(key: u128) -> Option<Arc<DecisionTimeline>> {
+    timelines()
+        .map
+        .lock()
+        .expect("timeline store poisoned")
+        .0
+        .get(&key)
+        .cloned()
 }
 
 /// Stores a recorded timeline under a replay-prefix key. First store

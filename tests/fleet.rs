@@ -38,6 +38,33 @@ fn one_session_fleet_reproduces_run_session() {
     assert_eq!(outcome.aggregate, direct);
 }
 
+/// The fast paths must actually be exercised by a default-configured
+/// campaign: shards run through the batched SoA kernel (batch is the
+/// default runner), and an `eavs`/`eavs-panic` pair — identical replay
+/// prefixes, panic knobs are outside the prefix — replays decision
+/// timelines instead of recomputing demand.
+#[test]
+fn smoke_campaign_batches_and_replays() {
+    let mut spec = CampaignSpec::smoke();
+    spec.name = "counters-smoke".to_owned();
+    spec.sessions = 12;
+    spec.shard_size = 4;
+    spec.governors.push("eavs-panic".to_owned());
+
+    let outcome = eavs_bench::fleet::run_campaign(&spec, &RunOptions::default()).unwrap();
+    assert_eq!(outcome.status, CampaignStatus::Complete);
+    assert!(
+        outcome.batched > 0,
+        "batch is the default shard runner; batched = {}",
+        outcome.batched
+    );
+    assert!(
+        outcome.replayed > 0,
+        "eavs-panic must replay eavs timelines; replayed = {}",
+        outcome.replayed
+    );
+}
+
 /// Killing a campaign mid-flight and resuming from its checkpoint must
 /// yield the byte-identical population CSV of an uninterrupted run.
 #[test]

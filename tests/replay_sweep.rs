@@ -1,0 +1,96 @@
+//! Regression test for replay-prefix keying: a sweep whose variants
+//! differ only in knobs *outside* the replay prefix (the F10 safety
+//! margins, plus a series-recording twin à la F2/F11/F12) must replay
+//! the leader's decision timeline on every other lane — one recorder,
+//! all siblings injecting, zero timeline misses — while every report
+//! stays byte-identical to its scalar run.
+//!
+//! Lives in its own integration binary so the process-global timeline
+//! counters are not perturbed by unrelated tests.
+
+use std::sync::Arc;
+
+use eavs_bench::harness::{eavs_with, manifest_1080p30, run_sessions, SEED};
+use eavs_core::governor::EavsConfig;
+use eavs_core::session::{SessionBuilder, StreamingSession};
+use eavs_trace::content::ContentProfile;
+use eavs_video::manifest::Manifest;
+
+fn margin_builder(manifest: &Arc<Manifest>, margin: f64, series: bool) -> SessionBuilder {
+    let cfg = EavsConfig {
+        margin,
+        ..EavsConfig::default()
+    };
+    StreamingSession::builder(eavs_with(cfg, "hybrid"))
+        .manifest(Arc::clone(manifest))
+        .content(ContentProfile::Sport)
+        .seed(SEED)
+        .record_series(series)
+}
+
+#[test]
+fn out_of_prefix_sweep_replays_all_but_the_leader() {
+    let manifest = Arc::new(manifest_1080p30(10));
+    let margins = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50];
+
+    // Scalar references, run first so their outcomes cannot depend on
+    // the wave scheduler (fresh governors; replay is outcome-preserving
+    // and this proves it).
+    let scalar: Vec<String> = margins
+        .iter()
+        .map(|&m| format!("{:?}", margin_builder(&manifest, m, false).run()))
+        .collect();
+    let scalar_series = format!("{:?}", margin_builder(&manifest, 0.15, true).run());
+
+    let timeline_before = eavs_trace::memo::decision_timeline_stats();
+    let replayed_before = eavs_core::session::replayed_sessions();
+
+    let mut jobs: Vec<(String, SessionBuilder)> = margins
+        .iter()
+        .map(|&m| {
+            (
+                format!("sweep margin {m:.2}"),
+                margin_builder(&manifest, m, false),
+            )
+        })
+        .collect();
+    // The series twin is an observer-only variant: `record_series` is
+    // excluded from the prefix, so it too must replay the leader.
+    jobs.push((
+        "sweep margin 0.15 +series".to_owned(),
+        margin_builder(&manifest, 0.15, true),
+    ));
+    let total = jobs.len();
+    let reports = run_sessions(jobs);
+
+    for (i, r) in reports.iter().take(margins.len()).enumerate() {
+        assert_eq!(
+            format!("{:?}", **r),
+            scalar[i],
+            "margin lane {i} diverged under replay"
+        );
+    }
+    assert_eq!(
+        format!("{:?}", *reports[total - 1]),
+        scalar_series,
+        "series twin diverged under replay"
+    );
+
+    let timeline = eavs_trace::memo::decision_timeline_stats();
+    let replayed = eavs_core::session::replayed_sessions() - replayed_before;
+    assert_eq!(
+        replayed,
+        (total - 1) as u64,
+        "every lane but the swept leader must replay"
+    );
+    assert_eq!(
+        timeline.hits - timeline_before.hits,
+        (total - 1) as u64,
+        "each sibling lookup must hit the recorded timeline"
+    );
+    assert_eq!(
+        timeline.misses - timeline_before.misses,
+        0,
+        "a leader's cold probe must not count as a timeline miss"
+    );
+}
