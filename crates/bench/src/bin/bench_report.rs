@@ -23,6 +23,10 @@
 //! * `fleet` — campaign throughput through the pooled, cached shard
 //!   runner: session-runs/sec, the campaign's own cache hit rate, and the
 //!   peak per-shard resident footprint (the O(shards) memory bound).
+//! * `power` — whole-device energy counters of one phone-model LTE
+//!   session (the F28 probe workload): per-component joules, RRC
+//!   promotions, and the wall-clock cost of the powered run. Accounting
+//!   is post-hoc, so this also keeps an eye on its overhead.
 //! * `governor_dispatch` — ns per baseline-governor decision through the
 //!   dyn trait object, the devirtualized enum kernel, and the vectorized
 //!   LUT column, at widths 1/8/64 (same workload as the
@@ -258,6 +262,16 @@ fn measure_scalar_reference(sessions: usize, secs_each: u64) -> f64 {
     sessions as f64 / started.elapsed().as_secs_f64()
 }
 
+/// One powered LTE session (the F28 probe workload, EAVS governor,
+/// phone model) for the report's `power` counter block. Runs the
+/// builder directly — no cache — so the wall time includes the post-hoc
+/// device-power accounting it is meant to watch.
+fn measure_power() -> (eavs_core::SessionReport, f64) {
+    let started = Instant::now();
+    let report = eavs_bench::device_power::powered_lte_session().run();
+    (report, started.elapsed().as_secs_f64())
+}
+
 /// The governor dispatch comparison (dyn trait object vs devirtualized
 /// enum vs vectorized LUT column) over the shared [`dispatch`] workload
 /// — the same lanes the `governor_dispatch` criterion bench steps.
@@ -394,6 +408,15 @@ fn main() {
         fleet_peak_shard_bytes as f64 / 1024.0,
     );
 
+    let (power_report, power_wall_s) = measure_power();
+    let power = power_report.power;
+    let power_device_j = power_report.cpu_joules() + power.total_j();
+    eprintln!(
+        "  power           radio {:.1} J ({} promos), display {:.1} J, decoder {:.1} J, \
+         device {power_device_j:.1} J ({power_wall_s:.2} s wall)",
+        power.radio_j, power.radio_promotions, power.display_j, power.decoder_j,
+    );
+
     let (dispatch_dyn_ns, dispatch_enum_ns, dispatch_lut_ns) = measure_dispatch(smoke);
     eprintln!(
         "  dispatch        dyn {} / enum {} / lut {} ns per decision (widths {:?})",
@@ -477,6 +500,14 @@ fn main() {
             "    \"enum_ns_per_decision\": {dispatch_enum_ns},\n",
             "    \"lut_ns_per_decision\": {dispatch_lut_ns}\n",
             "  }},\n",
+            "  \"power\": {{\n",
+            "    \"radio_j\": {power_radio_j:.3},\n",
+            "    \"radio_promotions\": {power_promotions},\n",
+            "    \"display_j\": {power_display_j:.3},\n",
+            "    \"decoder_j\": {power_decoder_j:.3},\n",
+            "    \"device_j\": {power_device_j:.3},\n",
+            "    \"session_wall_s\": {power_wall_s:.3}\n",
+            "  }},\n",
             "  \"fleet\": {{\n",
             "    \"session_runs\": {fleet_session_runs},\n",
             "    \"sessions_per_sec\": {fleet_sessions_per_sec:.1},\n",
@@ -518,6 +549,12 @@ fn main() {
         dispatch_dyn_ns = ns_array(&dispatch_dyn_ns),
         dispatch_enum_ns = ns_array(&dispatch_enum_ns),
         dispatch_lut_ns = ns_array(&dispatch_lut_ns),
+        power_radio_j = power.radio_j,
+        power_promotions = power.radio_promotions,
+        power_display_j = power.display_j,
+        power_decoder_j = power.decoder_j,
+        power_device_j = power_device_j,
+        power_wall_s = power_wall_s,
         fleet_session_runs = fleet_session_runs,
         fleet_sessions_per_sec = fleet_sessions_per_sec,
         fleet_cache_hit_rate = fleet_cache_hit_rate,

@@ -1,0 +1,9 @@
+//! Regenerates experiment `f28_device_breakdown` (see DESIGN.md §16).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f28_device_breakdown")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment `f29_radio_tail_sweep` (see DESIGN.md §16).
+
+fn main() {
+    let (id, f) = eavs_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f29_radio_tail_sweep")
+        .expect("experiment registered");
+    eavs_bench::harness::emit(id, &f());
+}

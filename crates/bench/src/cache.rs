@@ -105,6 +105,19 @@ fn force_empty_faults() -> bool {
     *FORCE.get_or_init(|| std::env::var_os("EAVS_EMPTY_FAULTS").is_some())
 }
 
+/// `true` when `EAVS_NULL_POWER` is set: every session without a power
+/// model gets an explicit zero-power [`DevicePowerModel::none`]
+/// attached. The none() model must be a perfect no-op (its accounting
+/// is post-hoc and all-zero), so this mode is CI's proof that the
+/// whole-device power wiring leaves every committed figure
+/// byte-identical.
+///
+/// [`DevicePowerModel::none`]: eavs_power::DevicePowerModel::none
+fn force_null_power() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var_os("EAVS_NULL_POWER").is_some())
+}
+
 /// A shared no-op trace sink attached to every session when
 /// `EAVS_NULL_TRACE` is set — the observability mirror of
 /// [`force_empty_faults`]. A [`NullSink`](eavs_obs::NullSink) must be a
@@ -134,6 +147,11 @@ fn forced_null_trace() -> Option<eavs_obs::SharedSink> {
 pub fn run_session(builder: SessionBuilder) -> Arc<SessionReport> {
     let builder = if force_empty_faults() && !builder.has_faults() {
         builder.faults(eavs_faults::FaultPlan::default())
+    } else {
+        builder
+    };
+    let builder = if force_null_power() && !builder.has_power() {
+        builder.power(eavs_power::DevicePowerModel::none())
     } else {
         builder
     };
@@ -209,6 +227,11 @@ pub fn run_sessions(jobs: Vec<(String, SessionBuilder)>) -> Vec<Arc<SessionRepor
     for (label, builder) in jobs {
         let builder = if force_empty_faults() && !builder.has_faults() {
             builder.faults(eavs_faults::FaultPlan::default())
+        } else {
+            builder
+        };
+        let builder = if force_null_power() && !builder.has_power() {
+            builder.power(eavs_power::DevicePowerModel::none())
         } else {
             builder
         };

@@ -144,6 +144,29 @@ pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
     }
 }
 
+/// Every `EAVS_*` numeric tuning variable read through [`env_knob`],
+/// registered in one place so the warn-once contract can be proven for
+/// each of them (a malformed value warns exactly once per variable, no
+/// matter how many jobs consult it).
+pub const REGISTERED_KNOBS: [&str; 5] = [
+    "EAVS_JOBS",
+    "EAVS_BATCH",
+    "EAVS_CHAOS_CASES",
+    "EAVS_SESSION_CACHE_MB",
+    "EAVS_POWER_TAIL_MS",
+];
+
+/// Radio tail-timer override from `EAVS_POWER_TAIL_MS`, milliseconds.
+///
+/// Consulted by `eavsctl`'s `--power` presets when building a
+/// [`eavs_power::DevicePowerModel`], so a fleet operator can sweep the
+/// RRC inactivity timer without touching the spec. Goes through
+/// [`env_knob`], so a malformed value warns once and falls back to the
+/// preset's timer.
+pub fn power_tail_ms() -> Option<u64> {
+    env_knob::<u64>("EAVS_POWER_TAIL_MS")
+}
+
 /// Records that `name` warned; `true` only on the first call per name.
 fn first_warning_for(name: &str) -> bool {
     static WARNED: OnceLock<Mutex<std::collections::BTreeSet<String>>> = OnceLock::new();
@@ -307,6 +330,32 @@ mod tests {
         std::env::set_var("EAVS_TEST_KNOB_ONCE_C", "not-a-number");
         assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_ONCE_C"), None);
         assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_ONCE_C"), None);
+    }
+
+    #[test]
+    fn every_registered_knob_warns_once() {
+        // The once-per-name latch must hold for every registered knob —
+        // including the power tail-timer override — so a sweep that
+        // consults a malformed knob per job emits one warning, not
+        // thousands. The latch is exercised directly (setting the real
+        // variables would race with parallel tests that read them).
+        for name in REGISTERED_KNOBS {
+            let latch = format!("{name}_WARN_ONCE_TEST");
+            assert!(first_warning_for(&latch), "{name}: first call must warn");
+            assert!(
+                !first_warning_for(&latch),
+                "{name}: second call must be silent"
+            );
+            assert!(
+                !first_warning_for(&latch),
+                "{name}: later calls must stay silent"
+            );
+        }
+        // The knobs are distinct names, so each got its own first warning
+        // above; a repeat sweep over all of them stays silent.
+        for name in REGISTERED_KNOBS {
+            assert!(!first_warning_for(&format!("{name}_WARN_ONCE_TEST")));
+        }
     }
 
     #[test]

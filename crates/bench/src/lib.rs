@@ -35,6 +35,8 @@
 //! | F25 | [`robustness::f25_retry_sensitivity`] |
 //! | F26 | [`fleet::f26_fleet_population`] |
 //! | F27 | `src/bin/f27_fleet_scaling.rs` |
+//! | F28 | [`device_power::f28_device_breakdown`] |
+//! | F29 | [`device_power::f29_radio_tail_sweep`] |
 //! | T2 | [`comparison::t2_summary`] |
 //! | T3 | [`extensions::t3_confidence`] |
 //! | T4 | [`extensions::t4_soc_matrix`] |
@@ -45,6 +47,7 @@
 
 pub mod cache;
 pub mod comparison;
+pub mod device_power;
 pub mod dispatch;
 pub mod executor;
 pub mod extensions;
@@ -92,6 +95,8 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("f23_baseline_tuning", extensions::f23_baseline_tuning),
         ("f24_fault_storm", robustness::f24_fault_storm),
         ("f25_retry_sensitivity", robustness::f25_retry_sensitivity),
+        ("f28_device_breakdown", device_power::f28_device_breakdown),
+        ("f29_radio_tail_sweep", device_power::f29_radio_tail_sweep),
         ("t2_summary", comparison::t2_summary),
         ("t3_confidence", extensions::t3_confidence),
         ("t4_soc_matrix", extensions::t4_soc_matrix),

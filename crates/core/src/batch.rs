@@ -266,6 +266,20 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_scalar_under_power_model() {
+        // Power accounting is post-hoc, so lock-step lane scheduling must
+        // be invisible in the power counters too — and they must be
+        // non-trivial here, or the equality proves nothing.
+        let powered = |seed: u64| builder(seed).power(eavs_power::DevicePowerModel::phone());
+        let scalar: Vec<String> = (0..4).map(|s| format!("{:?}", powered(s).run())).collect();
+        let batched = run_batch((0..4).map(powered), 2);
+        for (i, report) in batched.iter().enumerate() {
+            assert!(report.power.total_j() > 0.0, "powered session {i}");
+            assert_eq!(format!("{report:?}"), scalar[i], "powered session {i}");
+        }
+    }
+
+    #[test]
     fn kind_major_admission_keeps_input_order_byte_identical() {
         // Interleave governor kinds so admission grouping actually
         // reorders lane fill; reports must still match scalar, in input

@@ -5,6 +5,7 @@ use eavs_cpu::freq::Frequency;
 use eavs_cpu::soc::SocModel;
 use eavs_metrics::timeseries::StepSeries;
 use eavs_net::radio::RadioReport;
+use eavs_power::DevicePowerReport;
 use eavs_sim::time::SimDuration;
 use eavs_trace::content::ContentProfile;
 use eavs_video::qoe::QoeReport;
@@ -28,6 +29,9 @@ pub struct SessionReport {
     pub cpu_energy: CpuEnergyBreakdown,
     /// Radio time/energy breakdown.
     pub radio: RadioReport,
+    /// Whole-device power co-model counters (radio RRC, display,
+    /// decoder). All-zero under the default zero-power no-op model.
+    pub power: DevicePowerReport,
     /// Playback quality metrics.
     pub qoe: QoeReport,
     /// Wall-clock session length (start → last frame displayed).
@@ -85,9 +89,10 @@ impl SessionReport {
         self.cpu_energy.total()
     }
 
-    /// Whole-device-relevant energy: CPU + radio.
+    /// Whole-device-relevant energy: CPU + radio, plus the co-model's
+    /// components when one is attached (zero under the no-op default).
     pub fn total_joules(&self) -> f64 {
-        self.cpu_joules() + self.radio.energy_j
+        self.cpu_joules() + self.radio.energy_j + self.power.total_j()
     }
 
     /// Mean CPU power over the session, watts.
@@ -184,6 +189,7 @@ mod tests {
                 energy_j: 5.0,
                 ..RadioReport::default()
             },
+            power: DevicePowerReport::default(),
             qoe: QoeReport::from_playback(
                 &playback,
                 &[3000],

@@ -35,6 +35,7 @@ use eavs_net::bandwidth::BandwidthTrace;
 use eavs_net::download::{Downloader, RetryPolicy};
 use eavs_net::radio::RadioModel;
 use eavs_obs::{Phase, PhaseProfile, SharedSink, TraceEvent};
+use eavs_power::DevicePowerModel;
 use eavs_sim::engine::{Scheduler, Simulation, StepOutcome, World};
 use eavs_sim::fingerprint::{Fingerprint, Fingerprinter};
 use eavs_sim::queue::EventId;
@@ -230,6 +231,7 @@ pub struct SessionBuilder {
     late_policy: LatePolicy,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    power: Option<DevicePowerModel>,
     trace: Option<SharedSink>,
     profile: bool,
     replay: Option<ReplayCtl>,
@@ -295,6 +297,7 @@ impl SessionBuilder {
             late_policy: LatePolicy::Stall,
             faults: None,
             retry: RetryPolicy::default(),
+            power: None,
             trace: None,
             profile: false,
             replay: None,
@@ -355,6 +358,22 @@ impl SessionBuilder {
     /// `true` if a non-empty fault plan is attached.
     pub fn has_faults(&self) -> bool {
         self.faults.as_ref().is_some_and(|p| !p.is_empty())
+    }
+
+    /// Attaches a whole-device power model (radio RRC + display +
+    /// decoder). Accounting is post-hoc over the finished session's
+    /// timeline, so [`DevicePowerModel::none`] — and any other model —
+    /// is a guaranteed behavioral no-op: only the report's power
+    /// counters change.
+    pub fn power(mut self, model: DevicePowerModel) -> Self {
+        self.power = Some(model);
+        self
+    }
+
+    /// `true` if a non-trivial (some component modeled) power model is
+    /// attached.
+    pub fn has_power(&self) -> bool {
+        self.power.as_ref().is_some_and(|m| !m.is_none())
     }
 
     /// Sets the download retry policy (timeout, retry cap, exponential
@@ -575,6 +594,16 @@ impl SessionBuilder {
             _ => fp.write_u8(0),
         }
         self.retry.fingerprint(&mut fp);
+        // The none() power model and no model at all are the same
+        // session (the zero-power no-op guarantee), so they share a tag;
+        // any modeled component perturbs the digest.
+        match &self.power {
+            Some(model) if !model.is_none() => {
+                fp.write_u8(1);
+                model.fingerprint(&mut fp);
+            }
+            _ => fp.write_u8(0),
+        }
         fp.finish()
     }
 
@@ -652,6 +681,10 @@ impl SessionBuilder {
             LatePolicy::Stall => 0,
             LatePolicy::Drop => 1,
         });
+        // The power model is deliberately NOT hashed: accounting is
+        // post-hoc over the finished timeline and cannot perturb a
+        // decision, so a power-modeled session (F28/F29) replays the
+        // timeline of its unmodeled twin and vice versa.
         fp.finish().map(|f| f.0)
     }
 
@@ -845,6 +878,8 @@ impl SessionState {
             soc: b.soc,
             content: b.content,
             radio: b.radio,
+            power: b.power.unwrap_or_default(),
+            seed: b.seed,
             next_segment: 0,
             pending_segment: None,
             last_rep: None,
@@ -1072,6 +1107,11 @@ struct SessionWorld {
     soc: SocModel,
     content: ContentProfile,
     radio: RadioModel,
+    /// Whole-device power co-model; the zero-power no-op by default.
+    power: DevicePowerModel,
+    /// The builder's seed, kept for coordinate-keyed power draws
+    /// (display frame similarity) in post-hoc accounting.
+    seed: u64,
     monitor: LoadMonitor,
     monitor_bg: LoadMonitor,
     standby: Option<Cluster>,
@@ -2264,7 +2304,19 @@ impl SessionWorld {
             startup_delay,
             session_length,
         );
-        // QoE was the last reader; hand the recycled buffers back.
+        // Whole-device power is accounted post-hoc from the finished
+        // timeline (download activity, chosen bitrates, manifest, seed):
+        // it reads event-loop products, never event-loop state, so the
+        // no-op model — and any other — cannot perturb the simulation.
+        let power = self.power.account(
+            self.seed,
+            self.downloader.activity(end),
+            &self.bitrates,
+            &self.manifest,
+            session_length,
+        );
+        // QoE and power were the last readers; hand the recycled buffers
+        // back.
         self.bitrates.clear();
         scratch.bitrates = std::mem::take(&mut self.bitrates);
         self.snapshot_scratch.clear();
@@ -2313,6 +2365,7 @@ impl SessionWorld {
             content: self.content,
             cpu_energy,
             radio,
+            power,
             qoe,
             session_length,
             mean_freq: Frequency::from_khz(mean_khz.round() as u32),
@@ -2821,6 +2874,29 @@ mod tests {
             base.replay_prefix(),
             faulted.replay_prefix(),
             "fault plans diverge observably, so they stay out of the prefix"
+        );
+        let powered = StreamingSession::builder(eavs_with(EavsConfig::default()))
+            .manifest(short_manifest())
+            .seed(3)
+            .power(DevicePowerModel::phone());
+        assert_eq!(
+            base.replay_prefix(),
+            powered.replay_prefix(),
+            "power accounting is post-hoc, so it stays out of the prefix"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            powered.fingerprint(),
+            "a modeled power component must split the session fingerprint"
+        );
+        let noop_power = StreamingSession::builder(eavs_with(EavsConfig::default()))
+            .manifest(short_manifest())
+            .seed(3)
+            .power(DevicePowerModel::none());
+        assert_eq!(
+            base.fingerprint(),
+            noop_power.fingerprint(),
+            "the zero-power no-op shares the fingerprint of no model at all"
         );
         let other_seed = replay_pair(EavsConfig::default(), 4).0;
         assert_ne!(base.replay_prefix(), other_seed.replay_prefix());

@@ -20,6 +20,7 @@ use eavs_cpu::soc::SocModel;
 use eavs_net::abr::{BufferBasedAbr, RateBasedAbr};
 use eavs_net::bandwidth::BandwidthTrace;
 use eavs_net::radio::RadioModel;
+use eavs_power::DevicePowerModel;
 use eavs_sim::time::SimDuration;
 use eavs_trace::content::ContentProfile;
 use eavs_video::manifest::Manifest;
@@ -96,6 +97,10 @@ pub struct SessionDraw {
     pub workload_seed: u64,
     /// Arrival offset into the campaign window, seconds.
     pub arrival_s: f64,
+    /// Whole-device power model (the spec's, campaign-wide — not a
+    /// per-session draw, but carried here so a draw stays a complete
+    /// description of its session).
+    pub power: DevicePowerModel,
 }
 
 /// Expands session `session_id` of the campaign — a pure function of
@@ -120,6 +125,7 @@ pub fn draw_session(spec: &CampaignSpec, session_id: u64) -> SessionDraw {
         // in some generators) and 1.. keeps pools disjoint from defaults.
         workload_seed: 1 + coordinate_seed(s, domain::WORKLOAD, session_id, 0) % spec.seed_pool,
         arrival_s: coordinate_f64(s, domain::ARRIVAL, session_id) * spec.arrival_span_s as f64,
+        power: spec.power,
     }
 }
 
@@ -167,6 +173,7 @@ pub fn builder_for(draw: &SessionDraw, governor: &str) -> Result<SessionBuilder,
         .soc(draw.soc)
         .content(draw.content)
         .manifest(manifest)
+        .power(draw.power)
         .seed(draw.workload_seed);
     builder = match draw.network {
         NetworkChoice::Constant(mbps) => builder

@@ -61,6 +61,10 @@ pub fn encode(agg: &FleetAggregate) -> String {
         push_f64_bits(&mut out, "cpu_j_min", g.cpu_j_min);
         push_f64_bits(&mut out, "cpu_j_max", g.cpu_j_max);
         push_sum(&mut out, "radio_j_sum", &g.radio_j_sum);
+        push_sum(&mut out, "device_radio_j_sum", &g.device_radio_j_sum);
+        push_sum(&mut out, "device_display_j_sum", &g.device_display_j_sum);
+        push_sum(&mut out, "device_decoder_j_sum", &g.device_decoder_j_sum);
+        out.push_str(&format!("radio_promotions {}\n", g.radio_promotions));
         push_hist(&mut out, "qoe", &g.qoe);
         push_sum(&mut out, "qoe_sum", &g.qoe_sum);
         push_hist(&mut out, "startup_ms", &g.startup_ms);
@@ -201,6 +205,10 @@ pub fn decode(text: &str) -> Result<FleetAggregate, String> {
         let cpu_j_min = lines.f64_bits("cpu_j_min")?;
         let cpu_j_max = lines.f64_bits("cpu_j_max")?;
         let radio_j_sum = lines.sum("radio_j_sum")?;
+        let device_radio_j_sum = lines.sum("device_radio_j_sum")?;
+        let device_display_j_sum = lines.sum("device_display_j_sum")?;
+        let device_decoder_j_sum = lines.sum("device_decoder_j_sum")?;
+        let radio_promotions = lines.parse("radio_promotions")?;
         let qoe = lines.hist("qoe")?;
         let qoe_sum = lines.sum("qoe_sum")?;
         let startup_ms = lines.hist("startup_ms")?;
@@ -226,6 +234,10 @@ pub fn decode(text: &str) -> Result<FleetAggregate, String> {
             cpu_j_min,
             cpu_j_max,
             radio_j_sum,
+            device_radio_j_sum,
+            device_display_j_sum,
+            device_decoder_j_sum,
+            radio_promotions,
             qoe,
             qoe_sum,
             startup_ms,
@@ -299,7 +311,10 @@ mod tests {
     use crate::spec::CampaignSpec;
 
     fn populated_aggregate() -> (CampaignSpec, FleetAggregate) {
-        let spec = CampaignSpec::smoke();
+        // A powered spec, so the device-power sums round-trip with real
+        // (non-zero) values rather than the trivial empty ones.
+        let mut spec = CampaignSpec::smoke();
+        spec.power = eavs_power::DevicePowerModel::phone();
         let mut agg = FleetAggregate::new(&spec);
         for id in 0..3 {
             let draw = draw_session(&spec, id);
@@ -316,6 +331,8 @@ mod tests {
     #[test]
     fn roundtrip_is_bit_exact() {
         let (_, agg) = populated_aggregate();
+        assert!(agg.govs[0].device_radio_j_sum.value() > 0.0);
+        assert!(agg.govs[0].radio_promotions > 0);
         let decoded = decode(&encode(&agg)).unwrap();
         assert_eq!(decoded, agg);
         // Including the empty-lane sentinels.

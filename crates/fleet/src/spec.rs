@@ -8,6 +8,7 @@
 //! different spec.
 
 use eavs_cpu::soc::SocModel;
+use eavs_power::DevicePowerModel;
 use eavs_sim::fingerprint::{Fingerprint, Fingerprinter};
 use eavs_trace::content::ContentProfile;
 use eavs_trace::net_gen::NetworkProfile;
@@ -112,6 +113,11 @@ pub struct CampaignSpec {
     /// Arrival window in seconds: sessions arrive uniformly over
     /// `[0, span)` (a Poisson process conditioned on N).
     pub arrival_span_s: u64,
+    /// Whole-device power model attached to every session of the
+    /// population. Accounting is post-hoc, so any model leaves the
+    /// simulated timelines untouched; the default [`DevicePowerModel::none`]
+    /// additionally leaves every report byte-identical.
+    pub power: DevicePowerModel,
     /// Histogram shape for CPU energy (joules).
     pub energy_hist: HistShape,
     /// Histogram shape for the composite QoE score.
@@ -171,6 +177,7 @@ impl CampaignSpec {
             trace_pool: 4,
             seed_pool: 8,
             arrival_span_s: 3_600,
+            power: DevicePowerModel::none(),
             energy_hist: (0.0, 30.0, 60),
             qoe_hist: (-100.0, 10.0, 110),
             startup_hist_ms: (0.0, 5_000.0, 100),
@@ -245,6 +252,7 @@ impl CampaignSpec {
             trace_pool: 4,
             seed_pool: 8,
             arrival_span_s: 3_600,
+            power: DevicePowerModel::none(),
             energy_hist: (0.0, 60.0, 120),
             qoe_hist: (-100.0, 10.0, 110),
             startup_hist_ms: (0.0, 5_000.0, 100),
@@ -368,6 +376,15 @@ impl CampaignSpec {
         fp.write_u64(self.trace_pool);
         fp.write_u64(self.seed_pool);
         fp.write_u64(self.arrival_span_s);
+        // Same tag convention as the session fingerprint: the none()
+        // model digests like no model at all (the zero-power no-op), any
+        // modeled component splits the campaign.
+        if self.power.is_none() {
+            fp.write_u8(0);
+        } else {
+            fp.write_u8(1);
+            self.power.fingerprint(&mut fp);
+        }
         for (lo, hi, bins) in [self.energy_hist, self.qoe_hist, self.startup_hist_ms] {
             fp.write_f64(lo);
             fp.write_f64(hi);
@@ -419,6 +436,14 @@ mod tests {
         let mut d = a.clone();
         d.energy_hist = (0.0, 31.0, 60);
         assert_ne!(a.fingerprint(), d.fingerprint());
+        // A powered campaign is a different campaign; the explicit
+        // none() model is the same one.
+        let mut e = a.clone();
+        e.power = DevicePowerModel::phone();
+        assert_ne!(a.fingerprint(), e.fingerprint());
+        let mut f = a.clone();
+        f.power = DevicePowerModel::none();
+        assert_eq!(a.fingerprint(), f.fingerprint());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use eavs_net::abr::{AbrAlgorithm, BufferBasedAbr, FixedAbr, RateBasedAbr};
 use eavs_net::bandwidth::BandwidthTrace;
 use eavs_net::download::RetryPolicy;
 use eavs_net::radio::RadioModel;
+use eavs_power::DevicePowerModel;
 use eavs_sim::time::SimDuration;
 use eavs_trace::content::ContentProfile;
 use eavs_trace::net_gen::NetworkProfile;
@@ -86,6 +87,9 @@ pub struct FleetArgs {
     /// Batched-kernel lane width (`--batch N`; equivalent to setting
     /// `EAVS_BATCH=N` in the environment).
     pub batch: Option<usize>,
+    /// Whole-device power model override: `none`, `phone` or
+    /// `phone:<brightness>` (defaults to the preset's, which is `none`).
+    pub power: Option<String>,
 }
 
 impl Default for FleetArgs {
@@ -102,6 +106,7 @@ impl Default for FleetArgs {
             out: None,
             metrics_out: None,
             batch: None,
+            power: None,
         }
     }
 }
@@ -145,6 +150,8 @@ pub struct RunArgs {
     pub late_policy: String,
     /// Fault plan: `none`, `storm`, `light:<seed>` or `heavy:<seed>`.
     pub faults: String,
+    /// Whole-device power model: `none`, `phone` or `phone:<brightness>`.
+    pub power: String,
     /// Retry policy: `default`, `balanced`, or `<timeout_ms>,<retries>,<base_ms>`.
     pub retry: Option<String>,
     /// Enable EAVS panic recovery (re-race to max on breach/rebuffer).
@@ -174,6 +181,7 @@ impl Default for RunArgs {
             sysfs: false,
             late_policy: "stall".to_owned(),
             faults: "none".to_owned(),
+            power: "none".to_owned(),
             retry: None,
             panic_recovery: false,
             profile: false,
@@ -214,6 +222,10 @@ OPTIONS (with defaults):
   --late-policy stall     stall | drop (what happens to late frames)
   --faults none           none | storm | light:<seed> | heavy:<seed>
                           (deterministic fault injection; see DESIGN.md §11)
+  --power none            none | phone | phone:<brightness 0..1> — whole-device
+                          energy co-model (RRC radio + display + decoder);
+                          accounting is post-hoc and never perturbs the session
+                          (EAVS_POWER_TAIL_MS overrides the radio tail timer)
   --retry <none>          balanced | <timeout_ms>,<retries>,<base_ms>
                           (download watchdog + exponential backoff)
   --panic                 enable EAVS panic recovery (re-race to max OPP
@@ -244,11 +256,15 @@ FLEET OPTIONS (defaults come from the chosen preset):
   --batch N               run shards through the batched SoA session
                           kernel, N lanes per worker (same as EAVS_BATCH=N;
                           results stay byte-identical)
+  --power none            attach a whole-device power model to every
+                          session of the population (same spec as run)
 
 EXAMPLES:
   eavsctl run --governor eavs --network lte_drive --abr buffer
   eavsctl run --faults heavy:7 --retry balanced --panic
       fault injection with watchdog retries and EAVS panic recovery
+  eavsctl run --power phone:0.8 --radio lte --network lte_drive
+      whole-device energy breakdown (radio RRC + display + decoder)
   eavsctl compare ondemand,schedutil,eavs --duration 30
   eavsctl trace --seed 7 --duration 10 --out /tmp/session.jsonl
   eavsctl trace --chrome --out /tmp/session.trace.json
@@ -336,6 +352,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--profile" => out.profile = true,
             "--late-policy" => out.late_policy = value("late-policy")?.clone(),
             "--faults" => out.faults = value("faults")?.clone(),
+            "--power" => out.power = value("power")?.clone(),
             "--retry" => out.retry = Some(value("retry")?.clone()),
             "--panic" => out.panic_recovery = true,
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
@@ -372,6 +389,7 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
             "--out" => out.out = Some(value("out")?.clone()),
             "--metrics-out" => out.metrics_out = Some(value("metrics-out")?.clone()),
             "--batch" => out.batch = Some(parse_num(value("batch")?, "batch")?),
+            "--power" => out.power = Some(value("power")?.clone()),
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
         }
     }
@@ -424,6 +442,9 @@ pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
     }
     if let Some(govs) = &args.governors {
         spec.governors = govs.clone();
+    }
+    if let Some(power) = &args.power {
+        spec.power = build_power(power)?.unwrap_or_default();
     }
     let opts = eavs_fleet::RunOptions {
         checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
@@ -569,6 +590,34 @@ fn build_faults(spec: &str) -> Result<Option<FaultPlan>, String> {
     }))
 }
 
+/// Builds the whole-device power model from its CLI spec: `none`,
+/// `phone` or `phone:<brightness>`. `EAVS_POWER_TAIL_MS` (a registered
+/// warn-once env knob) overrides the modeled radio's RRC tail timer —
+/// the knob behind the F29 sensitivity sweep.
+fn build_power(spec: &str) -> Result<Option<DevicePowerModel>, String> {
+    let mut model = if spec == "none" {
+        return Ok(None);
+    } else if spec == "phone" {
+        DevicePowerModel::phone()
+    } else if let Some(brightness) = spec.strip_prefix("phone:") {
+        let b: f64 = brightness
+            .parse()
+            .map_err(|_| format!("bad brightness {brightness:?}"))?;
+        if !(0.0..=1.0).contains(&b) {
+            return Err(format!("brightness {b} outside [0, 1]"));
+        }
+        DevicePowerModel::phone_with_brightness(b)
+    } else {
+        return Err(format!(
+            "unknown power model {spec:?}: want none, phone or phone:<brightness>"
+        ));
+    };
+    if let (Some(ms), Some(radio)) = (eavs_bench::executor::power_tail_ms(), &mut model.radio) {
+        *radio = radio.with_tail_timer(SimDuration::from_millis(ms));
+    }
+    Ok(Some(model))
+}
+
 fn build_retry(spec: &str) -> Result<RetryPolicy, String> {
     if spec == "balanced" {
         return Ok(RetryPolicy::with_timeout(SimDuration::from_secs(2)));
@@ -693,6 +742,9 @@ fn build_session(
     if let Some(plan) = build_faults(&args.faults)? {
         builder = builder.faults(plan);
     }
+    if let Some(model) = build_power(&args.power)? {
+        builder = builder.power(model);
+    }
     if let Some(retry) = &args.retry {
         builder = builder.retry(build_retry(retry)?);
     }
@@ -768,6 +820,7 @@ pub fn execute(command: Command) -> Result<String, String> {
             out.push_str("radios: wifi lte 3g\n");
             out.push_str("abr: fixed rate buffer\n");
             out.push_str("faults: none storm light:<seed> heavy:<seed>\n");
+            out.push_str("power: none phone phone:<brightness>\n");
             Ok(out)
         }
         Command::Run(args) => {
@@ -783,6 +836,17 @@ pub fn execute(command: Command) -> Result<String, String> {
                     report.decode_spikes,
                     report.decode_stalls,
                     report.panic_races,
+                ));
+            }
+            if args.power != "none" {
+                out.push_str(&format!(
+                    "  device power: radio {:.2} J ({} promotions, tail {:.1} s), display {:.2} J, decoder {:.2} J, device total {:.2} J\n",
+                    report.power.radio_j,
+                    report.power.radio_promotions,
+                    report.power.radio_tail_time.as_secs_f64(),
+                    report.power.display_j,
+                    report.power.decoder_j,
+                    report.power.total_j(),
                 ));
             }
             if let Some(profile) = &report.profile {
@@ -1004,6 +1068,58 @@ mod tests {
     }
 
     #[test]
+    fn power_flag_parses_and_accounts() {
+        let cmd = parse(&argv("run --power phone:0.8 --duration 4")).unwrap();
+        let Command::Run(args) = cmd else { panic!() };
+        assert_eq!(args.power, "phone:0.8");
+
+        let args = RunArgs {
+            duration_s: 4,
+            bitrate_kbps: 1_500,
+            width: 854,
+            height: 480,
+            power: "phone:0.8".to_owned(),
+            ..RunArgs::default()
+        };
+        let powered = run_session(&args, "eavs").unwrap();
+        assert!(powered.power.total_j() > 0.0);
+        assert!(powered.power.radio_promotions > 0);
+        // The co-model is accounting-only: the identical session without
+        // it decodes the same frames for the same CPU energy.
+        let plain = run_session(
+            &RunArgs {
+                power: "none".to_owned(),
+                ..args.clone()
+            },
+            "eavs",
+        )
+        .unwrap();
+        assert_eq!(plain.cpu_joules().to_bits(), powered.cpu_joules().to_bits());
+        assert_eq!(plain.frames_decoded, powered.frames_decoded);
+        assert_eq!(plain.power.total_j(), 0.0);
+
+        let out = execute(Command::Run(args)).unwrap();
+        assert!(out.contains("device power:"), "{out}");
+    }
+
+    #[test]
+    fn power_flag_rejects_garbage() {
+        let bad = |spec: &str| RunArgs {
+            power: spec.to_owned(),
+            ..RunArgs::default()
+        };
+        assert!(run_session(&bad("nuclear"), "eavs")
+            .unwrap_err()
+            .contains("unknown power model"));
+        assert!(run_session(&bad("phone:dim"), "eavs")
+            .unwrap_err()
+            .contains("bad brightness"));
+        assert!(run_session(&bad("phone:1.5"), "eavs")
+            .unwrap_err()
+            .contains("outside [0, 1]"));
+    }
+
+    #[test]
     fn retry_triple_parses() {
         let args = RunArgs {
             duration_s: 4,
@@ -1033,7 +1149,7 @@ mod tests {
         let cmd = parse(&argv(
             "fleet --campaign smoke --sessions 40 --seed 9 --shard-size 10 \
              --governors ondemand,eavs --checkpoint /tmp/x.ckpt --checkpoint-every 2 \
-             --halt-after-shards 3 --out /tmp/x.csv",
+             --halt-after-shards 3 --out /tmp/x.csv --power phone",
         ))
         .unwrap();
         let Command::Fleet(args) = cmd else {
@@ -1051,6 +1167,7 @@ mod tests {
         assert_eq!(args.checkpoint_every, 2);
         assert_eq!(args.halt_after_shards, Some(3));
         assert_eq!(args.out.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(args.power.as_deref(), Some("phone"));
 
         assert_eq!(
             parse(&argv("fleet")).unwrap(),
@@ -1082,6 +1199,11 @@ mod tests {
         };
         assert!(run_fleet(&bad).unwrap_err().contains("unknown campaign"));
         let bad = FleetArgs {
+            power: Some("nuclear".to_owned()),
+            ..args.clone()
+        };
+        assert!(run_fleet(&bad).unwrap_err().contains("unknown power model"));
+        let bad = FleetArgs {
             governors: Some(vec!["warp".to_owned()]),
             ..args
         };
@@ -1100,6 +1222,7 @@ mod tests {
             "--chrome",
             "--profile",
             "--metrics-out",
+            "--power",
         ] {
             assert!(USAGE.contains(needle), "USAGE must mention {needle}");
         }

@@ -22,6 +22,7 @@ pub use eavs_governors as governors;
 pub use eavs_metrics as metrics;
 pub use eavs_net as net;
 pub use eavs_obs as obs;
+pub use eavs_power as power;
 pub use eavs_sim as sim;
 pub use eavs_sysfs as sysfs;
 pub use eavs_trace as tracegen;

@@ -74,9 +74,19 @@ fn kill_and_resume_is_byte_identical() {
     spec.sessions = 20;
     spec.shard_size = 5; // 4 shards
 
+    // Run powered, so the device-power counters cross the checkpoint
+    // with real values and must round-trip bit-exactly.
+    spec.power = eavs::power::DevicePowerModel::phone();
+
     // Uninterrupted reference run.
     let cold = eavs_bench::fleet::run_campaign(&spec, &RunOptions::default()).unwrap();
     assert_eq!(cold.status, CampaignStatus::Complete);
+    for lane in &cold.aggregate.govs {
+        assert!(lane.device_radio_j_sum.value() > 0.0);
+        assert!(lane.device_display_j_sum.value() > 0.0);
+        assert!(lane.device_decoder_j_sum.value() > 0.0);
+        assert!(lane.radio_promotions > 0);
+    }
     let reference_csv = cold.aggregate.table(&spec).to_csv();
 
     let dir = std::env::temp_dir().join(format!("eavs-fleet-resume-{}", std::process::id()));
@@ -111,6 +121,10 @@ fn kill_and_resume_is_byte_identical() {
         "resume must not re-run completed shards"
     );
     assert_eq!(resumed.aggregate.table(&spec).to_csv(), reference_csv);
+    // Full aggregate equality, not just the rendered table: every
+    // counter — including the device-power sums — survived the
+    // checkpoint bit-exactly.
+    assert_eq!(resumed.aggregate, cold.aggregate);
 
     // A different spec must refuse the checkpoint instead of merging junk.
     let mut changed = spec.clone();
