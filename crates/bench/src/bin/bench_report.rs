@@ -23,6 +23,9 @@
 //! * `fleet` — campaign throughput through the pooled, cached shard
 //!   runner: session-runs/sec, the campaign's own cache hit rate, and the
 //!   peak per-shard resident footprint (the O(shards) memory bound).
+//! * `daemon` — the same fresh-seed campaign served end-to-end through a
+//!   resident `eavsd` (HTTP submit, poll, result) vs run in-process, in
+//!   session-runs/sec — the control-plane overhead of the fleet service.
 //! * `power` — whole-device energy counters of one phone-model LTE
 //!   session (the F28 probe workload): per-component joules, RRC
 //!   promotions, and the wall-clock cost of the powered run. Accounting
@@ -240,6 +243,77 @@ fn measure_fleet(smoke: bool) -> (f64, f64, eavs_fleet::CampaignOutcome) {
     )
 }
 
+/// Control-plane overhead of the resident daemon: one fresh-seed
+/// campaign served end-to-end over `eavsd`'s HTTP API (submit, poll,
+/// result fetch) and a second, differently-seeded one run in-process —
+/// session-runs/sec each. The seeds are distinct from each other and
+/// from every other measurement in this report, so neither number is
+/// inflated by session-cache hits the other one (or `measure_fleet`)
+/// paid for. Returns (http runs/sec, in-process runs/sec, runs).
+fn measure_daemon(smoke: bool) -> (f64, f64, u64) {
+    let sessions = if smoke { 100 } else { 1_000 };
+    let spec_with = |name: &str, seed: u64| {
+        let mut spec = eavs_fleet::CampaignSpec::smoke();
+        spec.name = name.to_owned();
+        spec.seed = seed;
+        spec.sessions = sessions;
+        spec
+    };
+
+    let state = std::env::temp_dir().join(format!("eavsd-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let daemon = eavs_daemon::Daemon::start(
+        eavs_daemon::DaemonOptions::new(state.clone()),
+        std::sync::Arc::new(eavs_bench::fleet::pooled_runner),
+    )
+    .expect("daemon start");
+    let addr = daemon.addr();
+    let spec = spec_with("bench-daemon-http", 0xDAE0);
+    let id = eavs_daemon::registry::campaign_id(&spec);
+    let body = eavs_daemon::codec::encode_spec(&spec);
+    let started = Instant::now();
+    let (status, resp) =
+        eavs_daemon::http::client::request_text(&addr, "POST", "/campaigns", &body)
+            .expect("daemon submit");
+    assert_eq!(status, 200, "daemon submit: {resp}");
+    loop {
+        let (_, progress) = eavs_daemon::http::client::request_text(
+            &addr,
+            "GET",
+            &format!("/campaigns/{id}"),
+            "",
+        )
+        .expect("daemon poll");
+        if progress.contains("\"phase\":\"complete\"") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let (status, _) = eavs_daemon::http::client::request_text(
+        &addr,
+        "GET",
+        &format!("/campaigns/{id}/result"),
+        "",
+    )
+    .expect("daemon result");
+    assert_eq!(status, 200);
+    let http_wall_s = started.elapsed().as_secs_f64();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&state);
+
+    let spec = spec_with("bench-daemon-direct", 0xDAE1);
+    let started = Instant::now();
+    let outcome = eavs_bench::fleet::run_campaign(&spec, &eavs_fleet::RunOptions::default())
+        .expect("daemon bench spec is valid");
+    let direct_wall_s = started.elapsed().as_secs_f64();
+    let runs = outcome.session_runs;
+    (
+        runs as f64 / http_wall_s.max(1e-9),
+        runs as f64 / direct_wall_s.max(1e-9),
+        runs,
+    )
+}
+
 /// Single-threaded scalar reference: the same sessions and seeds as
 /// [`measure_kernel_sessions_per_sec`], run serially through the
 /// per-session dispatcher. The pool-based [`measure_sessions_per_sec`]
@@ -408,6 +482,13 @@ fn main() {
         fleet_peak_shard_bytes as f64 / 1024.0,
     );
 
+    let (daemon_http_per_sec, daemon_direct_per_sec, daemon_session_runs) =
+        measure_daemon(smoke);
+    eprintln!(
+        "  daemon          {daemon_http_per_sec:.0} session-runs/sec over HTTP vs \
+         {daemon_direct_per_sec:.0} in-process ({daemon_session_runs} runs each)"
+    );
+
     let (power_report, power_wall_s) = measure_power();
     let power = power_report.power;
     let power_device_j = power_report.cpu_joules() + power.total_j();
@@ -516,6 +597,11 @@ fn main() {
             "    \"batched\": {fleet_batched},\n",
             "    \"peak_shard_bytes\": {fleet_peak_shard_bytes}\n",
             "  }},\n",
+            "  \"daemon\": {{\n",
+            "    \"session_runs\": {daemon_session_runs},\n",
+            "    \"http_sessions_per_sec\": {daemon_http_per_sec:.1},\n",
+            "    \"direct_sessions_per_sec\": {daemon_direct_per_sec:.1}\n",
+            "  }},\n",
             "{profile_field}",
             "  \"experiments\": {experiments},\n",
             "  \"workers\": {workers},\n",
@@ -561,6 +647,9 @@ fn main() {
         fleet_replayed = fleet_outcome.replayed,
         fleet_batched = fleet_outcome.batched,
         fleet_peak_shard_bytes = fleet_peak_shard_bytes,
+        daemon_session_runs = daemon_session_runs,
+        daemon_http_per_sec = daemon_http_per_sec,
+        daemon_direct_per_sec = daemon_direct_per_sec,
         profile_field = profile_field,
         experiments = experiments,
         workers = workers,

@@ -144,17 +144,43 @@ pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
     }
 }
 
-/// Every `EAVS_*` numeric tuning variable read through [`env_knob`],
+/// Every `EAVS_*` tuning variable read through [`env_knob`],
 /// registered in one place so the warn-once contract can be proven for
 /// each of them (a malformed value warns exactly once per variable, no
 /// matter how many jobs consult it).
-pub const REGISTERED_KNOBS: [&str; 5] = [
+pub const REGISTERED_KNOBS: [&str; 8] = [
     "EAVS_JOBS",
     "EAVS_BATCH",
     "EAVS_CHAOS_CASES",
     "EAVS_SESSION_CACHE_MB",
     "EAVS_POWER_TAIL_MS",
+    "EAVS_DAEMON_ADDR",
+    "EAVS_DAEMON_THREADS",
+    "EAVS_CHECKPOINT_EVERY",
 ];
+
+/// Default `eavsd` listen/connect address from `EAVS_DAEMON_ADDR`
+/// (host:port). Consulted by `eavsd` when `--addr` is absent and by the
+/// `eavsctl` daemon-client subcommands when `--addr` is absent, so one
+/// exported variable points a whole shell session at the same daemon.
+pub fn daemon_addr() -> Option<String> {
+    // `String::from_str` is infallible, so the warn-once path of
+    // `env_knob` never triggers here; it is still routed through the
+    // helper to keep every registered knob on one code path.
+    env_knob::<String>("EAVS_DAEMON_ADDR").filter(|s| !s.is_empty())
+}
+
+/// `eavsd` HTTP thread-pool size from `EAVS_DAEMON_THREADS`.
+pub fn daemon_threads() -> Option<usize> {
+    env_knob::<usize>("EAVS_DAEMON_THREADS")
+}
+
+/// Checkpoint cadence (shards between writes) from
+/// `EAVS_CHECKPOINT_EVERY`. Read by `eavsd` when `--checkpoint-every`
+/// is absent; `eavsctl fleet` keeps its explicit flag.
+pub fn checkpoint_every() -> Option<u64> {
+    env_knob::<u64>("EAVS_CHECKPOINT_EVERY")
+}
 
 /// Radio tail-timer override from `EAVS_POWER_TAIL_MS`, milliseconds.
 ///

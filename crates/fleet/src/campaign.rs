@@ -8,6 +8,7 @@
 //! and a resumed campaign re-derives exactly the sessions it skipped.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -218,6 +219,19 @@ pub struct RunOptions {
     /// Stop (with a checkpoint) once this many shards are done — the
     /// deterministic "kill" half of the CI kill/resume test.
     pub halt_after_shards: Option<u64>,
+    /// Cooperative cancel flag, observed at shard boundaries only: the
+    /// in-flight shard always completes and is checkpointed, so a
+    /// cancelled campaign resumes (or re-submits) to byte-identical
+    /// final output. The daemon's `DELETE /campaigns/{id}` sets this.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RunOptions {
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
 }
 
 /// How a [`run_campaign`] invocation ended.
@@ -227,6 +241,9 @@ pub enum CampaignStatus {
     Complete,
     /// Halted at `halt_after_shards`; resume from the checkpoint.
     Halted,
+    /// Cancelled through [`RunOptions::cancel`] at a shard boundary;
+    /// the checkpoint (if any) holds every completed shard.
+    Cancelled,
 }
 
 /// The result of one [`run_campaign`] invocation.
@@ -252,6 +269,81 @@ pub struct CampaignOutcome {
     pub batched: u64,
     /// Wall-clock seconds spent in the shard loop.
     pub wall_s: f64,
+}
+
+/// The folded output of one shard execution: exactly what a worker ships
+/// back to a coordinator.
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    /// The shard's partial aggregate (`shards_done` stays 0 — the cursor
+    /// belongs to whoever folds partials in order).
+    pub partial: FleetAggregate,
+    /// Session-runs (sessions × governors) this shard executed.
+    pub session_runs: u64,
+    /// Resident footprint of the shard: its reports plus the partial.
+    pub shard_bytes: u64,
+}
+
+/// Expands and executes one shard of the campaign, folding its reports
+/// into a fresh partial aggregate. A pure function of `(spec, shard)` up
+/// to the runner, so shards can execute in any order on any worker and
+/// still merge to identical bits — this is the unit of work the daemon's
+/// shard-claim protocol hands out.
+///
+/// # Errors
+///
+/// Returns a message for an out-of-range shard index, an unknown
+/// governor, or a runner that returns the wrong number of reports.
+pub fn run_shard(
+    spec: &CampaignSpec,
+    shard: u64,
+    runner: &ShardRunner,
+) -> Result<ShardOutcome, String> {
+    if shard >= spec.num_shards() {
+        return Err(format!(
+            "shard {shard} out of range (campaign has {} shards)",
+            spec.num_shards()
+        ));
+    }
+    let (start, end) = spec.shard_range(shard);
+    let draws: Vec<SessionDraw> = (start..end).map(|id| draw_session(spec, id)).collect();
+    let mut jobs = Vec::with_capacity(draws.len() * spec.governors.len());
+    for draw in &draws {
+        for gov in &spec.governors {
+            jobs.push((
+                format!("fleet {} s{} {gov}", spec.name, draw.session_id),
+                builder_for(draw, gov)?,
+            ));
+        }
+    }
+    let expected = jobs.len();
+    let reports = runner(jobs);
+    if reports.len() != expected {
+        return Err(format!(
+            "shard {shard}: runner returned {} reports for {expected} jobs",
+            reports.len()
+        ));
+    }
+
+    // Fold into a fresh per-shard partial — the same path the
+    // associativity proptest exercises, so the campaign provably cannot
+    // depend on shard order.
+    let mut partial = FleetAggregate::new(spec);
+    let mut iter = reports.iter();
+    for draw in &draws {
+        partial.observe_arrival(draw.arrival_s);
+        for gov_index in 0..spec.governors.len() {
+            let report = iter.next().expect("length checked above");
+            partial.observe(gov_index, report);
+        }
+    }
+    let shard_bytes =
+        reports.iter().map(|r| r.approx_bytes()).sum::<u64>() + partial.approx_bytes();
+    Ok(ShardOutcome {
+        partial,
+        session_runs: expected as u64,
+        shard_bytes,
+    })
 }
 
 /// Runs (or resumes) a campaign: expands each shard's sessions, executes
@@ -291,7 +383,7 @@ pub fn run_campaign(
     let started = Instant::now();
     let mut session_runs = 0u64;
     let mut peak_shard_bytes = 0u64;
-    let mut halted = false;
+    let mut status = CampaignStatus::Complete;
     // The replay/batch counters are process-wide; attribute the delta
     // across the shard loop to this invocation.
     let replayed_before = eavs_core::session::replayed_sessions();
@@ -302,55 +394,27 @@ pub fn run_campaign(
             .halt_after_shards
             .is_some_and(|h| aggregate.shards_done >= h)
         {
-            halted = true;
+            status = CampaignStatus::Halted;
+            break;
+        }
+        if opts.cancelled() {
+            status = CampaignStatus::Cancelled;
             break;
         }
         let shard = aggregate.shards_done;
-        let (start, end) = spec.shard_range(shard);
-        let draws: Vec<SessionDraw> = (start..end).map(|id| draw_session(spec, id)).collect();
-        let mut jobs = Vec::with_capacity(draws.len() * spec.governors.len());
-        for draw in &draws {
-            for gov in &spec.governors {
-                jobs.push((
-                    format!("fleet {} s{} {gov}", spec.name, draw.session_id),
-                    builder_for(draw, gov)?,
-                ));
-            }
-        }
-        let expected = jobs.len();
-        let reports = runner(jobs);
-        if reports.len() != expected {
-            return Err(format!(
-                "shard {shard}: runner returned {} reports for {expected} jobs",
-                reports.len()
-            ));
-        }
-        session_runs += expected as u64;
-
-        // Fold into a fresh per-shard partial, then merge — the same path
-        // the associativity proptest exercises, so the loop provably
-        // cannot depend on shard order.
-        let mut partial = FleetAggregate::new(spec);
-        let mut iter = reports.iter();
-        for draw in &draws {
-            partial.observe_arrival(draw.arrival_s);
-            for gov_index in 0..spec.governors.len() {
-                let report = iter.next().expect("length checked above");
-                partial.observe(gov_index, report);
-            }
-        }
-        let shard_bytes =
-            reports.iter().map(|r| r.approx_bytes()).sum::<u64>() + partial.approx_bytes();
-        peak_shard_bytes = peak_shard_bytes.max(shard_bytes);
-        aggregate.merge(&partial);
+        let out = run_shard(spec, shard, runner)?;
+        session_runs += out.session_runs;
+        peak_shard_bytes = peak_shard_bytes.max(out.shard_bytes);
+        aggregate.merge(&out.partial);
         aggregate.shards_done = shard + 1;
 
         if let Some(path) = &opts.checkpoint {
             let last = aggregate.shards_done == total_shards;
-            let halting = opts
+            let stopping = opts
                 .halt_after_shards
-                .is_some_and(|h| aggregate.shards_done >= h);
-            if aggregate.shards_done % every == 0 || last || halting {
+                .is_some_and(|h| aggregate.shards_done >= h)
+                || opts.cancelled();
+            if aggregate.shards_done % every == 0 || last || stopping {
                 checkpoint::save(path, &aggregate)?;
             }
         }
@@ -358,11 +422,7 @@ pub fn run_campaign(
 
     Ok(CampaignOutcome {
         aggregate,
-        status: if halted {
-            CampaignStatus::Halted
-        } else {
-            CampaignStatus::Complete
-        },
+        status,
         session_runs,
         peak_shard_bytes,
         replayed: eavs_core::session::replayed_sessions() - replayed_before,
@@ -459,6 +519,78 @@ mod tests {
             assert!(lane.cpu_j_sum.value() > 0.0);
         }
         assert!(out.peak_shard_bytes > 0);
+    }
+
+    #[test]
+    fn run_shard_partials_fold_to_the_campaign_aggregate() {
+        let mut spec = CampaignSpec::smoke();
+        spec.sessions = 6;
+        spec.shard_size = 2;
+        let whole = run_campaign(&spec, &RunOptions::default(), &serial_runner).unwrap();
+        // Merge the standalone shard partials out of order: the fold is
+        // order-free, so a coordinator can accept them from any worker.
+        let mut folded = FleetAggregate::new(&spec);
+        for shard in [2u64, 0, 1] {
+            let out = run_shard(&spec, shard, &serial_runner).unwrap();
+            assert_eq!(out.partial.shards_done, 0, "cursor belongs to the folder");
+            assert_eq!(out.session_runs, 2 * spec.governors.len() as u64);
+            folded.merge(&out.partial);
+        }
+        folded.shards_done = 3;
+        assert_eq!(folded, whole.aggregate);
+        assert!(run_shard(&spec, 3, &serial_runner).is_err(), "out of range");
+    }
+
+    #[test]
+    fn cancel_stops_at_a_shard_boundary_with_a_resumable_checkpoint() {
+        let mut spec = CampaignSpec::smoke();
+        spec.sessions = 6;
+        spec.shard_size = 2;
+        let reference = run_campaign(&spec, &RunOptions::default(), &serial_runner).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("eavs-cancel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("cancel.ckpt");
+        let flag = Arc::new(AtomicBool::new(false));
+        // The runner flips the flag mid-shard: the shard must still
+        // complete and checkpoint before the loop observes the cancel.
+        let cancel_in_shard = flag.clone();
+        let cancelling_runner = move |jobs: Vec<(String, SessionBuilder)>| {
+            cancel_in_shard.store(true, Ordering::SeqCst);
+            serial_runner(jobs)
+        };
+        let opts = RunOptions {
+            checkpoint: Some(ckpt.clone()),
+            cancel: Some(flag.clone()),
+            ..RunOptions::default()
+        };
+        let cancelled = run_campaign(&spec, &opts, &cancelling_runner).unwrap();
+        assert_eq!(cancelled.status, CampaignStatus::Cancelled);
+        assert_eq!(cancelled.aggregate.shards_done, 1);
+
+        // Clearing the flag resumes from the checkpoint to bytes
+        // identical to the uncancelled run.
+        flag.store(false, Ordering::SeqCst);
+        let resumed = run_campaign(&spec, &opts, &serial_runner).unwrap();
+        assert_eq!(resumed.status, CampaignStatus::Complete);
+        assert_eq!(
+            checkpoint::encode(&resumed.aggregate),
+            checkpoint::encode(&reference.aggregate)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancel_before_the_first_shard_runs_nothing() {
+        let spec = CampaignSpec::smoke();
+        let opts = RunOptions {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            ..RunOptions::default()
+        };
+        let out = run_campaign(&spec, &opts, &serial_runner).unwrap();
+        assert_eq!(out.status, CampaignStatus::Cancelled);
+        assert_eq!(out.session_runs, 0);
+        assert_eq!(out.aggregate.shards_done, 0);
     }
 
     #[test]

@@ -32,9 +32,13 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod checkpoint;
+pub mod progress;
 pub mod prom;
 pub mod spec;
 
 pub use aggregate::{FleetAggregate, GovAggregate};
-pub use campaign::{run_campaign, CampaignOutcome, CampaignStatus, RunOptions};
+pub use campaign::{
+    run_campaign, run_shard, CampaignOutcome, CampaignStatus, RunOptions, ShardOutcome,
+};
+pub use progress::{GovSnapshot, ProgressSnapshot};
 pub use spec::CampaignSpec;

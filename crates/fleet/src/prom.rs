@@ -9,6 +9,7 @@
 //! bytes, regardless of `EAVS_JOBS`, sharding or resume splits.
 
 use eavs_obs::PromWriter;
+pub use eavs_obs::{check_conformance, TEXT_FORMAT};
 
 use crate::aggregate::{FleetAggregate, GovAggregate};
 use crate::campaign::CampaignOutcome;
@@ -36,27 +37,52 @@ pub fn render(agg: &FleetAggregate, spec: &CampaignSpec) -> String {
 /// append process-local extras (e.g. the bench session-cache counters)
 /// after the campaign block.
 pub fn write_into(w: &mut PromWriter, agg: &FleetAggregate, spec: &CampaignSpec) {
-    let campaign = spec.name.as_str();
-    let base: &[(&str, &str)] = &[("campaign", campaign)];
+    write_all_into(w, &[(agg, spec)]);
+}
 
+/// Writes the campaign families for *several* campaigns on one page —
+/// the daemon's `/metrics` endpoint serves every resident campaign.
+/// Each family's HELP/TYPE appears exactly once with the samples of all
+/// campaigns grouped under it, as the exposition format requires; for a
+/// single campaign the output is byte-identical to [`write_into`].
+pub fn write_all_into(w: &mut PromWriter, campaigns: &[(&FleetAggregate, &CampaignSpec)]) {
     w.help(
         "eavs_fleet_shards_done",
         "Shards fully folded into the aggregate.",
     )
-    .type_("eavs_fleet_shards_done", "gauge")
-    .sample("eavs_fleet_shards_done", base, agg.shards_done as f64);
+    .type_("eavs_fleet_shards_done", "gauge");
+    for (agg, spec) in campaigns {
+        w.sample(
+            "eavs_fleet_shards_done",
+            &[("campaign", spec.name.as_str())],
+            agg.shards_done as f64,
+        );
+    }
     w.help("eavs_fleet_shards_total", "Shards in the campaign plan.")
-        .type_("eavs_fleet_shards_total", "gauge")
-        .sample("eavs_fleet_shards_total", base, spec.num_shards() as f64);
+        .type_("eavs_fleet_shards_total", "gauge");
+    for (_, spec) in campaigns {
+        w.sample(
+            "eavs_fleet_shards_total",
+            &[("campaign", spec.name.as_str())],
+            spec.num_shards() as f64,
+        );
+    }
     w.help(
         "eavs_fleet_sessions_done",
         "Sessions folded in (counted once, not per lane).",
     )
-    .type_("eavs_fleet_sessions_done", "counter")
-    .sample("eavs_fleet_sessions_done", base, agg.sessions_done as f64);
+    .type_("eavs_fleet_sessions_done", "counter");
+    for (agg, spec) in campaigns {
+        w.sample(
+            "eavs_fleet_sessions_done",
+            &[("campaign", spec.name.as_str())],
+            agg.sessions_done as f64,
+        );
+    }
 
     // Per-lane counter families: HELP/TYPE once, then one sample per
-    // governor so every family stays contiguous as the format requires.
+    // campaign × governor so every family stays contiguous as the
+    // format requires.
     let counters: &[CounterFamily] = &[
         (
             "eavs_fleet_lane_sessions",
@@ -96,12 +122,14 @@ pub fn write_into(w: &mut PromWriter, agg: &FleetAggregate, spec: &CampaignSpec)
     ];
     for (name, help, get) in counters {
         w.help(name, help).type_(name, "counter");
-        for g in &agg.govs {
-            w.sample(
-                name,
-                &[("campaign", campaign), ("governor", &g.name)],
-                get(g),
-            );
+        for (agg, spec) in campaigns {
+            for g in &agg.govs {
+                w.sample(
+                    name,
+                    &[("campaign", spec.name.as_str()), ("governor", &g.name)],
+                    get(g),
+                );
+            }
         }
     }
 
@@ -110,12 +138,14 @@ pub fn write_into(w: &mut PromWriter, agg: &FleetAggregate, spec: &CampaignSpec)
         "Late plus dropped frames over offered vsync ticks.",
     )
     .type_("eavs_fleet_deadline_miss_ratio", "gauge");
-    for g in &agg.govs {
-        w.sample(
-            "eavs_fleet_deadline_miss_ratio",
-            &[("campaign", campaign), ("governor", &g.name)],
-            g.miss_rate(),
-        );
+    for (agg, spec) in campaigns {
+        for g in &agg.govs {
+            w.sample(
+                "eavs_fleet_deadline_miss_ratio",
+                &[("campaign", spec.name.as_str()), ("governor", &g.name)],
+                g.miss_rate(),
+            );
+        }
     }
 
     // Distribution families: per-governor histograms with the matching
@@ -139,14 +169,16 @@ pub fn write_into(w: &mut PromWriter, agg: &FleetAggregate, spec: &CampaignSpec)
     ];
     for (name, help, get) in hists {
         w.help(name, help).type_(name, "histogram");
-        for g in &agg.govs {
-            let (h, sum) = get(g);
-            w.histogram(
-                name,
-                &[("campaign", campaign), ("governor", &g.name)],
-                h,
-                sum,
-            );
+        for (agg, spec) in campaigns {
+            for g in &agg.govs {
+                let (h, sum) = get(g);
+                w.histogram(
+                    name,
+                    &[("campaign", spec.name.as_str()), ("governor", &g.name)],
+                    h,
+                    sum,
+                );
+            }
         }
     }
 }
@@ -239,6 +271,25 @@ mod tests {
     }
 
     #[test]
+    fn campaign_page_is_scrape_conformant() {
+        let (agg, spec) = small_aggregate();
+        let mut w = PromWriter::new();
+        write_into(&mut w, &agg, &spec);
+        let outcome = crate::run_campaign(
+            &spec,
+            &crate::RunOptions {
+                halt_after_shards: Some(0),
+                ..crate::RunOptions::default()
+            },
+            &crate::campaign::serial_runner,
+        )
+        .unwrap();
+        write_outcome_into(&mut w, &outcome, &spec);
+        check_conformance(w.as_str()).unwrap();
+        assert_eq!(TEXT_FORMAT, "text/plain; version=0.0.4");
+    }
+
+    #[test]
     fn outcome_counters_render_with_campaign_label() {
         let spec = CampaignSpec::smoke();
         let outcome = crate::run_campaign(
@@ -262,6 +313,25 @@ mod tests {
         // The serial runner never replays or batches.
         assert_eq!(outcome.replayed, 0);
         assert_eq!(outcome.batched, 0);
+    }
+
+    #[test]
+    fn multi_campaign_page_groups_families_once() {
+        let (agg_a, spec_a) = small_aggregate();
+        let mut spec_b = CampaignSpec::smoke();
+        spec_b.name = "second".to_owned();
+        let agg_b = FleetAggregate::new(&spec_b);
+        let mut w = PromWriter::new();
+        write_all_into(&mut w, &[(&agg_a, &spec_a), (&agg_b, &spec_b)]);
+        let page = w.finish();
+        check_conformance(&page).unwrap();
+        assert!(page.contains("campaign=\"smoke\""));
+        assert!(page.contains("campaign=\"second\""));
+        let shards_type_lines = page
+            .lines()
+            .filter(|l| l.starts_with("# TYPE eavs_fleet_shards_done "))
+            .count();
+        assert_eq!(shards_type_lines, 1, "family header must appear once");
     }
 
     #[test]

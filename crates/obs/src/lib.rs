@@ -48,5 +48,5 @@ pub mod sink;
 
 pub use event::{Phase, TraceEvent};
 pub use profile::{PhaseProfile, PhaseStats};
-pub use prom::PromWriter;
+pub use prom::{check_conformance, PromWriter, TEXT_FORMAT};
 pub use sink::{shared, CounterSink, NullSink, RingSink, SharedSink, TimedEvent, TraceSink};

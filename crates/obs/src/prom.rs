@@ -20,6 +20,80 @@ use std::fmt::Write as _;
 
 use eavs_metrics::histogram::Histogram;
 
+/// The `Content-Type` an HTTP scrape endpoint must declare for pages
+/// produced here — Prometheus text exposition format, version 0.0.4.
+pub const TEXT_FORMAT: &str = "text/plain; version=0.0.4";
+
+/// Checks a finished page for scrape conformance: every sample's family
+/// must have exactly one `# HELP` and one `# TYPE` line, both appearing
+/// before the family's first sample. Histogram series
+/// (`_bucket`/`_count`/`_sum`) resolve to their base family when that
+/// family is typed `histogram`.
+///
+/// [`PromWriter`] itself never enforces this — ad-hoc pages without
+/// headers are legal — but anything served at a `/metrics` endpoint
+/// should pass.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending family or line.
+pub fn check_conformance(page: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    // family -> (occurrences, first line index)
+    let mut help: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    // family -> (kind, occurrences, first line index)
+    let mut types: BTreeMap<&str, (&str, usize, usize)> = BTreeMap::new();
+    for (i, line) in page.lines().enumerate() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            help.entry(name).or_insert((0, i)).0 += 1;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            types.entry(name).or_insert((kind, 0, i)).1 += 1;
+        }
+    }
+    for (name, (_, n, _)) in &types {
+        if *n != 1 {
+            return Err(format!("{n} TYPE lines for family {name}"));
+        }
+    }
+    for (name, (n, _)) in &help {
+        if *n != 1 {
+            return Err(format!("{n} HELP lines for family {name}"));
+        }
+    }
+    for (i, line) in page.lines().enumerate() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let name = line.split(['{', ' ']).next().unwrap_or("");
+        if name.is_empty() {
+            return Err(format!("line {}: unparseable sample {line:?}", i + 1));
+        }
+        let family = ["_bucket", "_count", "_sum"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                matches!(types.get(base), Some(("histogram", _, _))).then_some(base)
+            })
+            .unwrap_or(name);
+        let (_, h_line) = help
+            .get(family)
+            .ok_or_else(|| format!("sample family {family} has no # HELP line"))?;
+        let (_, _, t_line) = types
+            .get(family)
+            .ok_or_else(|| format!("sample family {family} has no # TYPE line"))?;
+        if *h_line > i || *t_line > i {
+            return Err(format!(
+                "family {family}: headers appear after its first sample"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Builds a Prometheus text-exposition page.
 #[derive(Debug, Default)]
 pub struct PromWriter {
@@ -217,5 +291,54 @@ mod tests {
         assert_eq!(PromNum(0.1).to_string(), "0.1");
         assert_eq!(PromNum(f64::INFINITY).to_string(), "+Inf");
         assert_eq!(PromNum(-0.0).to_string(), "0");
+    }
+
+    #[test]
+    fn conformance_accepts_headed_families() {
+        let mut w = PromWriter::new();
+        w.help("eavs_a", "A.")
+            .type_("eavs_a", "counter")
+            .sample("eavs_a", &[("g", "x")], 1.0)
+            .sample("eavs_a", &[("g", "y")], 2.0);
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(1.0);
+        w.help("eavs_h", "H.")
+            .type_("eavs_h", "histogram")
+            .histogram("eavs_h", &[], &h, 1.0);
+        check_conformance(w.as_str()).unwrap();
+    }
+
+    #[test]
+    fn conformance_rejects_headerless_duplicated_or_late_headers() {
+        let mut w = PromWriter::new();
+        w.sample("eavs_naked", &[], 1.0);
+        assert!(check_conformance(w.as_str()).unwrap_err().contains("HELP"));
+
+        let mut w = PromWriter::new();
+        w.help("eavs_a", "A.")
+            .help("eavs_a", "A again.")
+            .type_("eavs_a", "counter")
+            .sample("eavs_a", &[], 1.0);
+        assert!(check_conformance(w.as_str())
+            .unwrap_err()
+            .contains("2 HELP"));
+
+        let mut w = PromWriter::new();
+        w.sample("eavs_a", &[], 1.0)
+            .help("eavs_a", "A.")
+            .type_("eavs_a", "counter");
+        assert!(check_conformance(w.as_str())
+            .unwrap_err()
+            .contains("after its first sample"));
+
+        // A `_count` suffix only folds into the base family when the
+        // base is a histogram; otherwise it is its own (headerless) one.
+        let mut w = PromWriter::new();
+        w.help("eavs_n", "N.")
+            .type_("eavs_n", "counter")
+            .sample("eavs_n_count", &[], 1.0);
+        assert!(check_conformance(w.as_str())
+            .unwrap_err()
+            .contains("eavs_n_count"));
     }
 }

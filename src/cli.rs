@@ -31,10 +31,59 @@ pub enum Command {
     Fleet(FleetArgs),
     /// Run one traced session and dump its event timeline.
     Trace(TraceArgs),
+    /// Submit a campaign to a resident `eavsd` over HTTP.
+    Submit(SubmitArgs),
+    /// Show daemon campaign progress (all campaigns, or one by id).
+    Status(StatusArgs),
+    /// Cancel a running daemon campaign at the next shard boundary.
+    Cancel(RemoteArgs),
+    /// Talk to the daemon itself: health, metrics, shutdown.
+    Daemon(DaemonArgs),
     /// Print the available names (governors, predictors, SoCs, …).
     List,
     /// Print usage.
     Help,
+}
+
+/// Parameters of a `submit` invocation: the spec-shaping subset of the
+/// fleet flags plus daemon-client options.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SubmitArgs {
+    /// Spec shape: campaign preset + overrides (checkpointing stays on
+    /// the daemon side, so only the spec-shaping fleet flags apply).
+    pub fleet: FleetArgs,
+    /// Daemon address override (`host:port`); defaults to
+    /// `EAVS_DAEMON_ADDR`, then `127.0.0.1:7026`.
+    pub addr: Option<String>,
+    /// Poll until the campaign completes and print the fleet table.
+    pub wait: bool,
+}
+
+/// Parameters of a `status` invocation.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct StatusArgs {
+    /// Campaign id; `None` lists every resident campaign.
+    pub id: Option<String>,
+    /// Daemon address override.
+    pub addr: Option<String>,
+}
+
+/// A daemon-client invocation addressing one campaign id.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RemoteArgs {
+    /// Campaign id (32 hex digits, as returned by `submit`).
+    pub id: String,
+    /// Daemon address override.
+    pub addr: Option<String>,
+}
+
+/// Parameters of a `daemon` invocation.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct DaemonArgs {
+    /// `status` (default), `metrics` or `shutdown`.
+    pub action: String,
+    /// Daemon address override.
+    pub addr: Option<String>,
 }
 
 /// Parameters of a `trace` invocation: one session plus dump options.
@@ -199,6 +248,11 @@ USAGE:
   eavsctl fleet [FLEET OPTIONS]      run a population campaign (F26-style)
   eavsctl trace [OPTIONS] [TRACE OPTIONS]
                                      run one traced session, dump the timeline
+  eavsctl submit [SUBMIT OPTIONS]    submit a campaign to a resident eavsd
+  eavsctl status [ID] [--addr A]     daemon campaign progress (all, or one id)
+  eavsctl cancel ID [--addr A]       cancel a daemon campaign (checkpoint kept)
+  eavsctl daemon [status|metrics|shutdown] [--addr A]
+                                     talk to the daemon itself
   eavsctl list                       print available names
   eavsctl help                       this text
 
@@ -259,6 +313,18 @@ FLEET OPTIONS (defaults come from the chosen preset):
   --power none            attach a whole-device power model to every
                           session of the population (same spec as run)
 
+SUBMIT OPTIONS (spec-shaping fleet flags plus daemon-client options):
+  --campaign smoke        smoke | global (same presets as fleet)
+  --sessions/--seed/--shard-size/--governors/--power
+                          spec overrides, exactly as in fleet — the same
+                          flags produce the same campaign id and the same
+                          result bytes, daemon or not
+  --addr HOST:PORT        daemon address (default: $EAVS_DAEMON_ADDR,
+                          then 127.0.0.1:7026)
+  --wait                  poll until complete and print the fleet table
+  --out PATH              with --wait: also write the table as CSV
+                          (byte-identical to `eavsctl fleet --out`)
+
 EXAMPLES:
   eavsctl run --governor eavs --network lte_drive --abr buffer
   eavsctl run --faults heavy:7 --retry balanced --panic
@@ -273,6 +339,16 @@ EXAMPLES:
   eavsctl fleet --campaign smoke --metrics-out /tmp/f26.prom
   eavsctl fleet --campaign global --checkpoint /tmp/global.ckpt
       kill it any time; rerun the same command to resume where it stopped
+  eavsd --state-dir /tmp/eavsd --addr 127.0.0.1:7026 &
+  eavsctl submit --campaign smoke --wait --out /tmp/f26.csv
+      same table and CSV bytes as `eavsctl fleet`, served over HTTP
+  eavsctl submit --campaign global && eavsctl status
+      fire-and-forget; poll later (or: curl 127.0.0.1:7026/campaigns)
+  eavsd --worker 127.0.0.1:7026 &
+      scale out: extra shard workers, any count — results stay
+      byte-identical (claims are leased, partials folded in shard order)
+  eavsctl daemon metrics | grep eavs_fleet_shards_done
+      fleet Prometheus page (text/plain; version=0.0.4) for all campaigns
 ";
 
 /// Parses an argument vector (without the program name).
@@ -301,6 +377,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "trace" => {
             let rest: Vec<String> = it.cloned().collect();
             Ok(Command::Trace(parse_trace_args(&rest)?))
+        }
+        "submit" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Submit(parse_submit_args(&rest)?))
+        }
+        "status" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Status(parse_status_args(&rest)?))
+        }
+        "cancel" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Cancel(parse_remote_args(&rest, "cancel")?))
+        }
+        "daemon" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Daemon(parse_daemon_args(&rest)?))
         }
         "compare" => {
             let governors: Vec<String> = it
@@ -396,6 +488,100 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
     Ok(out)
 }
 
+fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut out = SubmitArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("--{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--campaign" => out.fleet.campaign = value("campaign")?.clone(),
+            "--sessions" => out.fleet.sessions = Some(parse_num(value("sessions")?, "sessions")?),
+            "--seed" => out.fleet.seed = Some(parse_num(value("seed")?, "seed")?),
+            "--shard-size" => {
+                out.fleet.shard_size = Some(parse_num(value("shard-size")?, "shard-size")?);
+            }
+            "--governors" => {
+                out.fleet.governors =
+                    Some(value("governors")?.split(',').map(str::to_owned).collect());
+            }
+            "--power" => out.fleet.power = Some(value("power")?.clone()),
+            "--out" => out.fleet.out = Some(value("out")?.clone()),
+            "--addr" => out.addr = Some(value("addr")?.clone()),
+            "--wait" => out.wait = true,
+            other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
+        }
+    }
+    if out.fleet.out.is_some() && !out.wait {
+        return Err("--out needs --wait (the CSV is rendered from the final result)".to_owned());
+    }
+    Ok(out)
+}
+
+fn parse_status_args(args: &[String]) -> Result<StatusArgs, String> {
+    let mut out = StatusArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                out.addr = Some(it.next().ok_or("--addr needs a value")?.clone());
+            }
+            other if !other.starts_with("--") && out.id.is_none() => {
+                out.id = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_remote_args(args: &[String], verb: &str) -> Result<RemoteArgs, String> {
+    let mut out = RemoteArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                out.addr = Some(it.next().ok_or("--addr needs a value")?.clone());
+            }
+            other if !other.starts_with("--") && out.id.is_empty() => {
+                out.id = other.to_owned();
+            }
+            other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
+        }
+    }
+    if out.id.is_empty() {
+        return Err(format!("{verb} needs a campaign id (see `eavsctl status`)"));
+    }
+    Ok(out)
+}
+
+fn parse_daemon_args(args: &[String]) -> Result<DaemonArgs, String> {
+    let mut out = DaemonArgs {
+        action: "status".to_owned(),
+        addr: None,
+    };
+    let mut action_given = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                out.addr = Some(it.next().ok_or("--addr needs a value")?.clone());
+            }
+            action @ ("status" | "metrics" | "shutdown") if !action_given => {
+                out.action = action.to_owned();
+                action_given = true;
+            }
+            other => {
+                return Err(format!(
+                    "unknown daemon action or flag {other:?}: want status, metrics or shutdown"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Splits the trace-specific flags off and parses the rest as `run`
 /// flags, so `trace` accepts every workload option `run` does.
 fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
@@ -427,29 +613,12 @@ fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
 /// Returns a message for unknown presets/governors, invalid specs, or
 /// checkpoint problems.
 pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
-    let mut spec = eavs_fleet::CampaignSpec::preset(&args.campaign).ok_or(format!(
-        "unknown campaign {:?}; presets: smoke global",
-        args.campaign
-    ))?;
-    if let Some(n) = args.sessions {
-        spec.sessions = n;
-    }
-    if let Some(s) = args.seed {
-        spec.seed = s;
-    }
-    if let Some(s) = args.shard_size {
-        spec.shard_size = s;
-    }
-    if let Some(govs) = &args.governors {
-        spec.governors = govs.clone();
-    }
-    if let Some(power) = &args.power {
-        spec.power = build_power(power)?.unwrap_or_default();
-    }
+    let spec = build_fleet_spec(args)?;
     let opts = eavs_fleet::RunOptions {
         checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
         checkpoint_every: args.checkpoint_every,
         halt_after_shards: args.halt_after_shards,
+        ..eavs_fleet::RunOptions::default()
     };
     if let Some(width) = args.batch {
         // The executor reads EAVS_BATCH once; setting it before the
@@ -482,6 +651,190 @@ pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
         out.push_str(&format!("[metrics written to {path}]\n"));
     }
     Ok(out)
+}
+
+/// Builds the campaign spec a `fleet` or `submit` invocation describes:
+/// the chosen preset with the spec-shaping overrides applied. The same
+/// spec from either path has the same fingerprint — which is the whole
+/// point: `submit` to a daemon and a local `fleet` run of the same
+/// flags land on the same campaign id and, being bit-exact, the same
+/// result bytes.
+///
+/// # Errors
+///
+/// Returns a message for unknown presets or power-model specs.
+pub fn build_fleet_spec(args: &FleetArgs) -> Result<eavs_fleet::CampaignSpec, String> {
+    let mut spec = eavs_fleet::CampaignSpec::preset(&args.campaign).ok_or(format!(
+        "unknown campaign {:?}; presets: smoke global",
+        args.campaign
+    ))?;
+    if let Some(n) = args.sessions {
+        spec.sessions = n;
+    }
+    if let Some(s) = args.seed {
+        spec.seed = s;
+    }
+    if let Some(s) = args.shard_size {
+        spec.shard_size = s;
+    }
+    if let Some(govs) = &args.governors {
+        spec.governors = govs.clone();
+    }
+    if let Some(power) = &args.power {
+        spec.power = build_power(power)?.unwrap_or_default();
+    }
+    Ok(spec)
+}
+
+/// Resolves the daemon address: explicit `--addr`, else the
+/// `EAVS_DAEMON_ADDR` knob, else the loopback default.
+fn resolve_daemon_addr(flag: &Option<String>) -> String {
+    flag.clone()
+        .or_else(eavs_bench::executor::daemon_addr)
+        .unwrap_or_else(|| "127.0.0.1:7026".to_owned())
+}
+
+/// One HTTP exchange with the daemon, with connection errors folded
+/// into a actionable message.
+fn daemon_request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    eavs_daemon::http::client::request_text(addr, method, path, body)
+        .map_err(|e| format!("cannot reach eavsd at {addr}: {e} (is `eavsd` running?)"))
+}
+
+/// Submits the campaign spec to a resident daemon; with `--wait`, polls
+/// progress until the campaign finishes and prints the same fleet table
+/// (and optional CSV) a local `eavsctl fleet` run would print — the
+/// bytes are identical, that is the contract under test in CI.
+///
+/// # Errors
+///
+/// Returns a message when the daemon is unreachable, rejects the spec,
+/// or the campaign fails/cancels while waiting.
+pub fn run_submit(args: &SubmitArgs) -> Result<String, String> {
+    let spec = build_fleet_spec(&args.fleet)?;
+    let addr = resolve_daemon_addr(&args.addr);
+    let body = eavs_daemon::codec::encode_spec(&spec);
+    let (status, response) = daemon_request(&addr, "POST", "/campaigns", &body)?;
+    if status != 200 {
+        return Err(format!("submit rejected ({status}): {response}"));
+    }
+    let v = eavs_daemon::json::parse(&response).map_err(|e| format!("submit response: {e}"))?;
+    let id = v
+        .get("id")
+        .and_then(eavs_daemon::json::Value::as_str)
+        .ok_or("submit response: missing id")?
+        .to_owned();
+    let resumed = v.get("resumed").and_then(eavs_daemon::json::Value::as_bool) == Some(true);
+    let mut out = format!(
+        "campaign {id} {} on {addr}\n",
+        if resumed { "resumed" } else { "submitted" },
+    );
+    if !args.wait {
+        out.push_str(&format!("poll it with: eavsctl status {id} --addr {addr}\n"));
+        return Ok(out);
+    }
+    loop {
+        let (status, body) = daemon_request(&addr, "GET", &format!("/campaigns/{id}"), "")?;
+        if status != 200 {
+            return Err(format!("status poll failed ({status}): {body}"));
+        }
+        let v = eavs_daemon::json::parse(&body).map_err(|e| format!("progress body: {e}"))?;
+        match v.get("phase").and_then(eavs_daemon::json::Value::as_str) {
+            Some("complete") => break,
+            Some("running") => std::thread::sleep(std::time::Duration::from_millis(50)),
+            Some(other) => return Err(format!("campaign {id} ended {other}: {body}")),
+            None => return Err(format!("progress body without phase: {body}")),
+        }
+    }
+    let (status, text) = daemon_request(&addr, "GET", &format!("/campaigns/{id}/result"), "")?;
+    if status != 200 {
+        return Err(format!("result fetch failed ({status}): {text}"));
+    }
+    let aggregate = eavs_fleet::checkpoint::decode(&text)?;
+    let table = aggregate.table(&spec);
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "{}/{} shards done (served by {addr})\n",
+        aggregate.shards_done,
+        spec.num_shards(),
+    ));
+    if let Some(path) = &args.fleet.out {
+        write_output_file(path, &table.to_csv())?;
+        out.push_str(&format!("[csv written to {path}]\n"));
+    }
+    Ok(out)
+}
+
+/// `eavsctl status [id]`: the daemon's progress JSON, raw.
+///
+/// # Errors
+///
+/// Returns a message when the daemon is unreachable or the id unknown.
+pub fn run_status(args: &StatusArgs) -> Result<String, String> {
+    let addr = resolve_daemon_addr(&args.addr);
+    let path = match &args.id {
+        Some(id) => format!("/campaigns/{id}"),
+        None => "/campaigns".to_owned(),
+    };
+    let (status, body) = daemon_request(&addr, "GET", &path, "")?;
+    if status != 200 {
+        return Err(format!("status failed ({status}): {body}"));
+    }
+    Ok(format!("{body}\n"))
+}
+
+/// `eavsctl cancel <id>`: stop a campaign at its next shard boundary.
+/// The checkpoint survives, so resubmitting the same spec resumes it.
+///
+/// # Errors
+///
+/// Returns a message when the daemon is unreachable or the id unknown.
+pub fn run_cancel(args: &RemoteArgs) -> Result<String, String> {
+    let addr = resolve_daemon_addr(&args.addr);
+    let (status, body) = daemon_request(&addr, "DELETE", &format!("/campaigns/{}", args.id), "")?;
+    if status != 200 {
+        return Err(format!("cancel failed ({status}): {body}"));
+    }
+    Ok(format!("{body}\n"))
+}
+
+/// `eavsctl daemon status|metrics|shutdown`.
+///
+/// # Errors
+///
+/// Returns a message when the daemon is unreachable.
+pub fn run_daemon_ctl(args: &DaemonArgs) -> Result<String, String> {
+    let addr = resolve_daemon_addr(&args.addr);
+    match args.action.as_str() {
+        "status" => {
+            let (status, health) = daemon_request(&addr, "GET", "/healthz", "")?;
+            if status != 200 {
+                return Err(format!("healthz failed ({status}): {health}"));
+            }
+            let (status, list) = daemon_request(&addr, "GET", "/campaigns", "")?;
+            if status != 200 {
+                return Err(format!("campaign list failed ({status}): {list}"));
+            }
+            Ok(format!("eavsd at {addr}: {}campaigns: {list}\n", health))
+        }
+        "metrics" => {
+            let (status, page) = daemon_request(&addr, "GET", "/metrics", "")?;
+            if status != 200 {
+                return Err(format!("metrics failed ({status}): {page}"));
+            }
+            Ok(page)
+        }
+        "shutdown" => {
+            let (status, body) = daemon_request(&addr, "POST", "/shutdown", "")?;
+            if status != 200 {
+                return Err(format!("shutdown failed ({status}): {body}"));
+            }
+            Ok(format!("eavsd at {addr} stopping: {body}\n"))
+        }
+        other => Err(format!(
+            "unknown daemon action {other:?}: want status, metrics or shutdown"
+        )),
+    }
 }
 
 /// Renders the campaign's Prometheus page plus the invocation execution
@@ -810,6 +1163,10 @@ pub fn execute(command: Command) -> Result<String, String> {
         Command::Help => Ok(USAGE.to_owned()),
         Command::Fleet(args) => run_fleet(&args),
         Command::Trace(args) => run_trace(&args),
+        Command::Submit(args) => run_submit(&args),
+        Command::Status(args) => run_status(&args),
+        Command::Cancel(args) => run_cancel(&args),
+        Command::Daemon(args) => run_daemon_ctl(&args),
         Command::List => {
             let mut out = String::new();
             out.push_str("governors: eavs performance powersave userspace ondemand conservative interactive schedutil\n");
@@ -1211,6 +1568,108 @@ mod tests {
     }
 
     #[test]
+    fn submit_status_cancel_daemon_parse() {
+        let cmd = parse(&argv(
+            "submit --campaign smoke --sessions 40 --governors ondemand,eavs \
+             --addr 127.0.0.1:9 --wait --out /tmp/f.csv",
+        ))
+        .unwrap();
+        let Command::Submit(args) = cmd else {
+            panic!("not a submit")
+        };
+        assert_eq!(args.fleet.campaign, "smoke");
+        assert_eq!(args.fleet.sessions, Some(40));
+        assert_eq!(args.addr.as_deref(), Some("127.0.0.1:9"));
+        assert!(args.wait);
+        assert_eq!(args.fleet.out.as_deref(), Some("/tmp/f.csv"));
+        assert!(parse(&argv("submit --out /tmp/f.csv"))
+            .unwrap_err()
+            .contains("--out needs --wait"));
+        assert!(parse(&argv("submit --checkpoint x"))
+            .unwrap_err()
+            .contains("unknown flag"));
+
+        assert_eq!(
+            parse(&argv("status")).unwrap(),
+            Command::Status(StatusArgs::default())
+        );
+        let Command::Status(args) = parse(&argv("status abc123 --addr h:1")).unwrap() else {
+            panic!("not a status")
+        };
+        assert_eq!(args.id.as_deref(), Some("abc123"));
+        assert_eq!(args.addr.as_deref(), Some("h:1"));
+
+        let Command::Cancel(args) = parse(&argv("cancel abc123")).unwrap() else {
+            panic!("not a cancel")
+        };
+        assert_eq!(args.id, "abc123");
+        assert!(parse(&argv("cancel"))
+            .unwrap_err()
+            .contains("needs a campaign id"));
+
+        let Command::Daemon(args) = parse(&argv("daemon")).unwrap() else {
+            panic!("not a daemon")
+        };
+        assert_eq!(args.action, "status");
+        let Command::Daemon(args) = parse(&argv("daemon shutdown --addr h:2")).unwrap() else {
+            panic!("not a daemon")
+        };
+        assert_eq!(args.action, "shutdown");
+        assert_eq!(args.addr.as_deref(), Some("h:2"));
+        assert!(parse(&argv("daemon explode"))
+            .unwrap_err()
+            .contains("unknown daemon action"));
+    }
+
+    #[test]
+    fn daemon_clients_error_usefully_when_unreachable() {
+        // Port 1 on loopback refuses connections; every client verb
+        // must surface the address and a hint instead of a bare error.
+        let addr = Some("127.0.0.1:1".to_owned());
+        let e = run_status(&StatusArgs {
+            id: None,
+            addr: addr.clone(),
+        })
+        .unwrap_err();
+        assert!(e.contains("cannot reach eavsd at 127.0.0.1:1"), "{e}");
+        assert!(e.contains("is `eavsd` running?"), "{e}");
+        assert!(run_cancel(&RemoteArgs {
+            id: "f00".to_owned(),
+            addr: addr.clone(),
+        })
+        .is_err());
+        assert!(run_daemon_ctl(&DaemonArgs {
+            action: "metrics".to_owned(),
+            addr: addr.clone(),
+        })
+        .is_err());
+        assert!(run_submit(&SubmitArgs {
+            addr,
+            ..SubmitArgs::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_and_submit_build_the_same_spec() {
+        let fleet = FleetArgs {
+            sessions: Some(64),
+            seed: Some(9),
+            governors: Some(vec!["ondemand".to_owned(), "eavs".to_owned()]),
+            power: Some("phone:0.5".to_owned()),
+            ..FleetArgs::default()
+        };
+        let a = build_fleet_spec(&fleet).unwrap();
+        let b = build_fleet_spec(&fleet).unwrap();
+        assert_eq!(a.fingerprint().0, b.fingerprint().0);
+        // The daemon wire codec preserves the fingerprint, so submit
+        // lands on the same campaign id as a local fleet run.
+        let wire = eavs_daemon::codec::encode_spec(&a);
+        let decoded = eavs_daemon::codec::decode_spec(&wire).unwrap();
+        assert_eq!(decoded.fingerprint().0, a.fingerprint().0);
+    }
+
+    #[test]
     fn help_documents_resilience_and_fleet() {
         for needle in [
             "--faults",
@@ -1223,6 +1682,10 @@ mod tests {
             "--profile",
             "--metrics-out",
             "--power",
+            "submit",
+            "--wait",
+            "eavsd --worker",
+            "EAVS_DAEMON_ADDR",
         ] {
             assert!(USAGE.contains(needle), "USAGE must mention {needle}");
         }

@@ -16,6 +16,7 @@ pub mod cli;
 pub use eavs_bench as bench;
 pub use eavs_core as scaling;
 pub use eavs_cpu as cpu;
+pub use eavs_daemon as daemon;
 pub use eavs_faults as faults;
 pub use eavs_fleet as fleet;
 pub use eavs_governors as governors;

@@ -99,6 +99,7 @@ fn kill_and_resume_is_byte_identical() {
             checkpoint: Some(ckpt.clone()),
             checkpoint_every: 1,
             halt_after_shards: Some(2),
+            ..RunOptions::default()
         },
     )
     .unwrap();
@@ -112,6 +113,7 @@ fn kill_and_resume_is_byte_identical() {
             checkpoint: Some(ckpt.clone()),
             checkpoint_every: 1,
             halt_after_shards: None,
+            ..RunOptions::default()
         },
     )
     .unwrap();
@@ -135,6 +137,7 @@ fn kill_and_resume_is_byte_identical() {
             checkpoint: Some(ckpt),
             checkpoint_every: 1,
             halt_after_shards: None,
+            ..RunOptions::default()
         },
     )
     .unwrap_err();
