@@ -26,6 +26,10 @@
 //! * `daemon` — the same fresh-seed campaign served end-to-end through a
 //!   resident `eavsd` (HTTP submit, poll, result) vs run in-process, in
 //!   session-runs/sec — the control-plane overhead of the fleet service.
+//! * `prior` — fleet-prior training cost and benefit: wall-clock to
+//!   train the 48-session clip-campaign prior, its catalog footprint,
+//!   and the early-window MAPE cold vs warmed on the headline stream
+//!   (the F30 claim as trendable numbers).
 //! * `power` — whole-device energy counters of one phone-model LTE
 //!   session (the F28 probe workload): per-component joules, RRC
 //!   promotions, and the wall-clock cost of the powered run. Accounting
@@ -336,6 +340,29 @@ fn measure_scalar_reference(sessions: usize, secs_each: u64) -> f64 {
     sessions as f64 / started.elapsed().as_secs_f64()
 }
 
+/// Fleet-prior block: wall-clock to train the 48-session clip-campaign
+/// prior, the store's catalog footprint, and the early-window accuracy
+/// gain it buys on the headline film stream (the F30 claim, as numbers
+/// the CI trend can watch). Returns
+/// (train wall s, catalog entries, trained frames, cold early MAPE,
+/// warm early MAPE).
+fn measure_prior() -> (f64, usize, u64, f64, f64) {
+    use eavs_bench::prior as fp;
+    let started = Instant::now();
+    let store = fp::trained_store(SEED);
+    let train_wall_s = started.elapsed().as_secs_f64();
+    let film = eavs_trace::content::ContentProfile::Film;
+    let cold = fp::replay(Default::default(), film);
+    let warm = fp::replay(store.session_prior(fp::HEADLINE_KEY, film.name()), film);
+    (
+        train_wall_s,
+        store.len(),
+        store.total_frames(),
+        cold.early_mape,
+        warm.early_mape,
+    )
+}
+
 /// One powered LTE session (the F28 probe workload, EAVS governor,
 /// phone model) for the report's `power` counter block. Runs the
 /// builder directly — no cache — so the wall time includes the post-hoc
@@ -489,6 +516,21 @@ fn main() {
          {daemon_direct_per_sec:.0} in-process ({daemon_session_runs} runs each)"
     );
 
+    let (
+        prior_train_wall_s,
+        prior_catalog_entries,
+        prior_trained_frames,
+        prior_cold_early_mape,
+        prior_warm_early_mape,
+    ) = measure_prior();
+    eprintln!(
+        "  prior           trained {prior_trained_frames} frames over \
+         {prior_catalog_entries} (title, content) entries in {prior_train_wall_s:.2} s; \
+         early MAPE {:.1}% cold -> {:.1}% warm",
+        prior_cold_early_mape * 100.0,
+        prior_warm_early_mape * 100.0,
+    );
+
     let (power_report, power_wall_s) = measure_power();
     let power = power_report.power;
     let power_device_j = power_report.cpu_joules() + power.total_j();
@@ -602,6 +644,13 @@ fn main() {
             "    \"http_sessions_per_sec\": {daemon_http_per_sec:.1},\n",
             "    \"direct_sessions_per_sec\": {daemon_direct_per_sec:.1}\n",
             "  }},\n",
+            "  \"prior\": {{\n",
+            "    \"train_wall_s\": {prior_train_wall_s:.3},\n",
+            "    \"catalog_entries\": {prior_catalog_entries},\n",
+            "    \"trained_frames\": {prior_trained_frames},\n",
+            "    \"cold_early_mape\": {prior_cold_early_mape:.4},\n",
+            "    \"warm_early_mape\": {prior_warm_early_mape:.4}\n",
+            "  }},\n",
             "{profile_field}",
             "  \"experiments\": {experiments},\n",
             "  \"workers\": {workers},\n",
@@ -650,6 +699,11 @@ fn main() {
         daemon_session_runs = daemon_session_runs,
         daemon_http_per_sec = daemon_http_per_sec,
         daemon_direct_per_sec = daemon_direct_per_sec,
+        prior_train_wall_s = prior_train_wall_s,
+        prior_catalog_entries = prior_catalog_entries,
+        prior_trained_frames = prior_trained_frames,
+        prior_cold_early_mape = prior_cold_early_mape,
+        prior_warm_early_mape = prior_warm_early_mape,
         profile_field = profile_field,
         experiments = experiments,
         workers = workers,

@@ -118,6 +118,18 @@ fn force_null_power() -> bool {
     *FORCE.get_or_init(|| std::env::var_os("EAVS_NULL_POWER").is_some())
 }
 
+/// `true` when `EAVS_NULL_PRIOR` is set: every session without a
+/// workload prior gets an explicit *empty*
+/// [`SessionPrior`](eavs_core::predictor::SessionPrior) attached. An
+/// empty prior carries no per-type evidence, so the builder never wraps
+/// the predictor and the fingerprint keeps its tag-0 byte — this mode
+/// is CI's proof that the fleet-prior wiring leaves every committed
+/// figure byte-identical.
+fn force_null_prior() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(crate::executor::null_prior)
+}
+
 /// A shared no-op trace sink attached to every session when
 /// `EAVS_NULL_TRACE` is set — the observability mirror of
 /// [`force_empty_faults`]. A [`NullSink`](eavs_obs::NullSink) must be a
@@ -152,6 +164,11 @@ pub fn run_session(builder: SessionBuilder) -> Arc<SessionReport> {
     };
     let builder = if force_null_power() && !builder.has_power() {
         builder.power(eavs_power::DevicePowerModel::none())
+    } else {
+        builder
+    };
+    let builder = if force_null_prior() && !builder.has_prior() {
+        builder.prior(eavs_core::predictor::SessionPrior::default())
     } else {
         builder
     };
@@ -232,6 +249,11 @@ pub fn run_sessions(jobs: Vec<(String, SessionBuilder)>) -> Vec<Arc<SessionRepor
         };
         let builder = if force_null_power() && !builder.has_power() {
             builder.power(eavs_power::DevicePowerModel::none())
+        } else {
+            builder
+        };
+        let builder = if force_null_prior() && !builder.has_prior() {
+            builder.prior(eavs_core::predictor::SessionPrior::default())
         } else {
             builder
         };

@@ -127,10 +127,13 @@ fn worker_loop(shared: &Shared, me: usize) {
 /// set and parses, `None` (after a warning on garbage) otherwise.
 ///
 /// Every `EAVS_*` tuning variable — `EAVS_JOBS` here, `EAVS_CHAOS_CASES`
-/// in the chaos fuzz, the fleet campaign knobs — goes through this one
-/// helper so they all share the trim/parse/warn behavior. The warning is
-/// emitted once per variable name: sweeps consult knobs per job, and a
-/// malformed value must not flood stderr thousands of times.
+/// in the chaos fuzz, the fleet campaign knobs, the daemon knobs
+/// (`EAVS_DAEMON_ADDR`, `EAVS_DAEMON_THREADS`, `EAVS_CHECKPOINT_EVERY`)
+/// and the fleet-prior knobs (`EAVS_NULL_PRIOR`, `EAVS_PRIOR_PATH`) —
+/// goes through this one helper so they all share the trim/parse/warn
+/// behavior. The warning is emitted once per variable name: sweeps
+/// consult knobs per job, and a malformed value must not flood stderr
+/// thousands of times. [`REGISTERED_KNOBS`] is the authoritative list.
 pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
     let v = std::env::var(name).ok()?;
     match v.trim().parse::<T>() {
@@ -148,7 +151,7 @@ pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
 /// registered in one place so the warn-once contract can be proven for
 /// each of them (a malformed value warns exactly once per variable, no
 /// matter how many jobs consult it).
-pub const REGISTERED_KNOBS: [&str; 8] = [
+pub const REGISTERED_KNOBS: [&str; 10] = [
     "EAVS_JOBS",
     "EAVS_BATCH",
     "EAVS_CHAOS_CASES",
@@ -157,6 +160,8 @@ pub const REGISTERED_KNOBS: [&str; 8] = [
     "EAVS_DAEMON_ADDR",
     "EAVS_DAEMON_THREADS",
     "EAVS_CHECKPOINT_EVERY",
+    "EAVS_NULL_PRIOR",
+    "EAVS_PRIOR_PATH",
 ];
 
 /// Default `eavsd` listen/connect address from `EAVS_DAEMON_ADDR`
@@ -191,6 +196,26 @@ pub fn checkpoint_every() -> Option<u64> {
 /// preset's timer.
 pub fn power_tail_ms() -> Option<u64> {
     env_knob::<u64>("EAVS_POWER_TAIL_MS")
+}
+
+/// `true` when `EAVS_NULL_PRIOR` is set (to anything): the session
+/// cache attaches an explicit *empty* workload prior to every session
+/// that has none, proving the attach path is a byte-exact no-op (the
+/// fleet-prior mirror of `EAVS_NULL_POWER`). Routed through
+/// [`env_knob`] — `String::from_str` is infallible, so the warn-once
+/// path never triggers — to keep every registered knob on one code path.
+pub fn null_prior() -> bool {
+    env_knob::<String>("EAVS_NULL_PRIOR").is_some()
+}
+
+/// Fleet-prior file location from `EAVS_PRIOR_PATH`.
+///
+/// Consulted by `eavsd` for where to persist (and serve) the fleet
+/// prior store when `--prior-path` is absent, so one exported variable
+/// points the daemon and `eavsctl` scripts at the same
+/// `eavs-prior/v1` file.
+pub fn prior_path() -> Option<String> {
+    env_knob::<String>("EAVS_PRIOR_PATH").filter(|s| !s.is_empty())
 }
 
 /// Records that `name` warned; `true` only on the first call per name.
@@ -356,6 +381,33 @@ mod tests {
         std::env::set_var("EAVS_TEST_KNOB_ONCE_C", "not-a-number");
         assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_ONCE_C"), None);
         assert_eq!(env_knob::<u64>("EAVS_TEST_KNOB_ONCE_C"), None);
+    }
+
+    #[test]
+    fn knob_registry_matches_the_documented_list() {
+        // The docs (env_knob's rustdoc, DESIGN.md §19, the README knob
+        // table) enumerate exactly these variables; a knob added to the
+        // code without updating the registry — or vice versa — must fail
+        // here, not silently drift.
+        let documented = [
+            "EAVS_JOBS",
+            "EAVS_BATCH",
+            "EAVS_CHAOS_CASES",
+            "EAVS_SESSION_CACHE_MB",
+            "EAVS_POWER_TAIL_MS",
+            "EAVS_DAEMON_ADDR",
+            "EAVS_DAEMON_THREADS",
+            "EAVS_CHECKPOINT_EVERY",
+            "EAVS_NULL_PRIOR",
+            "EAVS_PRIOR_PATH",
+        ];
+        assert_eq!(REGISTERED_KNOBS, documented);
+        // Registry hygiene: EAVS_-prefixed and duplicate-free.
+        let unique: std::collections::BTreeSet<&str> = REGISTERED_KNOBS.into_iter().collect();
+        assert_eq!(unique.len(), REGISTERED_KNOBS.len());
+        for name in REGISTERED_KNOBS {
+            assert!(name.starts_with("EAVS_"), "{name} must be EAVS_-prefixed");
+        }
     }
 
     #[test]

@@ -37,6 +37,8 @@
 //! | F27 | `src/bin/f27_fleet_scaling.rs` |
 //! | F28 | [`device_power::f28_device_breakdown`] |
 //! | F29 | [`device_power::f29_radio_tail_sweep`] |
+//! | F30 | [`prior::f30_prior_coldstart`] |
+//! | F31 | [`prior::f31_prior_staleness`] |
 //! | T2 | [`comparison::t2_summary`] |
 //! | T3 | [`extensions::t3_confidence`] |
 //! | T4 | [`extensions::t4_soc_matrix`] |
@@ -56,6 +58,7 @@ pub mod harness;
 pub mod motivation;
 pub mod network;
 pub mod prediction;
+pub mod prior;
 pub mod robustness;
 pub mod sweeps;
 pub mod timeline;
@@ -97,6 +100,8 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("f25_retry_sensitivity", robustness::f25_retry_sensitivity),
         ("f28_device_breakdown", device_power::f28_device_breakdown),
         ("f29_radio_tail_sweep", device_power::f29_radio_tail_sweep),
+        ("f30_prior_coldstart", prior::f30_prior_coldstart),
+        ("f31_prior_staleness", prior::f31_prior_staleness),
         ("t2_summary", comparison::t2_summary),
         ("t3_confidence", extensions::t3_confidence),
         ("t4_soc_matrix", extensions::t4_soc_matrix),

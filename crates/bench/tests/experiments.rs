@@ -28,7 +28,7 @@ fn experiment_ids_are_unique_and_well_formed() {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), before, "duplicate experiment ids");
-    assert_eq!(before, 30, "experiment count drifted; update docs");
+    assert_eq!(before, 32, "experiment count drifted; update docs");
 }
 
 #[test]

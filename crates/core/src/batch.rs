@@ -3,7 +3,7 @@
 //! [`run_batch`] advances up to `width` sessions in lock-step through the
 //! pure step kernel ([`crate::session::SessionState`]). The hot per-lane
 //! state — current time, OPP index, queue depths, deadline slack — is
-//! mirrored into struct-of-arrays ([`ShardHot`]) after every stride, so
+//! mirrored into struct-of-arrays (`ShardHot`) after every stride, so
 //! the lane scheduler touches a few cache lines instead of `width` full
 //! session worlds. Each lane owns a recycled
 //! [`crate::session::SessionScratch`]: when a session finishes, the next

@@ -235,6 +235,23 @@ impl EavsGovernor {
         self.predictor.preload(frames);
     }
 
+    /// Wraps the configured predictor in a population-seeded
+    /// [`FleetPrior`](crate::predictor::FleetPrior). The session calls
+    /// this at startup when the builder carries a non-empty prior; it must
+    /// happen before the first decision so fingerprints stay coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any decision has already been taken.
+    pub fn seed_prior(&mut self, prior: crate::predictor::SessionPrior) {
+        assert_eq!(self.decisions, 0, "prior seeded after decisions began");
+        let inner = std::mem::replace(
+            &mut self.predictor,
+            Box::new(crate::predictor::LastValue::new()),
+        );
+        self.predictor = Box::new(crate::predictor::FleetPrior::new(inner, prior));
+    }
+
     /// Predicts a frame's decode cost (exposed for the prediction-accuracy
     /// experiment F4).
     pub fn predict(&self, meta: FrameMeta) -> Cycles {

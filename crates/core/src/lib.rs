@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod framestats;
 pub mod governor;
 pub mod predictor;
 pub mod report;
@@ -47,8 +48,9 @@ pub mod selector;
 pub mod session;
 
 pub use batch::{batch_stats, run_batch, BatchStats, DEFAULT_WIDTH};
+pub use framestats::FrameCycleStats;
 pub use governor::{EavsConfig, EavsGovernor, PipelineSnapshot};
-pub use predictor::{FrameMeta, Hybrid, WorkloadPredictor};
+pub use predictor::{FleetPrior, FrameMeta, Hybrid, SessionPrior, WorkloadPredictor};
 pub use report::SessionReport;
 pub use selector::{required_hz, DemandItem, OppSelector};
 pub use session::{

@@ -565,6 +565,128 @@ impl WorkloadPredictor for Oracle {
     }
 }
 
+/// Per-frame-type population prior learned by a fleet campaign for one
+/// (title, content) key.
+///
+/// Each slot holds `(mean_cycles, weight)` for the type at
+/// [`FrameType::index`]: the population mean decode cost and a pseudo-count
+/// evidence weight (capped fleet-side so one giant campaign cannot drown
+/// out local evidence). An empty prior is indistinguishable from no prior
+/// at all — sessions treat it as absent, mirroring the null power-model
+/// contract.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct SessionPrior {
+    /// Per-type `(mean_cycles, weight)`, indexed by [`FrameType::index`].
+    pub types: [Option<(f64, f64)>; 3],
+}
+
+impl SessionPrior {
+    /// `true` when no type carries population evidence (≡ no prior).
+    pub fn is_empty(&self) -> bool {
+        self.types.iter().all(Option::is_none)
+    }
+
+    /// Hashes the prior's exact content (f64 bit patterns) into `fp`.
+    pub fn fingerprint(&self, fp: &mut Fingerprinter) {
+        for slot in &self.types {
+            match slot {
+                Some((mean, weight)) => {
+                    fp.write_u8(1);
+                    fp.write_f64(*mean);
+                    fp.write_f64(*weight);
+                }
+                None => fp.write_u8(0),
+            }
+        }
+    }
+}
+
+/// Local observations per type after which [`FleetPrior`] hands off
+/// entirely to its inner predictor. Past this point a warmed session
+/// predicts bit-identically to a cold one — the prior only shapes the
+/// cold-start window.
+pub const PRIOR_HANDOFF_OBS: u64 = 30;
+
+/// A population-seeded predictor: starts from the fleet posterior, hands
+/// off to the wrapped per-session predictor as local evidence accumulates.
+///
+/// Per frame type, with `n` local observations, prediction is the
+/// pseudo-count blend `(w·prior_mean + n·inner) / (w + n)` where `w` is
+/// the prior's evidence weight: the pure prior mean at `n = 0` (replacing
+/// the size-scaled cold start), converging to the inner predictor and
+/// switching to it outright at [`PRIOR_HANDOFF_OBS`].
+#[derive(Debug)]
+pub struct FleetPrior {
+    inner: Box<dyn WorkloadPredictor>,
+    prior: SessionPrior,
+    seen: [u64; 3],
+}
+
+impl FleetPrior {
+    /// Wraps `inner` with the given population prior.
+    pub fn new(inner: Box<dyn WorkloadPredictor>, prior: SessionPrior) -> Self {
+        FleetPrior {
+            inner,
+            prior,
+            seen: [0; 3],
+        }
+    }
+
+    /// The wrapped per-session predictor's name.
+    pub fn inner_name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl WorkloadPredictor for FleetPrior {
+    fn name(&self) -> &'static str {
+        "fleet-prior"
+    }
+
+    fn observe_is_type_local(&self) -> bool {
+        // The blend weight `seen` is per-type, so type locality is
+        // inherited from the inner predictor.
+        self.inner.observe_is_type_local()
+    }
+
+    fn predict(&self, meta: FrameMeta) -> Cycles {
+        let t = meta.frame_type.index();
+        let n = self.seen[t];
+        let Some((mean, weight)) = self.prior.types[t] else {
+            return self.inner.predict(meta);
+        };
+        if n >= PRIOR_HANDOFF_OBS {
+            return self.inner.predict(meta);
+        }
+        if n == 0 {
+            return Cycles::new(mean);
+        }
+        let local = self.inner.predict(meta).get();
+        let n = n as f64;
+        Cycles::new((weight * mean + n * local) / (weight + n))
+    }
+
+    fn observe(&mut self, meta: FrameMeta, actual: Cycles) {
+        let t = meta.frame_type.index();
+        self.seen[t] = self.seen[t].saturating_add(1);
+        self.inner.observe(meta, actual);
+    }
+
+    fn preload(&mut self, frames: &[(FrameMeta, Cycles)]) {
+        self.inner.preload(frames);
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        if self.seen != [0; 3] {
+            fp.mark_opaque();
+            return;
+        }
+        fp.write_str(self.name());
+        self.prior.fingerprint(fp);
+        self.inner.fingerprint(fp);
+    }
+}
+
 /// Constructs a predictor by name (for experiment configs).
 ///
 /// Known names: `last`, `ewma`, `window-max`, `size-regression`, `hybrid`,
@@ -824,5 +946,78 @@ mod tests {
                 "{name} must not learn from preload"
             );
         }
+    }
+
+    fn prior(mean_mc: f64, weight: f64) -> SessionPrior {
+        SessionPrior {
+            types: [Some((mean_mc * 1e6, weight)); 3],
+        }
+    }
+
+    #[test]
+    fn fleet_prior_replaces_cold_start_with_population_mean() {
+        let p = FleetPrior::new(Box::new(Ewma::default()), prior(25.0, 8.0));
+        assert_eq!(p.predict(meta(FrameType::I, 50_000)), mc(25.0));
+        assert_eq!(p.name(), "fleet-prior");
+        assert_eq!(p.inner_name(), "ewma");
+    }
+
+    #[test]
+    fn fleet_prior_blend_moves_toward_local_evidence() {
+        let mut p = FleetPrior::new(Box::new(LastValue::new()), prior(25.0, 8.0));
+        let m = meta(FrameType::P, 500);
+        p.observe(m, mc(10.0));
+        // n=1, w=8: (8*25 + 1*10) / 9.
+        let expect = (8.0 * 25.0 + 10.0) / 9.0;
+        assert!((p.predict(m).mega() - expect).abs() < 1e-9);
+        for _ in 0..10 {
+            p.observe(m, mc(10.0));
+        }
+        // More local evidence pulls the blend toward the local value.
+        assert!((p.predict(m).mega() - 10.0).abs() < (expect - 10.0));
+    }
+
+    #[test]
+    fn fleet_prior_hands_off_bit_exactly_after_warmup() {
+        let mut warmed = FleetPrior::new(Box::new(Ewma::default()), prior(25.0, 8.0));
+        let mut cold = Ewma::default();
+        let m = meta(FrameType::P, 500);
+        for i in 0..PRIOR_HANDOFF_OBS {
+            let v = mc(10.0 + (i % 4) as f64);
+            warmed.observe(m, v);
+            cold.observe(m, v);
+        }
+        assert_eq!(
+            warmed.predict(m).get().to_bits(),
+            cold.predict(m).get().to_bits(),
+            "past hand-off, warmed and cold sessions must agree exactly"
+        );
+    }
+
+    #[test]
+    fn fleet_prior_empty_prior_defers_to_inner() {
+        let p = FleetPrior::new(Box::new(Ewma::default()), SessionPrior::default());
+        let bare = Ewma::default();
+        let m = meta(FrameType::B, 4_000);
+        assert_eq!(p.predict(m), bare.predict(m));
+        assert!(SessionPrior::default().is_empty());
+    }
+
+    #[test]
+    fn fleet_prior_fingerprints_content_while_fresh() {
+        let fp_of = |p: &dyn WorkloadPredictor| {
+            let mut fp = Fingerprinter::new("test");
+            p.fingerprint(&mut fp);
+            fp.finish()
+        };
+        let a = FleetPrior::new(Box::new(Ewma::default()), prior(25.0, 8.0));
+        let b = FleetPrior::new(Box::new(Ewma::default()), prior(25.0, 8.0));
+        let c = FleetPrior::new(Box::new(Ewma::default()), prior(26.0, 8.0));
+        assert_eq!(fp_of(&a), fp_of(&b));
+        assert_ne!(fp_of(&a), fp_of(&c), "prior content must key the cache");
+        // Once trained the fingerprint goes opaque (uncacheable).
+        let mut d = FleetPrior::new(Box::new(Ewma::default()), prior(25.0, 8.0));
+        d.observe(meta(FrameType::P, 500), mc(10.0));
+        assert_eq!(fp_of(&d), None);
     }
 }

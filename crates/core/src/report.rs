@@ -77,6 +77,9 @@ pub struct SessionReport {
     /// EAVS panic re-races triggered (prediction breaches + rebuffers;
     /// zero unless panic recovery is enabled).
     pub panic_races: u64,
+    /// Per-frame-type actual decode-cost summary (bit-exact mergeable;
+    /// the raw material fleet campaigns fold into workload priors).
+    pub frame_cycles: crate::framestats::FrameCycleStats,
     /// Per-phase simulated/wall time breakdown (only when profiling was
     /// requested via the session builder; wall times are host-dependent
     /// and never enter fingerprints, traces, or CSVs).
@@ -121,6 +124,7 @@ impl SessionReport {
         for series in self.freq_series.iter().chain(self.buffer_series.iter()) {
             bytes += series.len() * 16;
         }
+        bytes += crate::framestats::FrameCycleStats::approx_heap_bytes();
         bytes as u64
     }
 
@@ -217,6 +221,7 @@ mod tests {
             decode_spikes: 0,
             decode_stalls: 0,
             panic_races: 0,
+            frame_cycles: crate::framestats::FrameCycleStats::new(),
             profile: None,
         }
     }

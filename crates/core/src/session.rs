@@ -18,8 +18,9 @@
 //! sampling tick (baselines); every frequency change recomputes and
 //! reschedules the in-flight decode's completion event.
 
+use crate::framestats::FrameCycleStats;
 use crate::governor::{EavsGovernor, InFlightMeta, PipelineSnapshot};
-use crate::predictor::FrameMeta;
+use crate::predictor::{FrameMeta, SessionPrior};
 use crate::report::SessionReport;
 use crate::selector::{required_hz, DemandItem};
 use eavs_cpu::cluster::{Cluster, PolicyLimits};
@@ -117,7 +118,7 @@ pub enum GovernorChoice {
     /// hatch (out-of-crate governors).
     Baseline(Box<dyn CpufreqGovernor>),
     /// A baseline through the devirtualized decision kernel: static
-    /// dispatch plus a cached per-window [`DecisionLut`]
+    /// dispatch plus a cached per-window `DecisionLut`
     /// (decision-identical to [`Baseline`](GovernorChoice::Baseline),
     /// see `eavs-governors/tests/kind_equivalence.rs`).
     Kind {
@@ -232,6 +233,7 @@ pub struct SessionBuilder {
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
     power: Option<DevicePowerModel>,
+    prior: Option<SessionPrior>,
     trace: Option<SharedSink>,
     profile: bool,
     replay: Option<ReplayCtl>,
@@ -298,6 +300,7 @@ impl SessionBuilder {
             faults: None,
             retry: RetryPolicy::default(),
             power: None,
+            prior: None,
             trace: None,
             profile: false,
             replay: None,
@@ -374,6 +377,21 @@ impl SessionBuilder {
     /// attached.
     pub fn has_power(&self) -> bool {
         self.power.as_ref().is_some_and(|m| !m.is_none())
+    }
+
+    /// Seeds the EAVS predictor with a fleet-learned population prior:
+    /// the governor's predictor is wrapped in a
+    /// [`FleetPrior`](crate::predictor::FleetPrior) at session start. An
+    /// empty prior is a guaranteed behavioral no-op (≡ no prior at all),
+    /// and baselines ignore priors entirely.
+    pub fn prior(mut self, prior: SessionPrior) -> Self {
+        self.prior = Some(prior);
+        self
+    }
+
+    /// `true` if a non-empty workload prior is attached.
+    pub fn has_prior(&self) -> bool {
+        self.prior.as_ref().is_some_and(|p| !p.is_empty())
     }
 
     /// Sets the download retry policy (timeout, retry cap, exponential
@@ -604,6 +622,16 @@ impl SessionBuilder {
             }
             _ => fp.write_u8(0),
         }
+        // An empty prior and no prior are the same session (the no-op
+        // guarantee), so they share a tag; any population evidence
+        // perturbs the digest by its exact f64 content.
+        match &self.prior {
+            Some(prior) if !prior.is_empty() => {
+                fp.write_u8(1);
+                prior.fingerprint(&mut fp);
+            }
+            _ => fp.write_u8(0),
+        }
         fp.finish()
     }
 
@@ -685,6 +713,17 @@ impl SessionBuilder {
         // post-hoc over the finished timeline and cannot perturb a
         // decision, so a power-modeled session (F28/F29) replays the
         // timeline of its unmodeled twin and vice versa.
+        //
+        // The workload prior IS hashed: it changes early predictions and
+        // therefore demand values — a warmed session must never inject a
+        // cold session's decision timeline.
+        match &self.prior {
+            Some(prior) if !prior.is_empty() => {
+                fp.write_u8(1);
+                prior.fingerprint(&mut fp);
+            }
+            _ => fp.write_u8(0),
+        }
         fp.finish().map(|f| f.0)
     }
 
@@ -836,6 +875,15 @@ impl SessionState {
         let mut truth_scratch = std::mem::take(&mut scratch.truth);
         truth_scratch.clear();
         truth_scratch.reserve(frames_per_segment);
+        // Seed the EAVS predictor from the fleet prior before any decision
+        // is taken; empty priors are dropped (≡ absent) and baselines have
+        // no predictor to seed.
+        let mut governor = b.governor;
+        if let Some(prior) = b.prior.filter(|p| !p.is_empty()) {
+            if let GovernorChoice::Eavs(g) = &mut governor {
+                g.seed_prior(prior);
+            }
+        }
         let world = SessionWorld {
             monitor: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
             monitor_bg: LoadMonitor::new(SimTime::ZERO, SimDuration::ZERO),
@@ -869,7 +917,7 @@ impl SessionState {
             buffer_series: b.record_series.then(StepSeries::new),
             cluster,
             fs,
-            governor: b.governor,
+            governor,
             drive_via_sysfs: b.drive_via_sysfs,
             playback,
             abr: b.abr,
@@ -901,6 +949,7 @@ impl SessionState {
             blackout_cutoff,
             pipeline_epoch: 0,
             steady: SteadyDemand::new(),
+            frame_cycles: FrameCycleStats::new(),
         };
         let mut sim = Simulation::new(world);
         if let Some(sink) = sim.world().trace.clone() {
@@ -1188,6 +1237,10 @@ struct SessionWorld {
     /// Demand items cached by the last full `DEMAND` decision, reusable
     /// on steady timer ticks while [`Self::pipeline_epoch`] is unchanged.
     steady: SteadyDemand,
+    /// Per-frame-type actual decode-cost summary, recorded on every
+    /// decode completion regardless of governor (the raw material fleet
+    /// campaigns fold into workload priors).
+    frame_cycles: FrameCycleStats,
 }
 
 /// The steady-tick demand cache (see [`SessionWorld::govern`]): between
@@ -1570,6 +1623,7 @@ impl SessionWorld {
         let frame = self.pipeline.finish_decode();
         self.emit(now, || TraceEvent::DecodeDone { frame: frame.index });
         let observed = FrameMeta::from(&frame);
+        self.frame_cycles.observe(observed.frame_type, actual);
         if let GovernorChoice::Eavs(g) = &mut self.governor {
             g.observe_decode(observed, actual);
         }
@@ -2391,6 +2445,7 @@ impl SessionWorld {
             decode_spikes: self.decode_spikes,
             decode_stalls: self.decode_stalls,
             panic_races,
+            frame_cycles: self.frame_cycles,
             profile: self.profile,
         }
     }

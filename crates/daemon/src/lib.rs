@@ -62,6 +62,8 @@ pub struct DaemonOptions {
     /// Shard lease duration before an unfinished claim is handed out
     /// again.
     pub lease: Duration,
+    /// Fleet-prior file override (`None` = `<state_dir>/fleet.prior`).
+    pub prior_path: Option<PathBuf>,
 }
 
 impl DaemonOptions {
@@ -76,6 +78,7 @@ impl DaemonOptions {
             checkpoint_every: 8,
             workers: 1,
             lease: Duration::from_secs(60),
+            prior_path: None,
         }
     }
 }
@@ -95,6 +98,7 @@ impl Daemon {
             state_dir: opts.state_dir,
             checkpoint_every: opts.checkpoint_every,
             lease: opts.lease,
+            prior_path: opts.prior_path,
         })?);
         let stop = Arc::new(AtomicBool::new(false));
         let handler_registry = Arc::clone(&registry);

@@ -44,6 +44,9 @@ pub struct RegistryConfig {
     /// How long a claimed shard may stay uncompleted before it is
     /// re-handed to another worker.
     pub lease: Duration,
+    /// Where the fleet-wide workload prior (`eavs-prior/v1`) persists;
+    /// `None` defaults to `<state_dir>/fleet.prior`.
+    pub prior_path: Option<PathBuf>,
 }
 
 /// Where a campaign stands.
@@ -141,6 +144,10 @@ pub struct Claim {
 pub struct Registry {
     config: RegistryConfig,
     campaigns: Mutex<BTreeMap<String, CampaignState>>,
+    /// The resident fleet-wide workload prior: every campaign that
+    /// completes here folds its trained prior in, and clients exchange
+    /// it via `GET`/`POST /priors`. Locked strictly after `campaigns`.
+    prior: Mutex<eavs_fleet::PriorStore>,
 }
 
 /// Formats a campaign id from a spec fingerprint.
@@ -160,9 +167,19 @@ impl Registry {
     pub fn open(config: RegistryConfig) -> Result<Registry, String> {
         std::fs::create_dir_all(&config.state_dir)
             .map_err(|e| format!("cannot create {}: {e}", config.state_dir.display()))?;
+        let prior_file = config
+            .prior_path
+            .clone()
+            .unwrap_or_else(|| config.state_dir.join("fleet.prior"));
+        let prior = if prior_file.exists() {
+            eavs_fleet::prior::load(&prior_file)?
+        } else {
+            eavs_fleet::PriorStore::new()
+        };
         let registry = Registry {
             config,
             campaigns: Mutex::new(BTreeMap::new()),
+            prior: Mutex::new(prior),
         };
         registry.recover()?;
         Ok(registry)
@@ -170,6 +187,13 @@ impl Registry {
 
     fn spec_path(&self, id: &str) -> PathBuf {
         self.config.state_dir.join(format!("{id}.spec.json"))
+    }
+
+    fn prior_file(&self) -> PathBuf {
+        self.config
+            .prior_path
+            .clone()
+            .unwrap_or_else(|| self.config.state_dir.join("fleet.prior"))
     }
 
     fn ckpt_path(&self, id: &str) -> PathBuf {
@@ -376,6 +400,13 @@ impl Registry {
         if done && c.phase == Phase::Running {
             c.phase = Phase::Complete;
             c.finished = Some(Instant::now());
+            // Completed campaigns teach the fleet: fold the campaign's
+            // trained workload prior into the resident store and
+            // persist it, so later sessions can warm-start from it.
+            let mut prior = self.prior.lock().expect("prior lock");
+            prior.merge(&c.aggregate.prior);
+            eavs_fleet::prior::save(&self.prior_file(), &prior)
+                .map_err(|e| (500, format!("prior write failed: {e}")))?;
         }
         if folded_to_boundary || done {
             checkpoint::save(&self.ckpt_path(id), &c.aggregate)
@@ -498,7 +529,42 @@ impl Registry {
         .type_("eavsd_session_runs_total", "counter");
         let runs: u64 = campaigns.values().map(|c| c.session_runs).sum();
         w.sample("eavsd_session_runs_total", &[], runs as f64);
+        drop(campaigns);
+        w.help(
+            "eavsd_prior_entries",
+            "Catalog entries (title x content) in the resident fleet prior.",
+        )
+        .type_("eavsd_prior_entries", "gauge");
+        let prior = self.prior.lock().expect("prior lock");
+        w.sample("eavsd_prior_entries", &[], prior.len() as f64);
         w.finish()
+    }
+
+    /// The resident fleet prior as standalone `eavs-prior/v1` text —
+    /// the `GET /priors` body. An empty store encodes (and serves) too,
+    /// so a fresh daemon answers with a valid, mergeable document.
+    pub fn prior_text(&self) -> String {
+        eavs_fleet::prior::encode(&self.prior.lock().expect("prior lock"))
+    }
+
+    /// Merges an `eavs-prior/v1` document into the resident store and
+    /// persists the result — the `POST /priors` body. Merging is the
+    /// same order-free fixed-point fold campaigns use, so pushing the
+    /// same document twice is *not* idempotent (evidence accumulates);
+    /// it is the caller's contract to push each training run once.
+    ///
+    /// Returns `(catalog entries, total frames)` after the merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a corrupt/incompatible document or a
+    /// persistence failure.
+    pub fn merge_prior(&self, text: &str) -> Result<(usize, u64), String> {
+        let incoming = eavs_fleet::prior::decode(text)?;
+        let mut prior = self.prior.lock().expect("prior lock");
+        prior.merge(&incoming);
+        eavs_fleet::prior::save(&self.prior_file(), &prior)?;
+        Ok((prior.len(), prior.total_frames()))
     }
 
     /// True when any campaign still has claimable or in-flight work.
@@ -528,6 +594,7 @@ mod tests {
             state_dir: temp_dir(tag),
             checkpoint_every: 2,
             lease: Duration::from_secs(60),
+            prior_path: None,
         }
     }
 
@@ -563,6 +630,44 @@ mod tests {
         let direct =
             run_campaign(&spec, &RunOptions::default(), &serial_runner).unwrap();
         assert_eq!(served, checkpoint::encode(&direct.aggregate));
+    }
+
+    #[test]
+    fn completed_campaigns_fold_into_the_resident_prior() {
+        let cfg = config("prior");
+        let registry = Registry::open(cfg.clone()).unwrap();
+        assert!(eavs_fleet::prior::decode(&registry.prior_text())
+            .unwrap()
+            .is_empty());
+        registry.submit(&smoke_json()).unwrap();
+        drain(&registry);
+        let spec = CampaignSpec::smoke();
+        let direct = run_campaign(&spec, &RunOptions::default(), &serial_runner).unwrap();
+        let served = eavs_fleet::prior::decode(&registry.prior_text()).unwrap();
+        assert_eq!(served, direct.aggregate.prior);
+        assert!(!served.is_empty());
+        // It persisted: a restarted daemon serves the same bytes.
+        drop(registry);
+        let reopened = Registry::open(cfg).unwrap();
+        assert_eq!(
+            eavs_fleet::prior::decode(&reopened.prior_text()).unwrap(),
+            served
+        );
+    }
+
+    #[test]
+    fn merge_prior_accumulates_and_rejects_garbage() {
+        let registry = Registry::open(config("prior-merge")).unwrap();
+        let spec = CampaignSpec::smoke();
+        let out = run_shard(&spec, 0, &serial_runner).unwrap();
+        let doc = eavs_fleet::prior::encode(&out.partial.prior);
+        let (entries, frames) = registry.merge_prior(&doc).unwrap();
+        assert_eq!(entries, out.partial.prior.len());
+        assert_eq!(frames, out.partial.prior.total_frames());
+        // Merging again accumulates evidence (documented non-idempotence).
+        let (_, frames_again) = registry.merge_prior(&doc).unwrap();
+        assert_eq!(frames_again, 2 * frames);
+        assert!(registry.merge_prior("not a prior").is_err());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! | `GET /campaigns/{id}`                | live progress                             |
 //! | `GET /campaigns/{id}/result`         | final aggregate (checkpoint/v1 text)      |
 //! | `DELETE /campaigns/{id}`             | graceful cancel at a shard boundary       |
+//! | `GET /priors`                        | resident fleet prior (`eavs-prior/v1` text) |
+//! | `POST /priors`                       | merge an `eavs-prior/v1` document in      |
 //! | `POST /claim`                        | worker: claim a shard (204 when idle)     |
 //! | `POST /campaigns/{id}/shards/{n}`    | worker: deliver a shard partial           |
 //! | `POST /shutdown`                     | stop serving after in-flight work         |
@@ -48,6 +50,23 @@ pub fn handle(registry: &Arc<Registry>, stop: &Arc<AtomicBool>, req: Request) ->
             Some(body) => Response::json(200, body),
             None => Response::error(404, "unknown campaign", id),
         },
+        ("GET", ["priors"]) => Response::text(200, registry.prior_text()),
+        ("POST", ["priors"]) => {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return Response::error(400, "bad prior", "request body is not UTF-8");
+            };
+            match registry.merge_prior(text) {
+                Ok((entries, frames)) => Response::json(
+                    200,
+                    Value::Obj(vec![
+                        ("entries".into(), Value::u64(entries as u64)),
+                        ("frames".into(), Value::u64(frames)),
+                    ])
+                    .render(),
+                ),
+                Err(detail) => Response::error(400, "bad prior", &detail),
+            }
+        }
         ("POST", ["claim"]) => match registry.claim() {
             Some(claim) => Response::json(
                 200,
@@ -69,7 +88,7 @@ pub fn handle(registry: &Arc<Registry>, stop: &Arc<AtomicBool>, req: Request) ->
             stop.store(true, Ordering::SeqCst);
             Response::json(200, "{\"stopping\":true}".to_owned())
         }
-        (_, ["healthz" | "metrics" | "claim" | "shutdown"]) | (_, ["campaigns", ..]) => {
+        (_, ["healthz" | "metrics" | "claim" | "shutdown" | "priors"]) | (_, ["campaigns", ..]) => {
             Response::error(405, "method not allowed", &format!("{} {}", req.method, req.path))
         }
         _ => Response::error(404, "no such route", &req.path),

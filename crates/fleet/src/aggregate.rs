@@ -221,6 +221,11 @@ pub struct FleetAggregate {
     pub arrivals: Histogram,
     /// One lane per governor, in spec order.
     pub govs: Vec<GovAggregate>,
+    /// Fleet workload knowledge: per-(title, content) decode-cost
+    /// summaries (see [`crate::prior`]). Folded once per session — decode
+    /// costs are governor-independent — and persisted both in the
+    /// checkpoint and as a standalone `eavs-prior/v1` file.
+    pub prior: crate::prior::PriorStore,
 }
 
 impl FleetAggregate {
@@ -236,6 +241,7 @@ impl FleetAggregate {
                 .iter()
                 .map(|g| GovAggregate::new(g, spec))
                 .collect(),
+            prior: crate::prior::PriorStore::new(),
         }
     }
 
@@ -252,6 +258,21 @@ impl FleetAggregate {
     /// Panics if `gov_index` is out of range.
     pub fn observe(&mut self, gov_index: usize, report: &SessionReport) {
         self.govs[gov_index].observe(report);
+    }
+
+    /// Folds one session's decode-cost summary into the fleet prior.
+    ///
+    /// Called once per session (not per governor lane): frame decode
+    /// cost depends on the title and content, not on the frequency the
+    /// governor happened to pick, so one lane's observation suffices and
+    /// multi-counting would skew the population weight.
+    pub fn observe_prior(
+        &mut self,
+        title_key: &str,
+        content: &str,
+        stats: &eavs_core::framestats::FrameCycleStats,
+    ) {
+        self.prior.observe(title_key, content, stats);
     }
 
     /// Merges a partial aggregate of the same campaign. `shards_done` and
@@ -273,10 +294,12 @@ impl FleetAggregate {
         for (mine, theirs) in self.govs.iter_mut().zip(&other.govs) {
             mine.merge(theirs);
         }
+        self.prior.merge(&other.prior);
     }
 
     /// Approximate resident footprint, bytes. The point of the exercise:
-    /// this is O(bins × governors), independent of the session count.
+    /// this is O(bins × governors) plus O(title × content catalog) for
+    /// the prior store — independent of the session count either way.
     pub fn approx_bytes(&self) -> u64 {
         std::mem::size_of::<FleetAggregate>() as u64
             + self.arrivals.num_bins() as u64 * 8
@@ -285,6 +308,7 @@ impl FleetAggregate {
                 .iter()
                 .map(GovAggregate::approx_bytes)
                 .sum::<u64>()
+            + self.prior.approx_bytes()
     }
 
     /// Renders the population table (the F26 row set): per-governor

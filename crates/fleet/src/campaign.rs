@@ -224,6 +224,13 @@ pub struct RunOptions {
     /// cancelled campaign resumes (or re-submits) to byte-identical
     /// final output. The daemon's `DELETE /campaigns/{id}` sets this.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Warm-start prior: every session is seeded with
+    /// `prior.session_prior(title, content)` before it runs
+    /// (`eavsctl fleet --prior FILE`). `None` — and any title/content
+    /// pair the store has never seen — runs cold; an empty projection is
+    /// the tag-0 no-op, so a warmed campaign over unknown titles is
+    /// byte-identical to an unwarmed one.
+    pub prior: Option<Arc<crate::prior::PriorStore>>,
 }
 
 impl RunOptions {
@@ -299,6 +306,18 @@ pub fn run_shard(
     shard: u64,
     runner: &ShardRunner,
 ) -> Result<ShardOutcome, String> {
+    run_shard_warm(spec, shard, None, runner)
+}
+
+/// [`run_shard`] with a warm-start prior: each session's builder is
+/// seeded with the store's projection for its (title, content) draw.
+/// `None` (or a store that has never seen the pair) runs the shard cold.
+pub fn run_shard_warm(
+    spec: &CampaignSpec,
+    shard: u64,
+    prior: Option<&crate::prior::PriorStore>,
+    runner: &ShardRunner,
+) -> Result<ShardOutcome, String> {
     if shard >= spec.num_shards() {
         return Err(format!(
             "shard {shard} out of range (campaign has {} shards)",
@@ -310,9 +329,14 @@ pub fn run_shard(
     let mut jobs = Vec::with_capacity(draws.len() * spec.governors.len());
     for draw in &draws {
         for gov in &spec.governors {
+            let mut builder = builder_for(draw, gov)?;
+            if let Some(store) = prior {
+                builder =
+                    builder.prior(store.session_prior(&draw.title.key(), draw.content.name()));
+            }
             jobs.push((
                 format!("fleet {} s{} {gov}", spec.name, draw.session_id),
-                builder_for(draw, gov)?,
+                builder,
             ));
         }
     }
@@ -335,6 +359,17 @@ pub fn run_shard(
         for gov_index in 0..spec.governors.len() {
             let report = iter.next().expect("length checked above");
             partial.observe(gov_index, report);
+            // Decode cost is a property of the stream, not the governor:
+            // every lane replays the same frames, so folding one lane
+            // into the fleet prior captures the workload without
+            // multi-counting sessions.
+            if gov_index == 0 {
+                partial.observe_prior(
+                    &draw.title.key(),
+                    draw.content.name(),
+                    &report.frame_cycles,
+                );
+            }
         }
     }
     let shard_bytes =
@@ -402,7 +437,7 @@ pub fn run_campaign(
             break;
         }
         let shard = aggregate.shards_done;
-        let out = run_shard(spec, shard, runner)?;
+        let out = run_shard_warm(spec, shard, opts.prior.as_deref(), runner)?;
         session_runs += out.session_runs;
         peak_shard_bytes = peak_shard_bytes.max(out.shard_bytes);
         aggregate.merge(&out.partial);
@@ -519,6 +554,74 @@ mod tests {
             assert!(lane.cpu_j_sum.value() > 0.0);
         }
         assert!(out.peak_shard_bytes > 0);
+    }
+
+    #[test]
+    fn empty_prior_warm_start_is_byte_identical_to_cold() {
+        let mut spec = CampaignSpec::smoke();
+        spec.sessions = 4;
+        spec.shard_size = 2;
+        let cold = run_campaign(&spec, &RunOptions::default(), &serial_runner).unwrap();
+        let warmed = run_campaign(
+            &spec,
+            &RunOptions {
+                prior: Some(Arc::new(crate::prior::PriorStore::new())),
+                ..RunOptions::default()
+            },
+            &serial_runner,
+        )
+        .unwrap();
+        // An empty store projects the tag-0 no-op prior for every draw.
+        assert_eq!(
+            crate::checkpoint::encode(&cold.aggregate),
+            crate::checkpoint::encode(&warmed.aggregate)
+        );
+    }
+
+    #[test]
+    fn trained_prior_changes_the_eavs_lane_but_not_the_workload() {
+        let mut spec = CampaignSpec::smoke();
+        spec.sessions = 4;
+        spec.shard_size = 2;
+        let cold = run_campaign(&spec, &RunOptions::default(), &serial_runner).unwrap();
+        let warmed = run_campaign(
+            &spec,
+            &RunOptions {
+                prior: Some(Arc::new(cold.aggregate.prior.clone())),
+                ..RunOptions::default()
+            },
+            &serial_runner,
+        )
+        .unwrap();
+        // Decode cost is governor- and predictor-independent, so the
+        // re-observed prior must round-trip exactly even though the
+        // warmed EAVS lane made different frequency decisions.
+        assert_eq!(warmed.aggregate.prior, cold.aggregate.prior);
+        let eavs = spec.governors.iter().position(|g| g == "eavs").unwrap();
+        assert_ne!(
+            warmed.aggregate.govs[eavs].cpu_j_sum.raw(),
+            cold.aggregate.govs[eavs].cpu_j_sum.raw(),
+            "a trained prior must actually change early frequency decisions"
+        );
+    }
+
+    #[test]
+    fn one_session_campaign_prior_equals_the_direct_run_statistics() {
+        // The campaign path must add nothing to (and lose nothing from)
+        // the per-session decode statistics: a 1-session campaign's
+        // emitted prior is exactly that session's `frame_cycles`.
+        let mut spec = CampaignSpec::smoke();
+        spec.sessions = 1;
+        spec.shard_size = 1;
+        let out = run_campaign(&spec, &RunOptions::default(), &serial_runner).unwrap();
+        let draw = draw_session(&spec, 0);
+        let report = builder_for(&draw, &spec.governors[0]).unwrap().run();
+        assert!(report.frame_cycles.total_frames() > 0);
+        assert_eq!(out.aggregate.prior.len(), 1);
+        assert_eq!(
+            out.aggregate.prior.get(&draw.title.key(), draw.content.name()),
+            Some(&report.frame_cycles)
+        );
     }
 
     #[test]

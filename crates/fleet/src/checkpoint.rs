@@ -18,7 +18,7 @@ use crate::aggregate::{FleetAggregate, GovAggregate};
 /// Format magic + version line.
 const MAGIC: &str = "eavs-fleet-checkpoint/v1";
 
-fn push_hist(out: &mut String, key: &str, h: &Histogram) {
+pub(crate) fn push_hist(out: &mut String, key: &str, h: &Histogram) {
     out.push_str(key);
     out.push(' ');
     out.push_str(&format!(
@@ -34,7 +34,7 @@ fn push_hist(out: &mut String, key: &str, h: &Histogram) {
     out.push('\n');
 }
 
-fn push_sum(out: &mut String, key: &str, s: &ExactSum) {
+pub(crate) fn push_sum(out: &mut String, key: &str, s: &ExactSum) {
     let (nanos, count) = s.raw();
     out.push_str(&format!("{key} {nanos} {count}\n"));
 }
@@ -83,18 +83,30 @@ pub fn encode(agg: &FleetAggregate) -> String {
         out.push_str(&format!("panic_races {}\n", g.panic_races));
         out.push_str(&format!("download_retries {}\n", g.download_retries));
     }
+    // The workload-prior section rides between the governor lanes and the
+    // terminator. An empty store still writes its `prior 0` header, but
+    // decode tolerates checkpoints written before the section existed.
+    crate::prior::encode_body(&mut out, &agg.prior);
     out.push_str("end\n");
     out
 }
 
-/// Line cursor with keyed-field helpers for decoding.
-struct Lines<'a> {
+/// Line cursor with keyed-field helpers for decoding (shared with the
+/// prior codec in [`crate::prior`]).
+pub(crate) struct Lines<'a> {
     iter: std::str::Lines<'a>,
     line_no: usize,
 }
 
 impl<'a> Lines<'a> {
-    fn next(&mut self) -> Result<&'a str, String> {
+    pub(crate) fn new(text: &'a str) -> Self {
+        Lines {
+            iter: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    pub(crate) fn next(&mut self) -> Result<&'a str, String> {
         self.line_no += 1;
         self.iter
             .next()
@@ -102,7 +114,7 @@ impl<'a> Lines<'a> {
     }
 
     /// Next line, which must start with `key `; returns the rest.
-    fn field(&mut self, key: &str) -> Result<&'a str, String> {
+    pub(crate) fn field(&mut self, key: &str) -> Result<&'a str, String> {
         let line = self.next()?;
         line.strip_prefix(key)
             .and_then(|rest| {
@@ -115,7 +127,7 @@ impl<'a> Lines<'a> {
             ))
     }
 
-    fn parse<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, String> {
+    pub(crate) fn parse<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, String> {
         let raw = self.field(key)?;
         raw.parse()
             .map_err(|_| format!("checkpoint: bad {key} value {raw:?}"))
@@ -128,7 +140,7 @@ impl<'a> Lines<'a> {
             .map_err(|_| format!("checkpoint: bad {key} bits {raw:?}"))
     }
 
-    fn sum(&mut self, key: &str) -> Result<ExactSum, String> {
+    pub(crate) fn sum(&mut self, key: &str) -> Result<ExactSum, String> {
         let raw = self.field(key)?;
         let mut parts = raw.split(' ');
         let nanos: i128 = parts
@@ -142,7 +154,7 @@ impl<'a> Lines<'a> {
         Ok(ExactSum::from_raw(nanos, count))
     }
 
-    fn hist(&mut self, key: &str) -> Result<Histogram, String> {
+    pub(crate) fn hist(&mut self, key: &str) -> Result<Histogram, String> {
         let raw = self.field(key)?;
         let mut parts = raw.split(' ');
         let mut bits = |what: &str| -> Result<f64, String> {
@@ -178,10 +190,7 @@ impl<'a> Lines<'a> {
 ///
 /// Returns a message on version mismatch, truncation or malformed values.
 pub fn decode(text: &str) -> Result<FleetAggregate, String> {
-    let mut lines = Lines {
-        iter: text.lines(),
-        line_no: 0,
-    };
+    let mut lines = Lines::new(text);
     let magic = lines.next()?;
     if magic != MAGIC {
         return Err(format!(
@@ -257,13 +266,33 @@ pub fn decode(text: &str) -> Result<FleetAggregate, String> {
             download_retries,
         });
     }
-    lines.field("end")?;
+    // Tolerant prior section: same-version checkpoints written before the
+    // fleet knowledge store existed end right after the governor lanes,
+    // and decode as an empty store.
+    let line = lines.next()?;
+    let prior = match line.strip_prefix("prior ") {
+        Some(raw) => {
+            let entries: usize = raw
+                .parse()
+                .map_err(|_| format!("checkpoint: bad prior count {raw:?}"))?;
+            let store = crate::prior::decode_body(&mut lines, entries)?;
+            lines.field("end")?;
+            store
+        }
+        None if line == "end" => crate::prior::PriorStore::new(),
+        None => {
+            return Err(format!(
+                "checkpoint: expected \"prior\" or \"end\", got {line:?}"
+            ))
+        }
+    };
     Ok(FleetAggregate {
         campaign,
         shards_done,
         sessions_done,
         arrivals,
         govs,
+        prior,
     })
 }
 
@@ -351,6 +380,31 @@ mod tests {
         assert_eq!(load(&path).unwrap().unwrap(), agg);
         assert!(load(&dir.join("absent.ckpt")).unwrap().is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prior_section_roundtrips_through_the_checkpoint() {
+        let (spec, mut agg) = populated_aggregate();
+        let draw = draw_session(&spec, 0);
+        let report = builder_for(&draw, &spec.governors[0]).unwrap().run();
+        agg.observe_prior(&draw.title.key(), draw.content.name(), &report.frame_cycles);
+        assert!(!agg.prior.is_empty());
+        let decoded = decode(&encode(&agg)).unwrap();
+        assert_eq!(decoded, agg);
+        assert_eq!(decoded.prior.total_frames(), agg.prior.total_frames());
+    }
+
+    #[test]
+    fn checkpoints_without_a_prior_section_decode_to_an_empty_store() {
+        // Pre-prior checkpoints end right after the governor lanes; they
+        // must keep resuming (to an empty fleet prior), not be rejected.
+        let (_, agg) = populated_aggregate();
+        let text = encode(&agg);
+        let legacy = text.replace("prior 0\n", "");
+        assert_ne!(legacy, text);
+        let decoded = decode(&legacy).unwrap();
+        assert_eq!(decoded, agg);
+        assert!(decoded.prior.is_empty());
     }
 
     #[test]

@@ -32,13 +32,16 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod checkpoint;
+pub mod prior;
 pub mod progress;
 pub mod prom;
 pub mod spec;
 
 pub use aggregate::{FleetAggregate, GovAggregate};
+pub use prior::PriorStore;
 pub use campaign::{
-    run_campaign, run_shard, CampaignOutcome, CampaignStatus, RunOptions, ShardOutcome,
+    run_campaign, run_shard, run_shard_warm, CampaignOutcome, CampaignStatus, RunOptions,
+    ShardOutcome,
 };
 pub use progress::{GovSnapshot, ProgressSnapshot};
 pub use spec::CampaignSpec;

@@ -70,6 +70,19 @@ pub struct TitleSpec {
     pub fps: u32,
 }
 
+impl TitleSpec {
+    /// Stable encode key for prior aggregation: everything that shapes
+    /// per-frame decode cost (bitrate, resolution, fps) — but not the
+    /// stream length, so priors learned on clips transfer to full
+    /// titles of the same encode. Whitespace-free for line formats.
+    pub fn key(&self) -> String {
+        format!(
+            "{}kbps-{}x{}@{}",
+            self.bitrate_kbps, self.width, self.height, self.fps
+        )
+    }
+}
+
 /// Histogram shape: `(lo, hi, bins)` for one aggregated metric.
 pub type HistShape = (f64, f64, usize);
 

@@ -48,6 +48,12 @@ fn fold(ids: &[usize]) -> FleetAggregate {
         for (gov_index, report) in reports.iter().enumerate() {
             agg.observe(gov_index, report);
         }
+        // Mirror `run_shard`: the fleet prior folds one lane per session.
+        agg.observe_prior(
+            &draw.title.key(),
+            draw.content.name(),
+            &reports[0].frame_cycles,
+        );
     }
     agg
 }
@@ -107,5 +113,42 @@ proptest! {
         }
         let sequential = fold(&(0..SESSIONS).collect::<Vec<_>>());
         prop_assert_eq!(merged, sequential);
+    }
+
+    /// The fleet prior is part of the same algebra: merging per-shard
+    /// prior stores in any order must produce the same *encoded bytes*
+    /// as the sequential fold — this is what makes `--emit-prior` files
+    /// byte-identical across `EAVS_JOBS` settings and shard interleavings.
+    #[test]
+    fn prior_merge_is_bit_exact_across_shard_orderings(
+        perm_seed in 0u64..100_000,
+        shard_len in 1u64..6,
+    ) {
+        let order = shuffled(SESSIONS, perm_seed);
+        let mut merged = eavs_fleet::PriorStore::new();
+        for shard in order.chunks(shard_len as usize) {
+            merged.merge(&fold(shard).prior);
+        }
+        let sequential = fold(&(0..SESSIONS).collect::<Vec<_>>()).prior;
+        prop_assert!(!sequential.is_empty());
+        prop_assert_eq!(&merged, &sequential);
+        prop_assert_eq!(
+            eavs_fleet::prior::encode(&merged),
+            eavs_fleet::prior::encode(&sequential)
+        );
+    }
+
+    /// A ∪ B == B ∪ A for prior stores, bit-for-bit.
+    #[test]
+    fn prior_merge_is_commutative(cut in 1u64..11) {
+        let ids: Vec<usize> = (0..SESSIONS).collect();
+        let a = fold(&ids[..cut as usize]).prior;
+        let b = fold(&ids[cut as usize..]).prior;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(eavs_fleet::prior::encode(&ab), eavs_fleet::prior::encode(&ba));
     }
 }

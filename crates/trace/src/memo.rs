@@ -210,7 +210,7 @@ pub fn peek_decision_timeline(key: u128) -> Option<Arc<DecisionTimeline>> {
 /// Stores a recorded timeline under a replay-prefix key. First store
 /// wins (later recordings under the same key are discarded, keeping the
 /// stored value a deterministic function of execution order), and the
-/// store refuses new entries past [`TIMELINE_CAP_BYTES`]. Returns
+/// store refuses new entries past `TIMELINE_CAP_BYTES`. Returns
 /// whether the timeline was kept.
 pub fn store_decision_timeline(key: u128, records: Vec<DecisionRecord>) -> bool {
     let timeline = DecisionTimeline { records };

@@ -33,6 +33,9 @@ OPTIONS (with defaults):
   --checkpoint-every 8    shards between checkpoint writes
                           ($EAVS_CHECKPOINT_EVERY)
   --lease-secs 60         claimed-shard lease before re-handout
+  --prior-path FILE       fleet workload-prior file ($EAVS_PRIOR_PATH,
+                          then <state-dir>/fleet.prior); every campaign
+                          completing here folds its trained prior in
 
 ENDPOINTS:
   POST   /campaigns                submit a CampaignSpec JSON
@@ -40,6 +43,8 @@ ENDPOINTS:
   GET    /campaigns/{id}           live progress (shards, sessions/sec, lanes)
   GET    /campaigns/{id}/result    final aggregate (eavs-fleet-checkpoint/v1)
   DELETE /campaigns/{id}           cancel at the next shard boundary
+  GET    /priors                   resident fleet prior (eavs-prior/v1 text)
+  POST   /priors                   merge an eavs-prior/v1 document in
   GET    /metrics                  Prometheus text (0.0.4), all campaigns
   GET    /healthz                  liveness
   POST   /claim                    worker protocol: claim a shard (204 idle)
@@ -61,6 +66,9 @@ fn parse(args: &[String]) -> Result<Option<Flags>, String> {
     if let Some(n) = eavs::bench::executor::checkpoint_every() {
         opts.checkpoint_every = n;
     }
+    if let Some(path) = eavs::bench::executor::prior_path() {
+        opts.prior_path = Some(path.into());
+    }
     let mut worker = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -79,6 +87,7 @@ fn parse(args: &[String]) -> Result<Option<Flags>, String> {
             "--lease-secs" => {
                 opts.lease = Duration::from_secs(num(value("lease-secs")?, "lease-secs")?);
             }
+            "--prior-path" => opts.prior_path = Some(value("prior-path")?.into()),
             "--worker" => worker = Some(value("worker")?.clone()),
             other => return Err(format!("unknown flag {other:?}; try `eavsd --help`")),
         }

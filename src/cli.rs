@@ -139,6 +139,10 @@ pub struct FleetArgs {
     /// Whole-device power model override: `none`, `phone` or
     /// `phone:<brightness>` (defaults to the preset's, which is `none`).
     pub power: Option<String>,
+    /// Write the campaign's trained workload prior (`eavs-prior/v1`) here.
+    pub emit_prior: Option<String>,
+    /// Warm-start every session from a previously trained prior file.
+    pub prior: Option<String>,
 }
 
 impl Default for FleetArgs {
@@ -156,6 +160,8 @@ impl Default for FleetArgs {
             metrics_out: None,
             batch: None,
             power: None,
+            emit_prior: None,
+            prior: None,
         }
     }
 }
@@ -207,6 +213,8 @@ pub struct RunArgs {
     pub panic_recovery: bool,
     /// Collect a per-phase time breakdown and print it with the report.
     pub profile: bool,
+    /// Seed the predictor from a trained prior file (`eavs-prior/v1`).
+    pub prior: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -234,6 +242,7 @@ impl Default for RunArgs {
             retry: None,
             panic_recovery: false,
             profile: false,
+            prior: None,
         }
     }
 }
@@ -282,6 +291,10 @@ OPTIONS (with defaults):
                           (EAVS_POWER_TAIL_MS overrides the radio tail timer)
   --retry <none>          balanced | <timeout_ms>,<retries>,<base_ms>
                           (download watchdog + exponential backoff)
+  --prior PATH            seed the predictor from a fleet-trained prior
+                          file (eavs-prior/v1, see fleet --emit-prior);
+                          keys off bitrate/resolution/fps + content, and
+                          an unknown key degrades to the cold baseline
   --panic                 enable EAVS panic recovery (re-race to max OPP
                           on prediction breach or rebuffer; eavs only)
   --profile               print a per-phase (download/decode/display/governor)
@@ -312,6 +325,11 @@ FLEET OPTIONS (defaults come from the chosen preset):
                           results stay byte-identical)
   --power none            attach a whole-device power model to every
                           session of the population (same spec as run)
+  --emit-prior PATH       after the campaign, write the aggregated
+                          workload prior (eavs-prior/v1) — byte-identical
+                          for any EAVS_JOBS / shard schedule
+  --prior PATH            warm-start every session of the population from
+                          a previously emitted prior file
 
 SUBMIT OPTIONS (spec-shaping fleet flags plus daemon-client options):
   --campaign smoke        smoke | global (same presets as fleet)
@@ -339,6 +357,10 @@ EXAMPLES:
   eavsctl fleet --campaign smoke --metrics-out /tmp/f26.prom
   eavsctl fleet --campaign global --checkpoint /tmp/global.ckpt
       kill it any time; rerun the same command to resume where it stopped
+  eavsctl fleet --campaign smoke --emit-prior /tmp/fleet.prior
+  eavsctl run --prior /tmp/fleet.prior --content sport
+      train a workload prior on the fleet, then seed a cold session's
+      predictor from the population posterior
   eavsd --state-dir /tmp/eavsd --addr 127.0.0.1:7026 &
   eavsctl submit --campaign smoke --wait --out /tmp/f26.csv
       same table and CSV bytes as `eavsctl fleet`, served over HTTP
@@ -446,6 +468,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--faults" => out.faults = value("faults")?.clone(),
             "--power" => out.power = value("power")?.clone(),
             "--retry" => out.retry = Some(value("retry")?.clone()),
+            "--prior" => out.prior = Some(value("prior")?.clone()),
             "--panic" => out.panic_recovery = true,
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
         }
@@ -482,6 +505,8 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
             "--metrics-out" => out.metrics_out = Some(value("metrics-out")?.clone()),
             "--batch" => out.batch = Some(parse_num(value("batch")?, "batch")?),
             "--power" => out.power = Some(value("power")?.clone()),
+            "--emit-prior" => out.emit_prior = Some(value("emit-prior")?.clone()),
+            "--prior" => out.prior = Some(value("prior")?.clone()),
             other => return Err(format!("unknown flag {other:?}; try `eavsctl help`")),
         }
     }
@@ -614,10 +639,16 @@ fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
 /// checkpoint problems.
 pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
     let spec = build_fleet_spec(args)?;
+    let warm_start = args
+        .prior
+        .as_ref()
+        .map(|p| eavs_fleet::prior::load(std::path::Path::new(p)))
+        .transpose()?;
     let opts = eavs_fleet::RunOptions {
         checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
         checkpoint_every: args.checkpoint_every,
         halt_after_shards: args.halt_after_shards,
+        prior: warm_start.map(std::sync::Arc::new),
         ..eavs_fleet::RunOptions::default()
     };
     if let Some(width) = args.batch {
@@ -649,6 +680,16 @@ pub fn run_fleet(args: &FleetArgs) -> Result<String, String> {
     if let Some(path) = &args.metrics_out {
         write_output_file(path, &fleet_metrics_page(&outcome, &spec))?;
         out.push_str(&format!("[metrics written to {path}]\n"));
+    }
+    if let Some(path) = &args.emit_prior {
+        // The prior rides the aggregate, so it is byte-identical however
+        // the shards were scheduled (EAVS_JOBS) — CI `cmp`s these files.
+        eavs_fleet::prior::save(std::path::Path::new(path), &outcome.aggregate.prior)?;
+        out.push_str(&format!(
+            "[prior written to {path}: {} catalog entries, {} frames]\n",
+            outcome.aggregate.prior.len(),
+            outcome.aggregate.prior.total_frames(),
+        ));
     }
     Ok(out)
 }
@@ -1104,6 +1145,21 @@ fn build_session(
     if args.profile {
         builder = builder.profile(true);
     }
+    if let Some(path) = &args.prior {
+        let store = eavs_fleet::prior::load(std::path::Path::new(path))?;
+        // Project the store onto this workload's encode key — the same
+        // key `TitleSpec::key()` produces fleet-side — so clips trained
+        // in a campaign seed the matching single-session run. An absent
+        // key projects the empty prior: byte-identical to a cold run.
+        let key = format!(
+            "{}kbps-{}x{}@{}",
+            args.bitrate_kbps.max(1),
+            args.width.max(16),
+            args.height.max(16),
+            args.fps.max(1),
+        );
+        builder = builder.prior(store.session_prior(&key, &args.content));
+    }
     Ok(builder)
 }
 
@@ -1506,7 +1562,8 @@ mod tests {
         let cmd = parse(&argv(
             "fleet --campaign smoke --sessions 40 --seed 9 --shard-size 10 \
              --governors ondemand,eavs --checkpoint /tmp/x.ckpt --checkpoint-every 2 \
-             --halt-after-shards 3 --out /tmp/x.csv --power phone",
+             --halt-after-shards 3 --out /tmp/x.csv --power phone \
+             --emit-prior /tmp/x.prior --prior /tmp/warm.prior",
         ))
         .unwrap();
         let Command::Fleet(args) = cmd else {
@@ -1525,6 +1582,8 @@ mod tests {
         assert_eq!(args.halt_after_shards, Some(3));
         assert_eq!(args.out.as_deref(), Some("/tmp/x.csv"));
         assert_eq!(args.power.as_deref(), Some("phone"));
+        assert_eq!(args.emit_prior.as_deref(), Some("/tmp/x.prior"));
+        assert_eq!(args.prior.as_deref(), Some("/tmp/warm.prior"));
 
         assert_eq!(
             parse(&argv("fleet")).unwrap(),
@@ -1792,6 +1851,64 @@ mod tests {
         assert!(page.contains("# TYPE eavs_fleet_cpu_joules histogram"));
         assert!(page.contains("eavs_fleet_shards_done"));
         assert!(page.contains("eavs_session_cache_hits_total"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_emits_a_prior_and_run_seeds_from_it() {
+        let dir = std::env::temp_dir().join("eavs_cli_prior_test");
+        let path = dir.join("fleet.prior");
+        let path_s = path.to_string_lossy().into_owned();
+        let args = FleetArgs {
+            sessions: Some(4),
+            shard_size: Some(2),
+            governors: Some(vec!["eavs".to_owned()]),
+            emit_prior: Some(path_s.clone()),
+            ..FleetArgs::default()
+        };
+        let out = run_fleet(&args).unwrap();
+        assert!(out.contains("[prior written to"), "{out}");
+        let store = eavs_fleet::prior::load(&path).unwrap();
+        assert!(store.len() > 0);
+        assert!(store.total_frames() > 0);
+
+        // The emitted file warm-starts another campaign.
+        let warm = FleetArgs {
+            emit_prior: None,
+            prior: Some(path_s.clone()),
+            ..args.clone()
+        };
+        assert!(run_fleet(&warm).unwrap().contains("2/2 shards done"));
+
+        // A run whose encode the fleet never saw projects the empty
+        // prior — identical to the cold session, bit for bit.
+        let run = RunArgs {
+            duration_s: 4,
+            bitrate_kbps: 1_234,
+            width: 640,
+            height: 360,
+            ..RunArgs::default()
+        };
+        let cold = run_session(&run, "eavs").unwrap();
+        let seeded = run_session(
+            &RunArgs {
+                prior: Some(path_s),
+                ..run
+            },
+            "eavs",
+        )
+        .unwrap();
+        assert_eq!(cold.cpu_joules().to_bits(), seeded.cpu_joules().to_bits());
+        assert_eq!(cold.frames_decoded, seeded.frames_decoded);
+
+        // Missing prior files fail with a useful message.
+        let bad = RunArgs {
+            prior: Some("/nonexistent/x.prior".to_owned()),
+            ..RunArgs::default()
+        };
+        assert!(run_session(&bad, "eavs")
+            .unwrap_err()
+            .contains("cannot read prior"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -114,6 +114,35 @@ fn http_campaign_matches_direct_run_bytes() {
 
     let (status, body) = client::request_text(&addr, "GET", "/healthz", "").unwrap();
     assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // The completed campaign taught the daemon its workload prior:
+    // GET /priors serves exactly the prior a direct run would train.
+    let direct = eavs_fleet::run_campaign(
+        &spec,
+        &RunOptions::default(),
+        &eavs_bench::fleet::pooled_runner,
+    )
+    .unwrap();
+    let (status, served_prior) = client::request_text(&addr, "GET", "/priors", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        served_prior,
+        eavs_fleet::prior::encode(&direct.aggregate.prior),
+        "served prior must match the direct run's training bytes"
+    );
+
+    // POST /priors merges a document in and reports the new totals.
+    let (status, body) =
+        client::request_text(&addr, "POST", "/priors", &served_prior).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(
+        v.get("frames").and_then(json::Value::as_u64),
+        Some(2 * direct.aggregate.prior.total_frames()),
+        "{body}"
+    );
+    let (status, body) = client::request_text(&addr, "POST", "/priors", "garbage").unwrap();
+    assert_eq!(status, 400, "{body}");
     daemon.shutdown();
 }
 

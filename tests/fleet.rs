@@ -25,6 +25,11 @@ fn one_session_fleet_reproduces_run_session() {
     for (gov_index, gov) in spec.governors.iter().enumerate() {
         let report = builder_for(&draw, gov).unwrap().run();
         direct.observe(gov_index, &report);
+        if gov_index == 0 {
+            // Mirror `run_shard`: the workload prior is fed from lane 0
+            // only (decode cycles are governor-independent).
+            direct.observe_prior(&draw.title.key(), draw.content.name(), &report.frame_cycles);
+        }
         // Spot-check the raw scalars against the report, not just
         // aggregate-vs-aggregate: one session, so sums ARE the report.
         let lane = &outcome.aggregate.govs[gov_index];
